@@ -1,0 +1,150 @@
+// Command gee embeds a graph file with One-Hot Graph Encoder Embedding.
+//
+// Usage:
+//
+//	gee -graph g.txt [-format edgelist|adj|bin] [-impl parallel] \
+//	    [-k 50] [-label-frac 0.1] [-labels y.txt] [-workers N] \
+//	    [-laplacian] [-out z.tsv] [-seed 1]
+//
+// Labels come from -labels (one integer per line, -1 = unknown) or, when
+// absent, from the paper's protocol: uniform over [0, K) for
+// -label-frac of the nodes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (required)")
+		format    = flag.String("format", "edgelist", "graph format: edgelist, adj, bin")
+		implName  = flag.String("impl", "parallel", "implementation: reference, optimized, serial, parallel, unsafe")
+		k         = flag.Int("k", 50, "number of classes / embedding dimensions")
+		labelFrac = flag.Float64("label-frac", 0.1, "fraction of nodes labeled (ignored with -labels)")
+		labelPath = flag.String("labels", "", "label file, one int per line (-1 = unknown)")
+		workers   = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		laplacian = flag.Bool("laplacian", false, "degree-normalized Laplacian variant")
+		outPath   = flag.String("out", "", "embedding output TSV ('' = stdout)")
+		seed      = flag.Uint64("seed", 1, "label sampling seed")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*graphPath, *format, *implName, *k, *labelFrac, *labelPath,
+		*workers, *laplacian, *outPath, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "gee:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, format, implName string, k int, labelFrac float64,
+	labelPath string, workers int, laplacian bool, outPath string, seed uint64) error {
+	impl, err := parseImpl(implName)
+	if err != nil {
+		return err
+	}
+	loadStart := time.Now()
+	var g *repro.Graph
+	switch format {
+	case "edgelist":
+		el, err := repro.LoadEdgeList(graphPath)
+		if err != nil {
+			return err
+		}
+		g = repro.BuildGraph(workers, el)
+	case "adj":
+		if g, err = repro.LoadAdjacency(graphPath); err != nil {
+			return err
+		}
+	case "bin":
+		if g, err = repro.LoadBinary(graphPath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	fmt.Fprintf(os.Stderr, "loaded n=%d m=%d in %v\n", g.N, g.NumEdges(), time.Since(loadStart).Round(time.Millisecond))
+
+	var y []int32
+	if labelPath != "" {
+		if y, err = readLabels(labelPath, g.N); err != nil {
+			return err
+		}
+	} else {
+		y = repro.SampleLabels(g.N, k, labelFrac, seed)
+	}
+
+	embedStart := time.Now()
+	res, err := repro.EmbedGraph(impl, g, y, repro.Options{K: k, Workers: workers, Laplacian: laplacian})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%v embedded n=%d into K=%d in %v\n",
+		res.Impl, g.N, res.K, time.Since(embedStart).Round(time.Microsecond))
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return repro.WriteEmbedding(out, res.Z)
+}
+
+func parseImpl(name string) (repro.Impl, error) {
+	switch strings.ToLower(name) {
+	case "reference", "python":
+		return repro.Reference, nil
+	case "optimized", "numba":
+		return repro.Optimized, nil
+	case "serial", "ligra-serial":
+		return repro.LigraSerial, nil
+	case "parallel", "ligra", "ligra-parallel":
+		return repro.LigraParallel, nil
+	case "unsafe":
+		return repro.LigraParallelUnsafe, nil
+	}
+	return 0, fmt.Errorf("unknown implementation %q", name)
+}
+
+func readLabels(path string, n int) ([]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	y := make([]int32, 0, n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("labels line %d: %w", len(y)+1, err)
+		}
+		y = append(y, int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("%d labels for %d vertices", len(y), n)
+	}
+	return y, nil
+}

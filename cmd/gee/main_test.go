@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func writeTempGraph(t *testing.T, dir string) string {
+	t.Helper()
+	el := repro.NewErdosRenyi(2, 100, 800, 1)
+	path := filepath.Join(dir, "g.txt")
+	if err := repro.SaveEdgeList(path, el); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEdgeListToTSV(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeTempGraph(t, dir)
+	out := filepath.Join(dir, "z.tsv")
+	if err := run(gpath, "edgelist", "parallel", 5, 0.2, "", 4, false, out, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	z, err := repro.ReadEmbedding(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.R != 100 || z.C != 5 {
+		t.Fatalf("embedding shape %dx%d", z.R, z.C)
+	}
+}
+
+func TestRunAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	el := repro.NewErdosRenyi(2, 50, 300, 2)
+	g := repro.BuildGraph(2, el)
+	adj := filepath.Join(dir, "g.adj")
+	bin := filepath.Join(dir, "g.bin")
+	if err := repro.SaveAdjacency(adj, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.SaveBinary(bin, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ path, format string }{{adj, "adj"}, {bin, "bin"}} {
+		out := filepath.Join(dir, tc.format+".tsv")
+		if err := run(tc.path, tc.format, "optimized", 3, 0.5, "", 2, false, out, 1); err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+	}
+	if err := run(adj, "nope", "parallel", 3, 0.5, "", 2, false, "", 1); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestRunWithLabelFile(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeTempGraph(t, dir)
+	labels := filepath.Join(dir, "y.txt")
+	var sb strings.Builder
+	sb.WriteString("# labels\n")
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			sb.WriteString("1\n")
+		} else {
+			sb.WriteString("-1\n")
+		}
+	}
+	if err := os.WriteFile(labels, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "z.tsv")
+	if err := run(gpath, "edgelist", "serial", 2, 0, labels, 2, true, out, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadLabelsErrors(t *testing.T) {
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.txt")
+	os.WriteFile(short, []byte("1\n2\n"), 0o644)
+	if _, err := readLabels(short, 5); err == nil {
+		t.Fatal("short label file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("x\n"), 0o644)
+	if _, err := readLabels(bad, 1); err == nil {
+		t.Fatal("non-numeric label accepted")
+	}
+	if _, err := readLabels(filepath.Join(dir, "missing"), 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseImpl(t *testing.T) {
+	cases := map[string]repro.Impl{
+		"reference": repro.Reference,
+		"python":    repro.Reference,
+		"numba":     repro.Optimized,
+		"serial":    repro.LigraSerial,
+		"parallel":  repro.LigraParallel,
+		"Ligra":     repro.LigraParallel,
+		"unsafe":    repro.LigraParallelUnsafe,
+	}
+	for name, want := range cases {
+		got, err := parseImpl(name)
+		if err != nil || got != want {
+			t.Fatalf("%q: got %v err %v", name, got, err)
+		}
+	}
+	if _, err := parseImpl("bogus"); err == nil {
+		t.Fatal("bogus impl accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestRunModels(t *testing.T) {
+	dir := t.TempDir()
+	for _, model := range []string{"rmat", "er"} {
+		out := filepath.Join(dir, model+".txt")
+		if err := run(model, 10, 500, 2000, 0, 0, 0, 1, 2, out, "edgelist", ""); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		el, err := repro.LoadEdgeList(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(el.Edges) != 2000 {
+			t.Fatalf("%s: %d edges", model, len(el.Edges))
+		}
+	}
+}
+
+func TestRunSBMWithLabels(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sbm.txt")
+	labels := filepath.Join(dir, "y.txt")
+	if err := run("sbm", 0, 1000, 0, 4, 0.05, 0.001, 1, 2, out, "edgelist", labels); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 1000 {
+		t.Fatalf("%d label lines", lines)
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"adj", "bin"} {
+		out := filepath.Join(dir, "g."+format)
+		if err := run("er", 0, 100, 500, 0, 0, 0, 1, 2, out, format, ""); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		var g *repro.Graph
+		var err error
+		if format == "adj" {
+			g, err = repro.LoadAdjacency(out)
+		} else {
+			g, err = repro.LoadBinary(out)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != 500 {
+			t.Fatalf("%s: %d edges", format, g.NumEdges())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.txt")
+	if err := run("bogus", 0, 10, 10, 0, 0, 0, 1, 2, out, "edgelist", ""); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+	if err := run("er", 0, 10, 10, 0, 0, 0, 1, 2, out, "bogus", ""); err == nil {
+		t.Fatal("bogus format accepted")
+	}
+	if err := run("er", 0, 10, 10, 0, 0, 0, 1, 2, out, "edgelist", filepath.Join(dir, "y.txt")); err == nil {
+		t.Fatal("labels-out without sbm accepted")
+	}
+}

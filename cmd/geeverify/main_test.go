@@ -1,0 +1,38 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestRunGenerated(t *testing.T) {
+	if err := run("", 10, 20_000, 10, 0.2, false, 4, 1e-9, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGeneratedLaplacian(t *testing.T) {
+	if err := run("", 9, 10_000, 5, 0.3, true, 4, 1e-9, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	el := repro.NewErdosRenyi(2, 200, 2000, 3)
+	path := filepath.Join(dir, "g.txt")
+	if err := repro.SaveEdgeList(path, el); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 0, 0, 8, 0.25, false, 4, 1e-9, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent/g.txt", 0, 0, 8, 0.25, false, 4, 1e-9, 4); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

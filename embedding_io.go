@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/mat"
+)
+
+// writeEmbeddingTSV streams a dense matrix as tab-separated text, one row
+// per line.
+func writeEmbeddingTSV(w io.Writer, z *mat.Dense) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for i := 0; i < z.R; i++ {
+		row := z.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte('\t')
+			}
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadEmbedding parses the TSV produced by WriteEmbedding.
+func ReadEmbedding(r io.Reader) (*Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rows [][]float64
+	cols := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if cols == -1 {
+			cols = len(fields)
+		} else if len(fields) != cols {
+			return nil, fmt.Errorf("repro: ragged embedding row %d: %d fields, want %d",
+				len(rows), len(fields), cols)
+		}
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("repro: embedding row %d col %d: %w", len(rows), j, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return mat.FromRows(rows), nil
+}

@@ -1,0 +1,122 @@
+// Engine: the Ligra-style toolkit that GEE runs on is a general graph
+// engine (§II: "almost all modern graph algorithms"). This example runs
+// the classic suite — BFS, connected components, PageRank, shortest
+// paths, k-core, triangles, betweenness, MIS — on one generated social
+// graph, plus GEE over a compressed representation of the same graph.
+//
+//	go run ./examples/engine
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	el := repro.NewRMAT(0, 16, 1<<20, 99)
+	g := repro.BuildGraph(0, repro.Symmetrize(el))
+	repro.SortAdjacency(0, g)
+	fmt.Printf("RMAT graph: n=%d, %d arcs (symmetrized)\n\n", g.N, g.NumEdges())
+
+	timed := func(name string, fn func() string) {
+		start := time.Now()
+		detail := fn()
+		fmt.Printf("  %-24s %10v   %s\n", name, time.Since(start).Round(time.Microsecond), detail)
+	}
+
+	timed("BFS", func() string {
+		dist := repro.BFS(0, g, 0)
+		max, reached := int32(0), 0
+		for _, d := range dist {
+			if d >= 0 {
+				reached++
+				if d > max {
+					max = d
+				}
+			}
+		}
+		return fmt.Sprintf("reached %d vertices, eccentricity %d", reached, max)
+	})
+	timed("connected components", func() string {
+		cc := repro.ConnectedComponents(0, g)
+		seen := map[repro.NodeID]bool{}
+		for _, c := range cc {
+			seen[c] = true
+		}
+		return fmt.Sprintf("%d components", len(seen))
+	})
+	timed("PageRank", func() string {
+		pr := repro.PageRank(0, g, 0.85, 1e-8, 100)
+		best, bv := 0, 0.0
+		for v, x := range pr {
+			if x > bv {
+				best, bv = v, x
+			}
+		}
+		return fmt.Sprintf("top vertex %d (score %.5f)", best, bv)
+	})
+	timed("Bellman-Ford", func() string {
+		d := repro.BellmanFord(0, g, 0)
+		finite := 0
+		for _, x := range d {
+			if x < 1e18 {
+				finite++
+			}
+		}
+		return fmt.Sprintf("%d reachable", finite)
+	})
+	timed("k-core", func() string {
+		core := repro.KCore(0, g)
+		max := int32(0)
+		for _, c := range core {
+			if c > max {
+				max = c
+			}
+		}
+		return fmt.Sprintf("degeneracy %d", max)
+	})
+	timed("triangle count", func() string {
+		return fmt.Sprintf("%d triangles", repro.TriangleCount(0, g))
+	})
+	timed("betweenness (source 0)", func() string {
+		bc := repro.BetweennessCentrality(0, g, 0)
+		var sum float64
+		for _, x := range bc {
+			sum += x
+		}
+		return fmt.Sprintf("total dependency %.0f", sum)
+	})
+	timed("maximal independent set", func() string {
+		mis := repro.MaximalIndependentSet(0, g, 1)
+		count := 0
+		for _, in := range mis {
+			if in {
+				count++
+			}
+		}
+		return fmt.Sprintf("%d members", count)
+	})
+
+	// GEE over the compressed representation of the original arcs.
+	fmt.Println()
+	dg := repro.BuildGraph(0, el)
+	repro.SortAdjacency(0, dg)
+	c, err := graph.Compress(0, dg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed adjacency: %d bytes vs %d plain (%.1fx smaller)\n",
+		c.Bytes(), dg.NumEdges()*4, float64(dg.NumEdges()*4)/float64(c.Bytes()))
+	y := repro.SampleLabels(el.N, 50, 0.1, 2)
+	timed("GEE over compressed", func() string {
+		res, err := repro.EmbedCompressed(c, y, repro.Options{K: 50})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmt.Sprintf("Z is %dx%d", res.Z.R, res.Z.C)
+	})
+}

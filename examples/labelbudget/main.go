@@ -1,0 +1,51 @@
+// Label budget: how much supervision does GEE need? Sweeps the revealed
+// label fraction on a planted-partition graph and reports recovery
+// quality — the practical question behind the paper's "10% of nodes"
+// protocol.
+//
+//	go run ./examples/labelbudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const (
+		n    = 8000
+		k    = 4
+		pIn  = 0.015
+		pOut = 0.0008
+	)
+	el, truth := repro.NewSBM(0, n, k, pIn, pOut, 11)
+	fmt.Printf("SBM: n=%d, %d blocks, %d edges\n", el.N, k, len(el.Edges))
+	fmt.Printf("%12s %10s %10s %10s\n", "label frac", "revealed", "ARI", "NMI")
+
+	for _, frac := range []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50} {
+		y := make([]int32, n)
+		mask := repro.SampleLabels(n, k, frac, 100+uint64(frac*1000))
+		revealed := 0
+		for i := range y {
+			y[i] = repro.Unknown
+			if mask[i] >= 0 {
+				y[i] = truth[i]
+				revealed++
+			}
+		}
+		res, err := repro.Embed(repro.LigraParallel, el, y, repro.Options{K: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := make([]int32, n)
+		for v := 0; v < n; v++ {
+			pred[v] = int32(res.Z.ArgMaxRow(v))
+		}
+		fmt.Printf("%11.0f%% %10d %10.3f %10.3f\n",
+			frac*100, revealed, repro.ARI(pred, truth), repro.NMI(pred, truth))
+	}
+	fmt.Println("\nmore revealed labels -> sharper class affinities -> better recovery;")
+	fmt.Println("the paper's 10% setting sits on the flat part of the curve for strong communities")
+}

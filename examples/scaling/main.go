@@ -1,0 +1,68 @@
+// Scaling: a live strong-scaling run (the paper's Figure 3 shape) on a
+// generated social-network-like graph, printing speedup per core count.
+//
+//	go run ./examples/scaling [-scale 20] [-edges 16000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	scale := flag.Int("scale", 19, "log2 vertex count of the RMAT graph")
+	edges := flag.Int64("edges", 1<<23, "edge count")
+	flag.Parse()
+
+	fmt.Printf("generating RMAT scale=%d, %d edges...\n", *scale, *edges)
+	el := repro.NewRMAT(0, *scale, *edges, 3)
+	g := repro.BuildGraph(0, el)
+	y := repro.SampleLabels(el.N, 50, 0.10, 4)
+
+	max := runtime.GOMAXPROCS(0)
+	var base time.Duration
+	fmt.Printf("%6s %12s %9s %s\n", "cores", "runtime", "speedup", "")
+	for cores := 1; cores <= max; cores *= 2 {
+		t := timeEmbed(g, y, cores)
+		if cores == 1 {
+			base = t
+		}
+		speedup := base.Seconds() / t.Seconds()
+		fmt.Printf("%6d %12v %8.2fx %s\n", cores, t.Round(time.Millisecond), speedup, bar(speedup))
+	}
+	if max > 1 && max&(max-1) != 0 {
+		t := timeEmbed(g, y, max)
+		speedup := base.Seconds() / t.Seconds()
+		fmt.Printf("%6d %12v %8.2fx %s\n", max, t.Round(time.Millisecond), speedup, bar(speedup))
+	}
+	fmt.Println("(paper: ~11x at 24 cores; the workload is memory-bound)")
+}
+
+func timeEmbed(g *repro.Graph, y []int32, cores int) time.Duration {
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		if _, err := repro.EmbedGraph(repro.LigraParallel, g, y,
+			repro.Options{K: 50, Workers: cores}); err != nil {
+			log.Fatal(err)
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func bar(speedup float64) string {
+	out := make([]byte, int(speedup*2+0.5))
+	for i := range out {
+		out[i] = '*'
+	}
+	return string(out)
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBaselinesTiny(t *testing.T) {
+	cfg := tinyCfg()
+	res, err := RunBaselines(cfg, 2000, 4, 0.02, 0.001, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GEETime <= 0 || res.SpectralTime <= 0 || res.GEERefineTime <= 0 {
+		t.Fatalf("%+v", res)
+	}
+	if res.M == 0 {
+		t.Fatal("empty workload")
+	}
+	// On a 20x-separated SBM both methods must find real structure.
+	if res.GEEARI < 0.3 {
+		t.Fatalf("GEE ARI %v suspiciously low", res.GEEARI)
+	}
+	if res.SpectralARI < 0.3 {
+		t.Fatalf("spectral ARI %v suspiciously low", res.SpectralARI)
+	}
+	var buf bytes.Buffer
+	RenderBaselines(&buf, res)
+	if !strings.Contains(buf.String(), "spectral") {
+		t.Fatal("render missing")
+	}
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gee"
+)
+
+func TestWriteTableICSV(t *testing.T) {
+	rows := []TableIRow{{
+		Graph: "Twitch", N: 100, M: 400,
+		Reference: 4 * time.Second, Optimized: 2 * time.Second,
+		Serial: time.Second, Parallel: 100 * time.Millisecond,
+		SpeedupVsReference: 40, SpeedupVsOptimized: 20, SpeedupVsSerial: 10,
+	}}
+	var buf bytes.Buffer
+	if err := WriteTableICSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][0] != "Twitch" || recs[1][3] != "4" {
+		t.Fatalf("recs=%v", recs)
+	}
+}
+
+func TestWriteFig3CSV(t *testing.T) {
+	points := []ScalingPoint{
+		{Cores: 1, Runtime: time.Second, Speedup: 1},
+		{Cores: 24, Runtime: 90 * time.Millisecond, Speedup: 11.1},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig3CSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2][0] != "24" {
+		t.Fatalf("recs=%v", recs)
+	}
+}
+
+func TestWriteFig4CSVSkippedColumnEmpty(t *testing.T) {
+	points := []Fig4Point{{
+		Log2Edges: 20, Edges: 1 << 20,
+		Runtimes: map[gee.Impl]time.Duration{
+			gee.Optimized:     time.Second,
+			gee.LigraSerial:   time.Second,
+			gee.LigraParallel: 100 * time.Millisecond,
+			// Reference skipped (over cap)
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig4CSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[1][2] != "" { // reference column
+		t.Fatalf("skipped impl should be empty, got %q", recs[1][2])
+	}
+	if recs[1][5] == "" {
+		t.Fatal("parallel column missing")
+	}
+	if !strings.Contains(recs[0][2], "GEE-Reference") {
+		t.Fatalf("header=%v", recs[0])
+	}
+}
+
+func TestWriteWInitCSV(t *testing.T) {
+	points := []WInitPoint{{AvgDegree: 2, N: 100, M: 200,
+		WInit: time.Millisecond, EdgeMap: 9 * time.Millisecond, WInitPct: 10}}
+	var buf bytes.Buffer
+	if err := WriteWInitCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][5] != "10" {
+		t.Fatalf("recs=%v", recs)
+	}
+}
+
+func TestImplColumn(t *testing.T) {
+	if ImplColumn(gee.LigraParallel) != "GEE-Ligra-Parallel_s" {
+		t.Fatal(ImplColumn(gee.LigraParallel))
+	}
+}

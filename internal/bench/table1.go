@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/gee"
+)
+
+// TableIRow is one measured row of Table I.
+type TableIRow struct {
+	Graph     string
+	N         int
+	M         int64
+	Reference time.Duration // "GEE-Python" column (faithful Algorithm 1)
+	Optimized time.Duration // "Numba Serial" column
+	Serial    time.Duration // "GEE-Ligra Serial" column
+	Parallel  time.Duration // "GEE-Ligra Parallel" column
+
+	// Speedup columns exactly as the paper reports them.
+	SpeedupVsReference float64 // parallel vs GEE(-Python analog)
+	SpeedupVsOptimized float64 // parallel vs Numba analog
+	SpeedupVsSerial    float64 // parallel vs Ligra serial
+}
+
+// RunTableI measures every implementation on every Table I stand-in.
+// Graph construction happens between measurements and is not timed.
+func RunTableI(cfg Config, progress io.Writer) ([]TableIRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]TableIRow, 0, len(TableISpecs))
+	for _, spec := range TableISpecs {
+		if progress != nil {
+			n, m := spec.ScaledSize(cfg.ScaleDiv)
+			fmt.Fprintf(progress, "# preparing %s stand-in (n=%d, m=%d, div=%d)\n",
+				spec.Name, n, m, cfg.ScaleDiv)
+		}
+		w := PrepareWorkload(spec, cfg)
+		row := TableIRow{Graph: w.Name, N: w.EL.N, M: int64(len(w.EL.Edges))}
+		var err error
+		if !cfg.SkipReference {
+			if row.Reference, err = TimeImpl(w, gee.Reference, cfg); err != nil {
+				return nil, err
+			}
+		}
+		if row.Optimized, err = TimeImpl(w, gee.Optimized, cfg); err != nil {
+			return nil, err
+		}
+		if row.Serial, err = TimeImpl(w, gee.LigraSerial, cfg); err != nil {
+			return nil, err
+		}
+		if row.Parallel, err = TimeImpl(w, gee.LigraParallel, cfg); err != nil {
+			return nil, err
+		}
+		if row.Parallel > 0 {
+			if row.Reference > 0 {
+				row.SpeedupVsReference = row.Reference.Seconds() / row.Parallel.Seconds()
+			}
+			row.SpeedupVsOptimized = row.Optimized.Seconds() / row.Parallel.Seconds()
+			row.SpeedupVsSerial = row.Serial.Seconds() / row.Parallel.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTableI prints the measured table next to the paper's numbers.
+func RenderTableI(w io.Writer, rows []TableIRow, cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Table I reproduction — K=%d, %.0f%% labels, %d workers, scale 1/%d\n",
+		cfg.K, cfg.LabelFraction*100, cfg.Workers, cfg.ScaleDiv)
+	fmt.Fprintf(w, "%-17s %10s %11s | %10s %10s %10s %10s | %8s %8s %8s\n",
+		"Graph", "n", "s", "Reference", "Optimized", "LigraSer", "LigraPar",
+		"vs Ref", "vs Opt", "vs Ser")
+	for _, r := range rows {
+		ref := "-"
+		vsRef := "-"
+		if r.Reference > 0 {
+			ref = fmtSecs(r.Reference)
+			vsRef = fmt.Sprintf("%.0fx", r.SpeedupVsReference)
+		}
+		fmt.Fprintf(w, "%-17s %10d %11d | %10s %10s %10s %10s | %8s %7.1fx %7.1fx\n",
+			r.Graph, r.N, r.M,
+			ref, fmtSecs(r.Optimized), fmtSecs(r.Serial), fmtSecs(r.Parallel),
+			vsRef, r.SpeedupVsOptimized, r.SpeedupVsSerial)
+	}
+	fmt.Fprintln(w, "\nPaper's Table I (24-core Xeon, full-size datasets), for shape comparison:")
+	fmt.Fprintf(w, "%-17s %10s %10s %10s %10s | %8s %8s %8s\n",
+		"Graph", "GEE-Py", "Numba", "LigraSer", "LigraPar", "vs Py", "vs Numba", "vs Ser")
+	for _, spec := range TableISpecs {
+		p := PaperTableI[spec.Name]
+		fmt.Fprintf(w, "%-17s %9.2fs %9.2fs %9.2fs %9.3fs | %7.0fx %7.1fx %7.1fx\n",
+			spec.Name, p[0], p[1], p[2], p[3], p[0]/p[3], p[1]/p[3], p[2]/p[3])
+	}
+}
+
+// fmtSecs renders a duration in seconds with sensible precision.
+func fmtSecs(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0fs", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.1fms", s*1000)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}

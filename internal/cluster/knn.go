@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// KNNClassify predicts a label for every row of X by majority vote among
+// its k nearest labeled rows (Euclidean distance). Rows with label >= 0
+// in y are the training set; all rows receive predictions (training rows
+// exclude themselves). Brute force, parallel over query rows — suitable
+// for the evaluation-sized embeddings in this repository.
+//
+// This mirrors the GEE paper's evaluation protocol, which scores
+// embeddings by semi-supervised vertex classification.
+func KNNClassify(workers int, X *mat.Dense, y []int32, k int) []int32 {
+	n := X.R
+	if len(y) != n {
+		panic("cluster: label length mismatch")
+	}
+	if k <= 0 {
+		k = 1
+	}
+	var train []int
+	for i, v := range y {
+		if v >= 0 {
+			train = append(train, i)
+		}
+	}
+	pred := make([]int32, n)
+	if len(train) == 0 {
+		for i := range pred {
+			pred[i] = -1
+		}
+		return pred
+	}
+	parallel.For(workers, n, func(q int) {
+		row := X.Row(q)
+		h := &distHeap{}
+		heap.Init(h)
+		for _, t := range train {
+			if t == q {
+				continue
+			}
+			d := sqDist(row, X.Row(t))
+			if h.Len() < k {
+				heap.Push(h, distEntry{d: d, label: y[t]})
+			} else if d < (*h)[0].d {
+				(*h)[0] = distEntry{d: d, label: y[t]}
+				heap.Fix(h, 0)
+			}
+		}
+		votes := map[int32]int{}
+		for _, e := range *h {
+			votes[e.label]++
+		}
+		best, bestCount := int32(-1), 0
+		for l, c := range votes {
+			if c > bestCount || (c == bestCount && (best == -1 || l < best)) {
+				best, bestCount = l, c
+			}
+		}
+		pred[q] = best
+	})
+	return pred
+}
+
+// distEntry pairs a squared distance with a training label.
+type distEntry struct {
+	d     float64
+	label int32
+}
+
+// distHeap is a max-heap on distance (root = farthest kept neighbor).
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d > h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Silhouette computes the mean silhouette coefficient of a clustering
+// over the rows of X: (b - a) / max(a, b) per point, where a is the mean
+// intra-cluster distance and b the smallest mean distance to another
+// cluster. O(n^2·dim) brute force; intended for evaluation-scale data.
+// Returns 0 when fewer than 2 clusters are populated.
+func Silhouette(workers int, X *mat.Dense, assign []int32) float64 {
+	n := X.R
+	if len(assign) != n {
+		panic("cluster: assignment length mismatch")
+	}
+	var k int32
+	for _, a := range assign {
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	sizes := make([]int64, k)
+	for _, a := range assign {
+		if a >= 0 {
+			sizes[a]++
+		}
+	}
+	populated := 0
+	for _, s := range sizes {
+		if s > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		return 0
+	}
+	total := parallel.Reduce(workers, n, 0.0, func(lo, hi int) float64 {
+		sums := make([]float64, k)
+		var acc float64
+		for i := lo; i < hi; i++ {
+			if assign[i] < 0 {
+				continue
+			}
+			for c := range sums {
+				sums[c] = 0
+			}
+			row := X.Row(i)
+			for j := 0; j < n; j++ {
+				if j == i || assign[j] < 0 {
+					continue
+				}
+				sums[assign[j]] += math.Sqrt(sqDist(row, X.Row(j)))
+			}
+			own := assign[i]
+			var a float64
+			if sizes[own] > 1 {
+				a = sums[own] / float64(sizes[own]-1)
+			}
+			b := math.Inf(1)
+			for c := int32(0); c < k; c++ {
+				if c == own || sizes[c] == 0 {
+					continue
+				}
+				if m := sums[c] / float64(sizes[c]); m < b {
+					b = m
+				}
+			}
+			if sizes[own] <= 1 {
+				continue // silhouette undefined; convention: contribute 0
+			}
+			if mx := math.Max(a, b); mx > 0 {
+				acc += (b - a) / mx
+			}
+		}
+		return acc
+	}, func(a, b float64) float64 { return a + b })
+	return total / float64(n)
+}

@@ -1,0 +1,361 @@
+// Package gcn implements a two-layer graph convolutional network (Kipf &
+// Welling, ICLR 2017) for semi-supervised node classification — the last
+// of the three baseline families the paper's introduction positions GEE
+// against (§I: "Graph convolutional neural networks are quite expensive
+// in practice").
+//
+// The model is the reference architecture:
+//
+//	Z = Â · ReLU(Â · X · W₀) · W₁,   Â = D̃^{-1/2} (A + I) D̃^{-1/2}
+//
+// trained with softmax cross-entropy on the labeled vertices and Adam.
+// Gradients are derived and implemented by hand; the sparse Â·M products
+// are the same parallel row-wise kernels the spectral baseline uses.
+package gcn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/xrand"
+)
+
+// Config configures training.
+type Config struct {
+	Hidden       int     // hidden layer width (default 16)
+	Features     int     // input feature width when X is nil (default 64, random features)
+	Epochs       int     // full-batch epochs (default 200)
+	LearningRate float64 // Adam step size (default 0.01)
+	Workers      int
+	Seed         uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Features <= 0 {
+		c.Features = 64
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	return c
+}
+
+// Result holds the trained model outputs.
+type Result struct {
+	// Logits is n×K (pre-softmax class scores).
+	Logits *mat.Dense
+	// Hidden is the n×Hidden penultimate representation (an embedding).
+	Hidden *mat.Dense
+	// Pred is the argmax class per vertex.
+	Pred []int32
+	// Losses records the training cross-entropy per epoch.
+	Losses []float64
+}
+
+// Train fits the GCN on a symmetrized graph with labels y (y[v] in
+// [0, K), or -1 for unlabeled; K inferred). X supplies node features; nil
+// selects fixed random features (the featureless-graph convention when
+// one-hot identity features are too wide).
+func Train(g *graph.CSR, y []int32, X *mat.Dense, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := g.N
+	if len(y) != n {
+		return nil, fmt.Errorf("gcn: %d labels for %d vertices", len(y), n)
+	}
+	k := 0
+	labeled := 0
+	for _, v := range y {
+		if v >= 0 {
+			labeled++
+			if int(v)+1 > k {
+				k = int(v) + 1
+			}
+		}
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("gcn: need at least 2 observed classes, got %d", k)
+	}
+	if X == nil {
+		X = randomFeatures(n, cfg.Features, cfg.Seed)
+	}
+	if X.R != n {
+		return nil, fmt.Errorf("gcn: feature rows %d != n %d", X.R, n)
+	}
+	adj := newNormAdj(g, cfg.Workers)
+
+	r := xrand.New(cfg.Seed + 1)
+	w0 := glorot(r, X.C, cfg.Hidden)
+	w1 := glorot(r, cfg.Hidden, k)
+	optW0 := newAdam(len(w0.Data), cfg.LearningRate)
+	optW1 := newAdam(len(w1.Data), cfg.LearningRate)
+
+	res := &Result{Losses: make([]float64, 0, cfg.Epochs)}
+	ax := mat.NewDense(n, X.C)
+	adj.mul(X, ax) // Â·X is constant across epochs
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// forward
+		pre1 := matMul(cfg.Workers, ax, w0)    // n×h
+		h1 := relu(pre1)                       // n×h
+		ah1 := mat.NewDense(n, cfg.Hidden)     // Â·H₁
+		adj.mul(h1, ah1)                       //
+		logits := matMul(cfg.Workers, ah1, w1) // n×k
+
+		// softmax cross-entropy over labeled rows
+		probs, loss := softmaxLoss(logits, y, labeled)
+		res.Losses = append(res.Losses, loss)
+
+		// backward: dLogits = (probs - onehot)/labeled on labeled rows
+		dLogits := probs // reuse
+		for v := 0; v < n; v++ {
+			row := dLogits.Row(v)
+			if y[v] < 0 {
+				for j := range row {
+					row[j] = 0
+				}
+				continue
+			}
+			row[y[v]] -= 1
+			for j := range row {
+				row[j] /= float64(labeled)
+			}
+		}
+		// dW1 = (Â·H₁)ᵀ · dLogits
+		dW1 := matTMul(cfg.Workers, ah1, dLogits)
+		// dAH1 = dLogits · W₁ᵀ ; dH1 = Âᵀ·dAH1 = Â·dAH1 (symmetric)
+		dAH1 := matMulT(cfg.Workers, dLogits, w1)
+		dH1 := mat.NewDense(n, cfg.Hidden)
+		adj.mul(dAH1, dH1)
+		// ReLU gate
+		for i, v := range pre1.Data {
+			if v <= 0 {
+				dH1.Data[i] = 0
+			}
+		}
+		// dW0 = (Â·X)ᵀ · dH1
+		dW0 := matTMul(cfg.Workers, ax, dH1)
+
+		optW0.step(w0.Data, dW0.Data)
+		optW1.step(w1.Data, dW1.Data)
+
+		if epoch == cfg.Epochs-1 {
+			res.Logits = logits
+			res.Hidden = h1
+		}
+	}
+	res.Pred = make([]int32, n)
+	for v := 0; v < n; v++ {
+		res.Pred[v] = int32(res.Logits.ArgMaxRow(v))
+	}
+	return res, nil
+}
+
+// randomFeatures returns fixed Gaussian features (a random projection of
+// the identity — the usual featureless-graph stand-in).
+func randomFeatures(n, d int, seed uint64) *mat.Dense {
+	x := mat.NewDense(n, d)
+	r := xrand.New(seed)
+	scale := 1 / math.Sqrt(float64(d))
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64() * scale
+	}
+	return x
+}
+
+// glorot initializes a weight matrix with the Glorot/Xavier uniform rule.
+func glorot(r *xrand.Rand, fanIn, fanOut int) *mat.Dense {
+	w := mat.NewDense(fanIn, fanOut)
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = (2*r.Float64() - 1) * limit
+	}
+	return w
+}
+
+// normAdj is Â = D̃^{-1/2}(A+I)D̃^{-1/2} in implicit form (the self-loop
+// handled separately so the CSR is untouched).
+type normAdj struct {
+	g       *graph.CSR
+	invSqrt []float64
+	workers int
+}
+
+func newNormAdj(g *graph.CSR, workers int) *normAdj {
+	inv := make([]float64, g.N)
+	parallel.For(workers, g.N, func(v int) {
+		d := 1.0 // self loop
+		for i := g.Offsets[v]; i < g.Offsets[v+1]; i++ {
+			d += float64(g.Weight(i))
+		}
+		inv[v] = 1 / math.Sqrt(d)
+	})
+	return &normAdj{g: g, invSqrt: inv, workers: workers}
+}
+
+// mul computes out = Â · in, parallel over rows.
+func (a *normAdj) mul(in, out *mat.Dense) {
+	k := in.C
+	parallel.ForChunk(a.workers, a.g.N, 0, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			row := out.Row(u)
+			su := a.invSqrt[u]
+			// self loop term
+			self := su * su
+			inRow := in.Row(u)
+			for j := 0; j < k; j++ {
+				row[j] = self * inRow[j]
+			}
+			for i := a.g.Offsets[u]; i < a.g.Offsets[u+1]; i++ {
+				v := a.g.Targets[i]
+				scale := float64(a.g.Weight(i)) * su * a.invSqrt[v]
+				vr := in.Row(int(v))
+				for j := 0; j < k; j++ {
+					row[j] += scale * vr[j]
+				}
+			}
+		}
+	})
+}
+
+// matMul returns a·b (dense, parallel over rows of a).
+func matMul(workers int, a, b *mat.Dense) *mat.Dense {
+	out := mat.NewDense(a.R, b.C)
+	parallel.ForChunk(workers, a.R, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for l, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Row(l)
+				for j := range or {
+					or[j] += av * br[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// matTMul returns aᵀ·b.
+func matTMul(workers int, a, b *mat.Dense) *mat.Dense {
+	out := mat.NewDense(a.C, b.C)
+	// parallel over columns of a (rows of the result)
+	parallel.For(workers, a.C, func(i int) {
+		or := out.Row(i)
+		for l := 0; l < a.R; l++ {
+			av := a.At(l, i)
+			if av == 0 {
+				continue
+			}
+			br := b.Row(l)
+			for j := range or {
+				or[j] += av * br[j]
+			}
+		}
+	})
+	return out
+}
+
+// matMulT returns a·bᵀ.
+func matMulT(workers int, a, b *mat.Dense) *mat.Dense {
+	out := mat.NewDense(a.R, b.R)
+	parallel.ForChunk(workers, a.R, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for j := 0; j < b.R; j++ {
+				br := b.Row(j)
+				var s float64
+				for l := range ar {
+					s += ar[l] * br[l]
+				}
+				or[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// relu returns max(0, x) elementwise (fresh matrix).
+func relu(x *mat.Dense) *mat.Dense {
+	out := mat.NewDense(x.R, x.C)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// softmaxLoss returns row-softmax probabilities and the mean
+// cross-entropy over labeled rows.
+func softmaxLoss(logits *mat.Dense, y []int32, labeled int) (*mat.Dense, float64) {
+	probs := mat.NewDense(logits.R, logits.C)
+	var loss float64
+	for v := 0; v < logits.R; v++ {
+		row := logits.Row(v)
+		pr := probs.Row(v)
+		mx := row[0]
+		for _, x := range row[1:] {
+			if x > mx {
+				mx = x
+			}
+		}
+		var sum float64
+		for j, x := range row {
+			e := math.Exp(x - mx)
+			pr[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range pr {
+			pr[j] *= inv
+		}
+		if y[v] >= 0 {
+			loss += -math.Log(math.Max(pr[y[v]], 1e-12))
+		}
+	}
+	if labeled > 0 {
+		loss /= float64(labeled)
+	}
+	return probs, loss
+}
+
+// adam is a standard Adam optimizer state.
+type adam struct {
+	m, v   []float64
+	lr     float64
+	t      int
+	beta1  float64
+	beta2  float64
+	epsilo float64
+}
+
+func newAdam(size int, lr float64) *adam {
+	return &adam{
+		m: make([]float64, size), v: make([]float64, size),
+		lr: lr, beta1: 0.9, beta2: 0.999, epsilo: 1e-8,
+	}
+}
+
+// step applies one Adam update: w -= lr * m̂ / (sqrt(v̂) + eps).
+func (a *adam) step(w, grad []float64) {
+	a.t++
+	b1c := 1 - math.Pow(a.beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, g := range grad {
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		w[i] -= a.lr * (a.m[i] / b1c) / (math.Sqrt(a.v[i]/b2c) + a.epsilo)
+	}
+}

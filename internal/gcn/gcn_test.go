@@ -1,0 +1,207 @@
+package gcn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/labels"
+	"repro/internal/mat"
+	"repro/internal/xrand"
+)
+
+func symCSR(t *testing.T, el *graph.EdgeList) *graph.CSR {
+	t.Helper()
+	return graph.BuildCSR(4, graph.Symmetrize(el))
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := symCSR(t, gen.Cycle(6))
+	if _, err := Train(g, []int32{0, 0}, nil, Config{}); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+	if _, err := Train(g, []int32{0, 0, 0, -1, -1, -1}, nil, Config{}); err == nil {
+		t.Fatal("single observed class accepted")
+	}
+	bad := mat.NewDense(3, 4)
+	if _, err := Train(g, []int32{0, 1, 0, 1, 0, 1}, bad, Config{Epochs: 1}); err == nil {
+		t.Fatal("wrong feature rows accepted")
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	el, truth := gen.SBM(4, 300, 2, 0.1, 0.005, 1)
+	g := symCSR(t, el)
+	y := semiSupervised(truth, 0.2, 2)
+	res, err := Train(g, y, nil, Config{Epochs: 60, Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Losses[0], res.Losses[len(res.Losses)-1]
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	if last > 0.7*first {
+		t.Fatalf("loss barely moved: %v -> %v", first, last)
+	}
+	for _, l := range res.Losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatal("non-finite loss")
+		}
+	}
+}
+
+// semiSupervised reveals a fraction of true labels.
+func semiSupervised(truth []int32, fraction float64, seed uint64) []int32 {
+	y := make([]int32, len(truth))
+	mask := labels.SampleSemiSupervised(len(truth), 2, fraction, seed)
+	for i := range y {
+		y[i] = labels.Unknown
+		if mask[i] >= 0 {
+			y[i] = truth[i]
+		}
+	}
+	return y
+}
+
+func TestGCNClassifiesSBM(t *testing.T) {
+	el, truth := gen.SBM(4, 400, 2, 0.12, 0.005, 5)
+	g := symCSR(t, el)
+	y := semiSupervised(truth, 0.15, 6)
+	res, err := Train(g, y, nil, Config{Epochs: 150, Workers: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := cluster.Accuracy(res.Pred, truth); acc < 0.85 {
+		t.Fatalf("GCN accuracy %v on strong 2-block SBM", acc)
+	}
+	if res.Hidden.R != 400 {
+		t.Fatal("hidden representation missing")
+	}
+}
+
+func TestGCNWithExplicitFeatures(t *testing.T) {
+	// features that encode the answer directly: GCN must fit quickly
+	el, truth := gen.SBM(4, 200, 2, 0.08, 0.01, 9)
+	g := symCSR(t, el)
+	X := mat.NewDense(200, 2)
+	r := xrand.New(10)
+	for v := 0; v < 200; v++ {
+		X.Set(v, int(truth[v]), 1+0.1*r.NormFloat64())
+	}
+	y := semiSupervised(truth, 0.1, 11)
+	res, err := Train(g, y, X, Config{Epochs: 80, Workers: 4, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := cluster.Accuracy(res.Pred, truth); acc < 0.95 {
+		t.Fatalf("accuracy %v with oracle features", acc)
+	}
+}
+
+func TestNormAdjRowStochasticOnRegular(t *testing.T) {
+	// On a d-regular graph, Â has constant row sums (d+1)/(d+1) = 1.
+	g := symCSR(t, gen.Cycle(12)) // 2-regular
+	adj := newNormAdj(g, 2)
+	ones := mat.NewDense(12, 1)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	out := mat.NewDense(12, 1)
+	adj.mul(ones, out)
+	for v := 0; v < 12; v++ {
+		if math.Abs(out.At(v, 0)-1) > 1e-12 {
+			t.Fatalf("row %d sum %v want 1", v, out.At(v, 0))
+		}
+	}
+}
+
+func TestMatMulOracles(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := mat.FromRows([][]float64{{5, 6}, {7, 8}})
+	ab := matMul(2, a, b)
+	want := mat.FromRows([][]float64{{19, 22}, {43, 50}})
+	if ab.MaxAbsDiff(want) != 0 {
+		t.Fatalf("ab=%v", ab.Data)
+	}
+	atb := matTMul(2, a, b)
+	wantT := mat.FromRows([][]float64{{26, 30}, {38, 44}})
+	if atb.MaxAbsDiff(wantT) != 0 {
+		t.Fatalf("atb=%v", atb.Data)
+	}
+	abt := matMulT(2, a, b)
+	wantBT := mat.FromRows([][]float64{{17, 23}, {39, 53}})
+	if abt.MaxAbsDiff(wantBT) != 0 {
+		t.Fatalf("abt=%v", abt.Data)
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numerical gradient check of the full forward pass wrt W1 on a tiny
+	// problem: analytic dW1 must match finite differences.
+	el, truth := gen.SBM(2, 30, 2, 0.3, 0.05, 13)
+	g := symCSR(t, el)
+	y := make([]int32, 30)
+	copy(y, truth) // fully labeled
+	X := randomFeatures(30, 5, 14)
+	r := xrand.New(15)
+	w0 := glorot(r, 5, 4)
+	w1 := glorot(r, 4, 2)
+	adj := newNormAdj(g, 2)
+	labeled := 30
+
+	forward := func() (*mat.Dense, float64) {
+		ax := mat.NewDense(30, 5)
+		adj.mul(X, ax)
+		pre1 := matMul(1, ax, w0)
+		h1 := relu(pre1)
+		ah1 := mat.NewDense(30, 4)
+		adj.mul(h1, ah1)
+		logits := matMul(1, ah1, w1)
+		_, loss := softmaxLoss(logits, y, labeled)
+		return ah1, loss
+	}
+	// analytic dW1
+	ah1, _ := forward()
+	ax := mat.NewDense(30, 5)
+	adj.mul(X, ax)
+	logits := matMul(1, ah1, w1)
+	probs, _ := softmaxLoss(logits, y, labeled)
+	for v := 0; v < 30; v++ {
+		row := probs.Row(v)
+		row[y[v]] -= 1
+		for j := range row {
+			row[j] /= float64(labeled)
+		}
+	}
+	dW1 := matTMul(1, ah1, probs)
+	// finite differences
+	const eps = 1e-6
+	for _, idx := range []int{0, 3, 5, 7} {
+		orig := w1.Data[idx]
+		w1.Data[idx] = orig + eps
+		_, lp := forward()
+		w1.Data[idx] = orig - eps
+		_, lm := forward()
+		w1.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dW1.Data[idx]) > 1e-5*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("dW1[%d]: analytic %v numeric %v", idx, dW1.Data[idx], numeric)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// minimize (w-3)^2: Adam should approach 3
+	w := []float64{0}
+	opt := newAdam(1, 0.1)
+	for i := 0; i < 500; i++ {
+		grad := []float64{2 * (w[0] - 3)}
+		opt.step(w, grad)
+	}
+	if math.Abs(w[0]-3) > 0.05 {
+		t.Fatalf("w=%v want 3", w[0])
+	}
+}

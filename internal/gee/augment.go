@@ -1,0 +1,26 @@
+package gee
+
+import (
+	"repro/internal/graph"
+)
+
+// DiagonalAugment returns a copy of el with one unit-weight self loop
+// added to every vertex — the GEE paper's "diagonal augmentation"
+// (embedding A + D/n in spirit): every labeled vertex then contributes
+// its own class coefficient to its own row, which stabilizes embeddings
+// of very low-degree vertices whose rows would otherwise be all zeros.
+//
+// GEE processes the self loops like any other edge (both Algorithm 1
+// updates fire, adding 2·W(v, Y(v)) to Z(v, Y(v))).
+func DiagonalAugment(el *graph.EdgeList) *graph.EdgeList {
+	out := &graph.EdgeList{
+		N:        el.N,
+		Weighted: el.Weighted,
+		Edges:    make([]graph.Edge, 0, len(el.Edges)+el.N),
+	}
+	out.Edges = append(out.Edges, el.Edges...)
+	for v := 0; v < el.N; v++ {
+		out.Edges = append(out.Edges, graph.Edge{U: graph.NodeID(v), V: graph.NodeID(v), W: 1})
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package gee
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/labels"
+)
+
+func TestEmbedCompressedMatchesReference(t *testing.T) {
+	el := gen.RMAT(4, 11, 40_000, gen.Graph500Params, 71)
+	y := labels.SampleSemiSupervised(el.N, 12, 0.2, 72)
+	g := graph.BuildCSR(4, el)
+	graph.SortAdjacency(4, g)
+	c, err := graph.Compress(4, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := EmbedCSR(Reference, g, y, Options{K: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EmbedCompressed(c, y, Options{K: 12, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Z.EqualTol(got.Z, 1e-9) {
+		t.Fatalf("compressed kernel differs by %v", ref.Z.MaxAbsDiff(got.Z))
+	}
+}
+
+func TestEmbedCompressedLaplacian(t *testing.T) {
+	el := gen.ErdosRenyi(4, 400, 6000, 73)
+	y := labels.SampleSemiSupervised(el.N, 5, 0.4, 74)
+	g := graph.BuildCSR(4, el)
+	graph.SortAdjacency(4, g)
+	c, err := graph.Compress(4, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := EmbedCSR(Reference, g, y, Options{K: 5, Laplacian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EmbedCompressed(c, y, Options{K: 5, Workers: 8, Laplacian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Z.EqualTol(got.Z, 1e-9) {
+		t.Fatalf("compressed laplacian differs by %v", ref.Z.MaxAbsDiff(got.Z))
+	}
+}
+
+func TestEmbedCompressedValidation(t *testing.T) {
+	g := graph.BuildCSR(1, gen.Path(3))
+	c, err := graph.Compress(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EmbedCompressed(c, []int32{0}, Options{K: 1}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+}

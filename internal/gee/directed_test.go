@@ -1,0 +1,128 @@
+package gee
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/labels"
+)
+
+func TestEmbedDirectedFoldEqualsStandard(t *testing.T) {
+	el := gen.RMAT(4, 10, 20_000, gen.Graph500Params, 51)
+	y := labels.SampleSemiSupervised(el.N, 8, 0.2, 52)
+	g := graph.BuildCSR(4, el)
+	std, err := EmbedCSR(Reference, g, y, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, impl := range []Impl{LigraSerial, LigraParallel} {
+		dir, err := EmbedDirected(impl, g, y, Options{K: 8, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dir.Z.C != 16 {
+			t.Fatalf("%v: width %d want 16", impl, dir.Z.C)
+		}
+		folded := FoldDirected(dir.Z)
+		if !std.Z.EqualTol(folded, 1e-9) {
+			t.Fatalf("%v: folded directed embedding differs from standard by %v",
+				impl, std.Z.MaxAbsDiff(folded))
+		}
+	}
+}
+
+func TestEmbedDirectedSeparatesRoles(t *testing.T) {
+	// Pure source vertex 0 -> class-0 vertex 1: the contribution must
+	// land in the out-profile of 0 and the in-profile of 1, not mixed.
+	el := &graph.EdgeList{N: 3, Edges: []graph.Edge{{U: 0, V: 1, W: 1}}}
+	y := []int32{1, 0, 0} // class counts: c0=2, c1=1
+	g := graph.BuildCSR(1, el)
+	res, err := EmbedDirected(LigraSerial, g, y, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out-profile of 0: Z[0][Y[1]=0] = coeff[1] = 0.5
+	if res.Z.At(0, 0) != 0.5 {
+		t.Fatalf("out-profile: %v", res.Z.Row(0))
+	}
+	// in-profile of 1: Z[1][K + Y[0]=1] = coeff[0] = 1
+	if res.Z.At(1, 2+1) != 1 {
+		t.Fatalf("in-profile: %v", res.Z.Row(1))
+	}
+	// nothing else set
+	var total float64
+	for _, v := range res.Z.Data {
+		total += v
+	}
+	if total != 1.5 {
+		t.Fatalf("stray contributions: total=%v", total)
+	}
+}
+
+func TestEmbedDirectedRejectsSerialImpls(t *testing.T) {
+	el := gen.Path(3)
+	g := graph.BuildCSR(1, el)
+	if _, err := EmbedDirected(Reference, g, []int32{0, 0, 0}, Options{K: 1}); err == nil {
+		t.Fatal("Reference accepted")
+	}
+}
+
+func TestFoldDirectedPanicsOnOddWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	res, _ := Embed(Optimized, gen.Path(2), []int32{0, 0}, Options{K: 3})
+	FoldDirected(res.Z)
+}
+
+func TestDiagonalAugment(t *testing.T) {
+	el := gen.Path(3)
+	aug := DiagonalAugment(el)
+	if len(aug.Edges) != len(el.Edges)+3 {
+		t.Fatalf("edges=%d", len(aug.Edges))
+	}
+	// original untouched
+	if len(el.Edges) != 2 {
+		t.Fatal("augment mutated input")
+	}
+	y := []int32{0, 0, 1}
+	plain, err := Embed(Reference, el, y, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	augmented, err := Embed(Reference, aug, y, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// every vertex v gains exactly 2*coeff[v] at (v, Y[v])
+	counts := classCounts(1, y, 2)
+	coeff := projectionCoeffs(1, y, counts)
+	for v := 0; v < 3; v++ {
+		for c := 0; c < 2; c++ {
+			want := plain.Z.At(v, c)
+			if int32(c) == y[v] {
+				want += 2 * coeff[v]
+			}
+			if got := augmented.Z.At(v, c); got != want {
+				t.Fatalf("Z[%d][%d]=%v want %v", v, c, got, want)
+			}
+		}
+	}
+}
+
+func TestDiagonalAugmentFixesIsolatedVertices(t *testing.T) {
+	// isolated labeled vertex: zero row without augmentation, nonzero with
+	el := &graph.EdgeList{N: 2, Edges: []graph.Edge{}}
+	y := []int32{0, 1}
+	plain, _ := Embed(Optimized, el, y, Options{K: 2})
+	if plain.Z.MaxAbs() != 0 {
+		t.Fatal("expected zero embedding")
+	}
+	aug, _ := Embed(Optimized, DiagonalAugment(el), y, Options{K: 2})
+	if aug.Z.At(0, 0) == 0 || aug.Z.At(1, 1) == 0 {
+		t.Fatalf("self loops did not populate diagonal affinities: %v", aug.Z.Data)
+	}
+}

@@ -1,0 +1,55 @@
+package gee
+
+import (
+	"repro/internal/atomicx"
+	"repro/internal/graph"
+	"repro/internal/ligra"
+	"repro/internal/mat"
+)
+
+// EmbedFloat32 is the single-precision ablation of LigraParallel: the
+// embedding matrix cells are float32, halving the memory traffic of the
+// write per edge. The paper argues GEE-Ligra is memory-bound ("two
+// fused-multiply adds per edge and two memory writes, one of which is
+// likely to miss"), so cell width is the natural knob to test that
+// claim — see the ablation benchmarks.
+//
+// Returns the result widened to float64 for interoperability; quantify
+// precision loss against the float64 pipeline with Result.Z.MaxAbsDiff.
+func EmbedFloat32(g *graph.CSR, y []int32, opts Options) (*Result, error) {
+	k, err := opts.normalize(g.N, y)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.workers()
+	counts := classCounts(workers, y, k)
+	coeff64 := projectionCoeffs(workers, y, counts)
+	coeff := make([]float32, len(coeff64))
+	for i, v := range coeff64 {
+		coeff[i] = float32(v)
+	}
+	var deg []float64
+	if opts.Laplacian {
+		deg = incidentDegreesCSR(workers, g)
+	}
+	zd := make([]float32, g.N*k)
+	update := func(u, v graph.NodeID, w float32) bool {
+		wt := w
+		if opts.Laplacian {
+			wt *= float32(laplacianScale(deg, u, v))
+		}
+		if yv := y[v]; yv >= 0 {
+			atomicx.AddFloat32(&zd[int(u)*k+int(yv)], coeff[v]*wt)
+		}
+		if yu := y[u]; yu >= 0 {
+			atomicx.AddFloat32(&zd[int(v)*k+int(yu)], coeff[u]*wt)
+		}
+		return false
+	}
+	ligra.Process(g, ligra.All(g.N), update, ligra.Options{Workers: workers})
+	z := mat.NewDense(g.N, k)
+	for i, v := range zd {
+		z.Data[i] = float64(v)
+	}
+	return &Result{Z: z, K: k, Impl: LigraParallel}, nil
+}

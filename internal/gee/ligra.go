@@ -1,0 +1,164 @@
+package gee
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atomicx"
+	"repro/internal/graph"
+	"repro/internal/ligra"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/race"
+)
+
+// ligraEmbed is Algorithm 2 (GEE-Ligra): the projection initialization is
+// parallelized (lines 3-6), then a single EdgeMap over the whole-graph
+// frontier applies updateEmb to every arc (line 7).
+//
+// updateEmb (lines 9-12) performs the two writeAdd updates per arc:
+//
+//	writeAdd(Z(u, Y(v)), W(v, Y(v)) · w)
+//	writeAdd(Z(v, Y(u)), W(u, Y(u)) · w)
+//
+// The first update hits Z(u, ·), which edgeMapDense keeps cache-resident
+// (all arcs of u are processed by one worker); the second hits Z(v, ·)
+// and is the likely cache miss the paper discusses. Races are possible
+// only across different source vertices (Figure 1); LigraParallel
+// resolves them with the lock-free atomic add, LigraParallelUnsafe
+// deliberately does not (the paper's ablation), and LigraSerial runs the
+// same code on one worker.
+func ligraEmbed(g *graph.CSR, y []int32, k int, opts Options, impl Impl) *mat.Dense {
+	return ligraEmbedTimed(g, y, k, opts, impl, nil)
+}
+
+// Timings records the two phases of Algorithm 2 for the paper's §III
+// observation that the O(nk) projection initialization dominates on
+// graphs with very low average degree (experiment E6).
+type Timings struct {
+	WInit   time.Duration // lines 2-6: projection matrix initialization
+	EdgeMap time.Duration // line 7: the edge map over all arcs
+}
+
+// EmbedCSRTimed is EmbedCSR for the Ligra implementations with per-phase
+// timing.
+func EmbedCSRTimed(impl Impl, g *graph.CSR, y []int32, opts Options) (*Result, *Timings, error) {
+	k, err := opts.normalize(g.N, y)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch impl {
+	case LigraSerial, LigraParallel, LigraParallelUnsafe:
+	default:
+		return nil, nil, fmt.Errorf("gee: EmbedCSRTimed supports only the Ligra implementations, got %v", impl)
+	}
+	var tm Timings
+	z := ligraEmbedTimed(g, y, k, opts, impl, &tm)
+	return &Result{Z: z, K: k, Impl: impl}, &tm, nil
+}
+
+func ligraEmbedTimed(g *graph.CSR, y []int32, k int, opts Options, impl Impl, tm *Timings) *mat.Dense {
+	workers := opts.workers()
+	if impl == LigraSerial {
+		workers = 1
+	}
+	// Algorithm 2, lines 3-6: parallel projection initialization.
+	start := time.Now()
+	counts := classCounts(workers, y, k)
+	coeff := projectionCoeffs(workers, y, counts)
+	var deg []float64
+	if opts.Laplacian {
+		deg = incidentDegreesCSR(workers, g)
+	}
+	// Allocating and first-touching Z is the other O(nK) initialization
+	// component. The touch pass is eager and parallel: Go's make()
+	// defers page zeroing to first write, which would smear this cost
+	// into the edge map phase and (on NUMA machines) place every page on
+	// one node; parallel first-touch is the standard HPC idiom Ligra's
+	// newA + parallel initialization follows.
+	z := mat.NewDense(g.N, k)
+	parallel.ForChunk(workers, len(z.Data), 1<<16, func(lo, hi int) {
+		d := z.Data[lo:hi]
+		for i := range d {
+			d[i] = 0
+		}
+	})
+	if tm != nil {
+		tm.WInit = time.Since(start)
+		start = time.Now()
+	}
+	zd := z.Data
+	frontier := ligra.All(g.N)
+	engineOpts := ligra.Options{Workers: workers, ForceSparse: opts.ForceSparseEdgeMap}
+
+	// LigraParallelUnsafe deliberately performs racy plain adds (the
+	// paper's atomics-off ablation). Under `-race` builds it upgrades to
+	// atomic adds so the detector remains usable repo-wide; the ablation
+	// is only meaningful in normal builds anyway (the sanitizer's
+	// instrumentation would distort its timing).
+	atomic := workers > 1 &&
+		(impl == LigraParallel || (impl == LigraParallelUnsafe && race.Enabled))
+	var updateEmb ligra.EdgeFunc
+	switch {
+	case atomic && opts.Laplacian:
+		updateEmb = func(u, v graph.NodeID, w float32) bool {
+			wt := float64(w) * laplacianScale(deg, u, v)
+			if yv := y[v]; yv >= 0 {
+				atomicx.AddFloat64(&zd[int(u)*k+int(yv)], coeff[v]*wt)
+			}
+			if yu := y[u]; yu >= 0 {
+				atomicx.AddFloat64(&zd[int(v)*k+int(yu)], coeff[u]*wt)
+			}
+			return false
+		}
+	case atomic:
+		updateEmb = func(u, v graph.NodeID, w float32) bool {
+			wt := float64(w)
+			if yv := y[v]; yv >= 0 {
+				atomicx.AddFloat64(&zd[int(u)*k+int(yv)], coeff[v]*wt)
+			}
+			if yu := y[u]; yu >= 0 {
+				atomicx.AddFloat64(&zd[int(v)*k+int(yu)], coeff[u]*wt)
+			}
+			return false
+		}
+	case opts.Laplacian:
+		updateEmb = func(u, v graph.NodeID, w float32) bool {
+			wt := float64(w) * laplacianScale(deg, u, v)
+			if yv := y[v]; yv >= 0 {
+				zd[int(u)*k+int(yv)] += coeff[v] * wt
+			}
+			if yu := y[u]; yu >= 0 {
+				zd[int(v)*k+int(yu)] += coeff[u] * wt
+			}
+			return false
+		}
+	default:
+		// Plain adds: LigraSerial (single worker, race-free) and
+		// LigraParallelUnsafe (racy on purpose).
+		updateEmb = func(u, v graph.NodeID, w float32) bool {
+			wt := float64(w)
+			if yv := y[v]; yv >= 0 {
+				zd[int(u)*k+int(yv)] += coeff[v] * wt
+			}
+			if yu := y[u]; yu >= 0 {
+				zd[int(v)*k+int(yu)] += coeff[u] * wt
+			}
+			return false
+		}
+	}
+	// Algorithm 2, line 7: EdgeMap(updateEmb, frontier = all vertices).
+	if opts.ForceSparseEdgeMap {
+		// Ablation path: frontier-driven sparse traversal instead of the
+		// dense per-vertex schedule. Note this breaks the "updates from
+		// one vertex's list never race" property, so it is only valid
+		// with atomics (or one worker).
+		ligra.EdgeMap(g, frontier, updateEmb, engineOpts)
+	} else {
+		ligra.Process(g, frontier, updateEmb, engineOpts)
+	}
+	if tm != nil {
+		tm.EdgeMap = time.Since(start)
+	}
+	return z
+}

@@ -1,0 +1,105 @@
+package gee
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/labels"
+	"repro/internal/mat"
+	"repro/internal/xrand"
+)
+
+// RefineOptions configures the unsupervised GEE pipeline.
+type RefineOptions struct {
+	Embedding Options // per-iteration embedding options (K required)
+	Impl      Impl    // implementation used for each embedding pass
+	MaxRounds int     // refinement rounds per restart (default 20)
+	KMeansMax int     // Lloyd iterations per round (default 50)
+	Restarts  int     // independent random initializations (default 3)
+	Seed      uint64
+}
+
+// RefineResult is the output of the unsupervised pipeline.
+type RefineResult struct {
+	*Result
+	Labels  []int32 // final cluster assignment of every vertex
+	Rounds  int     // refinement rounds executed by the winning restart
+	ARI     float64 // agreement between the winning restart's last two labelings
+	Inertia float64 // k-means objective of the winning restart (row-normalized Z)
+}
+
+// Refine runs the unsupervised GEE pipeline from the GEE paper: start
+// from random labels, then alternate (embed with current labels) →
+// (k-means on the row-normalized Z) → (adopt cluster assignment as
+// labels) until the labeling stabilizes (consecutive-round ARI ≥ 0.999)
+// or MaxRounds is hit. Because the alternation can reach poor fixed
+// points from unlucky initializations, Restarts independent runs are
+// performed and the one with the lowest final k-means inertia wins.
+//
+// The paper under reproduction benchmarks the supervised path; Refine is
+// the companion mode its §II describes ("Y ... may be derived from
+// unsupervised clustering").
+func Refine(el *graph.EdgeList, opts RefineOptions) (*RefineResult, error) {
+	if opts.Embedding.K <= 0 {
+		return nil, fmt.Errorf("gee: Refine requires Embedding.K > 0")
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 20
+	}
+	if opts.KMeansMax <= 0 {
+		opts.KMeansMax = 50
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 3
+	}
+	var best *RefineResult
+	for restart := 0; restart < opts.Restarts; restart++ {
+		res, err := refineOnce(el, opts, xrand.Mix64(opts.Seed)+uint64(restart)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// refineOnce runs a single restart of the alternation.
+func refineOnce(el *graph.EdgeList, opts RefineOptions, seed uint64) (*RefineResult, error) {
+	k := opts.Embedding.K
+	n := el.N
+	r := xrand.New(seed)
+	y := make([]int32, n)
+	for i := range y {
+		y[i] = int32(r.Intn(k))
+	}
+	var res *Result
+	var zn *mat.Dense
+	lastARI := 0.0
+	inertia := math.Inf(1)
+	rounds := 0
+	for round := 0; round < opts.MaxRounds; round++ {
+		rounds = round + 1
+		var err error
+		res, err = Embed(opts.Impl, el, y, opts.Embedding)
+		if err != nil {
+			return nil, err
+		}
+		// Cluster the row-normalized embedding (the GEE paper's
+		// preprocessing before k-means); res.Z stays unnormalized.
+		zn = res.Z.Clone()
+		zn.RowL2Normalize()
+		km := cluster.KMeans(opts.Embedding.Workers, zn, k, seed+uint64(round)+1, opts.KMeansMax)
+		inertia = km.Inertia
+		next := labels.Relabel(km.Assign)
+		lastARI = cluster.ARI(y, next)
+		y = next
+		if lastARI >= 0.999 {
+			break
+		}
+	}
+	return &RefineResult{Result: res, Labels: y, Rounds: rounds, ARI: lastARI, Inertia: inertia}, nil
+}

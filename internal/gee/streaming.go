@@ -1,0 +1,108 @@
+package gee
+
+import (
+	"fmt"
+
+	"repro/internal/atomicx"
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// StreamingEmbedder maintains a GEE embedding under edge insertions.
+// Because Algorithm 1 is a sum of independent per-edge contributions,
+// a new batch of edges folds into Z with the same two writeAdd updates
+// per edge and no recomputation — the natural incremental extension of
+// the paper's one-pass formulation (its conclusion positions GEE for
+// exactly this streaming regime).
+//
+// The label vector and class counts are fixed at construction: the
+// per-vertex coefficients 1/count(Y=k) enter every contribution, so
+// label changes require a rebuild (Reset).
+type StreamingEmbedder struct {
+	n, k    int
+	workers int
+	y       []int32
+	coeff   []float64
+	z       *mat.Dense
+	edges   int64
+}
+
+// NewStreamingEmbedder prepares an empty embedding for n vertices with
+// the given fixed labels.
+func NewStreamingEmbedder(n int, y []int32, opts Options) (*StreamingEmbedder, error) {
+	k, err := opts.normalize(n, y)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Laplacian {
+		return nil, fmt.Errorf("gee: streaming Laplacian unsupported (degrees change with every batch)")
+	}
+	workers := opts.workers()
+	counts := classCounts(workers, y, k)
+	return &StreamingEmbedder{
+		n: n, k: k, workers: workers,
+		y:     y,
+		coeff: projectionCoeffs(workers, y, counts),
+		z:     mat.NewDense(n, k),
+	}, nil
+}
+
+// AddEdges folds a batch of edges into the embedding in parallel with
+// atomic updates. Edges must reference vertices in [0, n).
+func (s *StreamingEmbedder) AddEdges(batch []graph.Edge) error {
+	n := uint32(s.n)
+	for i, e := range batch {
+		if e.U >= n || e.V >= n {
+			return fmt.Errorf("gee: batch edge %d (%d->%d) out of range [0,%d)", i, e.U, e.V, s.n)
+		}
+	}
+	zd := s.z.Data
+	k := s.k
+	parallel.ForChunk(s.workers, len(batch), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := batch[i]
+			wt := float64(e.W)
+			if yv := s.y[e.V]; yv >= 0 {
+				atomicx.AddFloat64(&zd[int(e.U)*k+int(yv)], s.coeff[e.V]*wt)
+			}
+			if yu := s.y[e.U]; yu >= 0 {
+				atomicx.AddFloat64(&zd[int(e.V)*k+int(yu)], s.coeff[e.U]*wt)
+			}
+		}
+	})
+	s.edges += int64(len(batch))
+	return nil
+}
+
+// RemoveEdges retracts previously inserted edges (contributions are
+// linear, so retraction is insertion with negated weight).
+func (s *StreamingEmbedder) RemoveEdges(batch []graph.Edge) error {
+	neg := make([]graph.Edge, len(batch))
+	for i, e := range batch {
+		neg[i] = graph.Edge{U: e.U, V: e.V, W: -e.W}
+	}
+	if err := s.AddEdges(neg); err != nil {
+		return err
+	}
+	s.edges -= 2 * int64(len(batch)) // AddEdges counted the retraction batch
+	return nil
+}
+
+// Z returns the current embedding (aliases internal storage; callers
+// must not mutate while streaming continues).
+func (s *StreamingEmbedder) Z() *mat.Dense { return s.z }
+
+// EdgeCount returns the net number of edges folded in.
+func (s *StreamingEmbedder) EdgeCount() int64 { return s.edges }
+
+// Snapshot returns an independent copy of the current embedding.
+func (s *StreamingEmbedder) Snapshot() *Result {
+	return &Result{Z: s.z.Clone(), K: s.k, Impl: LigraParallel}
+}
+
+// Reset zeroes the embedding (labels and coefficients are kept).
+func (s *StreamingEmbedder) Reset() {
+	s.z.Zero()
+	s.edges = 0
+}

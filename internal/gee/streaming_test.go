@@ -1,0 +1,119 @@
+package gee
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/labels"
+	"repro/internal/xrand"
+)
+
+func TestStreamingMatchesBatch(t *testing.T) {
+	el := gen.RMAT(4, 11, 30_000, gen.Graph500Params, 61)
+	y := labels.SampleSemiSupervised(el.N, 10, 0.2, 62)
+	batchRes, err := Embed(Reference, el, y, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamingEmbedder(el.N, y, Options{K: 10, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// insert in uneven batches
+	edges := el.Edges
+	for len(edges) > 0 {
+		sz := 1 + len(edges)/3
+		if sz > len(edges) {
+			sz = len(edges)
+		}
+		if err := s.AddEdges(edges[:sz]); err != nil {
+			t.Fatal(err)
+		}
+		edges = edges[sz:]
+	}
+	if s.EdgeCount() != int64(len(el.Edges)) {
+		t.Fatalf("edge count %d want %d", s.EdgeCount(), len(el.Edges))
+	}
+	if !batchRes.Z.EqualTol(s.Z(), 1e-9) {
+		t.Fatalf("streaming differs from batch by %v", batchRes.Z.MaxAbsDiff(s.Z()))
+	}
+}
+
+func TestStreamingRemoveUndoesAdd(t *testing.T) {
+	n := 500
+	y := labels.Full(n, 4, 63)
+	s, err := NewStreamingEmbedder(n, y, Options{K: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(64)
+	base := make([]graph.Edge, 2000)
+	for i := range base {
+		base[i] = graph.Edge{U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)), W: 1}
+	}
+	extra := make([]graph.Edge, 500)
+	for i := range extra {
+		extra[i] = graph.Edge{U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)), W: 2}
+	}
+	if err := s.AddEdges(base); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Snapshot()
+	if err := s.AddEdges(extra); err != nil {
+		t.Fatal(err)
+	}
+	if before.Z.EqualTol(s.Z(), 1e-12) {
+		t.Fatal("extra batch had no effect")
+	}
+	if err := s.RemoveEdges(extra); err != nil {
+		t.Fatal(err)
+	}
+	if !before.Z.EqualTol(s.Z(), 1e-9) {
+		t.Fatalf("remove did not undo add: diff %v", before.Z.MaxAbsDiff(s.Z()))
+	}
+	if s.EdgeCount() != int64(len(base)) {
+		t.Fatalf("edge count %d want %d", s.EdgeCount(), len(base))
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	y := labels.Full(10, 2, 65)
+	s, err := NewStreamingEmbedder(10, y, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdges([]graph.Edge{{U: 99, V: 0, W: 1}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := NewStreamingEmbedder(10, y[:5], Options{K: 2}); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+	if _, err := NewStreamingEmbedder(10, y, Options{K: 2, Laplacian: true}); err == nil {
+		t.Fatal("streaming laplacian accepted")
+	}
+}
+
+func TestStreamingReset(t *testing.T) {
+	y := labels.Full(10, 2, 66)
+	s, _ := NewStreamingEmbedder(10, y, Options{K: 2})
+	s.AddEdges([]graph.Edge{{U: 0, V: 1, W: 1}})
+	if s.Z().MaxAbs() == 0 {
+		t.Fatal("add had no effect")
+	}
+	s.Reset()
+	if s.Z().MaxAbs() != 0 || s.EdgeCount() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestStreamingSnapshotIndependent(t *testing.T) {
+	y := labels.Full(10, 2, 67)
+	s, _ := NewStreamingEmbedder(10, y, Options{K: 2})
+	s.AddEdges([]graph.Edge{{U: 0, V: 1, W: 1}})
+	snap := s.Snapshot()
+	s.AddEdges([]graph.Edge{{U: 2, V: 3, W: 1}})
+	if snap.Z.EqualTol(s.Z(), 1e-15) {
+		t.Fatal("snapshot aliases live matrix")
+	}
+}

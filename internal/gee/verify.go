@@ -1,0 +1,44 @@
+package gee
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// VerifyReport records the outcome of a cross-implementation equivalence
+// check against the Reference oracle.
+type VerifyReport struct {
+	Impl       Impl
+	MaxAbsDiff float64
+	WithinTol  bool
+}
+
+// Verify runs every implementation on (el, y) and compares each against
+// the Reference output with a mixed absolute/relative tolerance.
+// Parallel atomic adds reorder floating-point summation, so exact
+// equality is not expected; tol = 1e-9 comfortably covers reordering for
+// the magnitudes GEE produces while still catching genuine logic errors
+// (including lost updates, which shift cells by whole contribution
+// quanta). The deliberately racy LigraParallelUnsafe is included so
+// callers can observe whether races materialized on their input.
+func Verify(el *graph.EdgeList, y []int32, opts Options, tol float64) ([]VerifyReport, error) {
+	oracle, err := Embed(Reference, el, y, opts)
+	if err != nil {
+		return nil, fmt.Errorf("gee: reference run: %w", err)
+	}
+	reports := make([]VerifyReport, 0, len(Impls)-1)
+	for _, impl := range Impls[1:] {
+		res, err := Embed(impl, el, y, opts)
+		if err != nil {
+			return nil, fmt.Errorf("gee: %v run: %w", impl, err)
+		}
+		diff := oracle.Z.MaxAbsDiff(res.Z)
+		reports = append(reports, VerifyReport{
+			Impl:       impl,
+			MaxAbsDiff: diff,
+			WithinTol:  oracle.Z.EqualTol(res.Z, tol),
+		})
+	}
+	return reports, nil
+}

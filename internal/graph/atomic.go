@@ -1,0 +1,9 @@
+package graph
+
+import "sync/atomic"
+
+// atomicFetchAdd atomically adds delta to *p and returns the previous
+// value (the reserved slot index for CSR scatter).
+func atomicFetchAdd(p *int64, delta int64) int64 {
+	return atomic.AddInt64(p, delta) - delta
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func buildRandomUnweighted(t *testing.T, n, m int, seed uint64) *CSR {
+	t.Helper()
+	r := xrand.New(seed)
+	el := &EdgeList{N: n}
+	for i := 0; i < m; i++ {
+		el.Edges = append(el.Edges, Edge{U: NodeID(r.Intn(n)), V: NodeID(r.Intn(n)), W: 1})
+	}
+	return BuildCSR(4, el)
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	g := buildRandomUnweighted(t, 500, 8000, 1)
+	SortAdjacency(4, g)
+	c, err := Compress(4, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() != g.NumEdges() {
+		t.Fatalf("m=%d want %d", c.NumEdges(), g.NumEdges())
+	}
+	back := c.Decompress(4)
+	csrEqual(t, g, back)
+}
+
+func TestCompressSavesSpace(t *testing.T) {
+	// dense-ish sorted adjacency compresses well below 4 bytes/edge
+	g := buildRandomUnweighted(t, 2000, 200_000, 3)
+	SortAdjacency(4, g)
+	c, err := Compress(4, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := g.NumEdges() * 4
+	if c.Bytes() >= plain {
+		t.Fatalf("compressed %d bytes >= plain %d", c.Bytes(), plain)
+	}
+}
+
+func TestCompressRejectsWeighted(t *testing.T) {
+	el := &EdgeList{N: 2, Weighted: true, Edges: []Edge{{U: 0, V: 1, W: 2}}}
+	if _, err := Compress(2, BuildCSR(1, el)); err == nil {
+		t.Fatal("weighted graph compressed")
+	}
+}
+
+func TestDecodeMatchesNeighbors(t *testing.T) {
+	g := buildRandomUnweighted(t, 300, 4000, 5)
+	SortAdjacency(2, g)
+	c, err := Compress(2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []NodeID
+	for u := 0; u < g.N; u++ {
+		buf = c.Decode(NodeID(u), buf[:0])
+		want := g.Neighbors(NodeID(u))
+		if len(buf) != len(want) {
+			t.Fatalf("vertex %d: %d decoded, want %d", u, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("vertex %d[%d]: %d want %d", u, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompressFirstNeighborBelowVertex(t *testing.T) {
+	// zig-zag path: neighbors entirely below the vertex id
+	el := &EdgeList{N: 10, Edges: []Edge{{U: 9, V: 0, W: 1}, {U: 9, V: 3, W: 1}}}
+	g := BuildCSR(1, el)
+	c, err := Compress(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs := c.Decode(9, nil)
+	if len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 3 {
+		t.Fatalf("decoded %v", nbrs)
+	}
+}
+
+func TestProcessEdgesVisitsAll(t *testing.T) {
+	g := buildRandomUnweighted(t, 400, 6000, 7)
+	SortAdjacency(4, g)
+	c, err := Compress(4, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	c.ProcessEdges(8, func(u, v NodeID) { count.Add(1) })
+	if count.Load() != g.NumEdges() {
+		t.Fatalf("visited %d want %d", count.Load(), g.NumEdges())
+	}
+}
+
+func TestCompressEmptyAndIsolated(t *testing.T) {
+	g := BuildCSR(1, &EdgeList{N: 5})
+	c, err := Compress(2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes() != 0 || c.NumEdges() != 0 {
+		t.Fatalf("bytes=%d m=%d", c.Bytes(), c.NumEdges())
+	}
+	back := c.Decompress(2)
+	if back.N != 5 || back.NumEdges() != 0 {
+		t.Fatal("decompress of empty failed")
+	}
+}
+
+func TestCompressSelfLoopAndDuplicates(t *testing.T) {
+	el := &EdgeList{N: 3, Edges: []Edge{
+		{U: 1, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 1, V: 2, W: 1},
+	}}
+	g := BuildCSR(1, el)
+	c, err := Compress(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs := c.Decode(1, nil)
+	if len(nbrs) != 3 || nbrs[0] != 1 || nbrs[1] != 2 || nbrs[2] != 2 {
+		t.Fatalf("decoded %v", nbrs)
+	}
+}

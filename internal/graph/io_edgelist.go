@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SNAP-style edge list text format: one "u v" or "u v w" per line,
+// '#'-prefixed comment lines ignored. Vertex count is max id + 1 unless a
+// larger N is forced by the caller.
+
+// WriteEdgeList writes el as text, one edge per line (weight column only
+// when el.Weighted).
+func WriteEdgeList(w io.Writer, el *EdgeList) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# nodes %d edges %d\n", el.N, len(el.Edges))
+	for _, e := range el.Edges {
+		bw.WriteString(strconv.FormatUint(uint64(e.U), 10))
+		bw.WriteByte('\t')
+		bw.WriteString(strconv.FormatUint(uint64(e.V), 10))
+		if el.Weighted {
+			bw.WriteByte('\t')
+			bw.WriteString(strconv.FormatFloat(float64(e.W), 'g', -1, 32))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a SNAP-style edge list. minN forces a minimum vertex
+// count (pass 0 to size from the data).
+func ReadEdgeList(r io.Reader, minN int) (*EdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	el := &EdgeList{N: minN}
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need at least 2 fields", line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		w := float32(1)
+		if len(fields) >= 3 {
+			wf, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+			w = float32(wf)
+			el.Weighted = true
+		}
+		el.Edges = append(el.Edges, Edge{U: NodeID(u), V: NodeID(v), W: w})
+		if int(u) > maxID {
+			maxID = int(u)
+		}
+		if int(v) > maxID {
+			maxID = int(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxID+1 > el.N {
+		el.N = maxID + 1
+	}
+	return el, nil
+}
+
+// WriteEdgeListFile writes el to path.
+func WriteEdgeListFile(path string, el *EdgeList) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, el); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEdgeListFile loads an edge list file.
+func ReadEdgeListFile(path string) (*EdgeList, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f, 0)
+}

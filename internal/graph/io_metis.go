@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// METIS graph format (the standard HPC partitioner input): header line
+// "n m [fmt]", then one line per vertex listing its neighbors,
+// 1-indexed. fmt "1" marks edge weights (neighbor, weight pairs).
+// Comment lines start with '%'. METIS stores undirected graphs with
+// both arc directions present; this reader loads exactly the arcs given.
+
+// WriteMETIS writes g in METIS format. The declared edge count is the
+// undirected count arcs/2, per the format convention; graphs with odd
+// arc counts (directed inputs) are rejected.
+func WriteMETIS(w io.Writer, g *CSR) error {
+	if g.NumEdges()%2 != 0 {
+		return fmt.Errorf("graph: METIS requires symmetrized graphs (odd arc count %d)", g.NumEdges())
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	format := ""
+	if g.Weights != nil {
+		format = " 1"
+	}
+	fmt.Fprintf(bw, "%d %d%s\n", g.N, g.NumEdges()/2, format)
+	for u := 0; u < g.N; u++ {
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.FormatUint(uint64(g.Targets[i])+1, 10))
+			if g.Weights != nil {
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatFloat(float64(g.Weights[i]), 'g', -1, 32))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a METIS graph into a CSR.
+func ReadMETIS(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line, err := nextMETISLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: METIS header: %w", err)
+	}
+	header := strings.Fields(line)
+	if len(header) < 2 {
+		return nil, fmt.Errorf("graph: METIS header %q", line)
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: METIS vertex count %q", header[0])
+	}
+	declared, err := strconv.ParseInt(header[1], 10, 64)
+	if err != nil || declared < 0 {
+		return nil, fmt.Errorf("graph: METIS edge count %q", header[1])
+	}
+	weighted := false
+	if len(header) >= 3 {
+		switch header[2] {
+		case "0", "00", "000":
+		case "1", "01", "001":
+			weighted = true
+		default:
+			return nil, fmt.Errorf("graph: unsupported METIS fmt %q (vertex weights not supported)", header[2])
+		}
+	}
+	el := &EdgeList{N: n, Weighted: weighted}
+	for u := 0; u < n; u++ {
+		line, err := nextMETISLine(sc)
+		if err == io.EOF {
+			// trailing isolated vertices may be omitted by some writers
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("graph: METIS vertex %d: %w", u+1, err)
+		}
+		fields := strings.Fields(line)
+		step := 1
+		if weighted {
+			step = 2
+		}
+		if len(fields)%step != 0 {
+			return nil, fmt.Errorf("graph: METIS vertex %d: %d fields not divisible by %d", u+1, len(fields), step)
+		}
+		for i := 0; i < len(fields); i += step {
+			v, err := strconv.ParseUint(fields[i], 10, 32)
+			if err != nil || v == 0 || int(v) > n {
+				return nil, fmt.Errorf("graph: METIS vertex %d: bad neighbor %q", u+1, fields[i])
+			}
+			w := float32(1)
+			if weighted {
+				wf, err := strconv.ParseFloat(fields[i+1], 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: METIS vertex %d: bad weight %q", u+1, fields[i+1])
+				}
+				w = float32(wf)
+			}
+			el.Edges = append(el.Edges, Edge{U: NodeID(u), V: NodeID(v - 1), W: w})
+		}
+	}
+	if int64(len(el.Edges)) != 2*declared {
+		return nil, fmt.Errorf("graph: METIS declared %d edges, found %d arcs (want %d)",
+			declared, len(el.Edges), 2*declared)
+	}
+	return BuildCSR(0, el), nil
+}
+
+// nextMETISLine returns the next non-comment line.
+func nextMETISLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// WriteMETISFile writes g to path in METIS format.
+func WriteMETISFile(path string, g *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteMETIS(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMETISFile loads a METIS graph file.
+func ReadMETISFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMETIS(f)
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleCSR(t *testing.T, weighted bool) *CSR {
+	t.Helper()
+	el := randomEdgeList(37, 500, 21, weighted)
+	g := BuildCSR(4, el)
+	SortAdjacency(4, g)
+	return g
+}
+
+func csrEqual(t *testing.T, a, b *CSR) {
+	t.Helper()
+	if a.N != b.N || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", a.N, a.NumEdges(), b.N, b.NumEdges())
+	}
+	for u := 0; u <= a.N; u++ {
+		if a.Offsets[u] != b.Offsets[u] {
+			t.Fatalf("offset mismatch at %d", u)
+		}
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("target mismatch at %d", i)
+		}
+	}
+	if (a.Weights == nil) != (b.Weights == nil) {
+		t.Fatal("weighted-ness mismatch")
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("weight mismatch at %d", i)
+		}
+	}
+}
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := sampleCSR(t, weighted)
+		var buf bytes.Buffer
+		if err := WriteAdjacency(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAdjacency(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csrEqual(t, g, got)
+	}
+}
+
+func TestAdjacencyHeaderDetection(t *testing.T) {
+	g := sampleCSR(t, true)
+	var buf bytes.Buffer
+	WriteAdjacency(&buf, g)
+	if !strings.HasPrefix(buf.String(), "WeightedAdjacencyGraph\n") {
+		t.Fatal("weighted graph must use WeightedAdjacencyGraph header")
+	}
+}
+
+func TestReadAdjacencyErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"NotAGraph\n1\n0\n0\n",
+		"AdjacencyGraph\n2\n1\n0\n0\n",      // missing target
+		"AdjacencyGraph\n1\n1\n0\n7\n",      // target out of range
+		"AdjacencyGraph\nx\n0\n",            // bad n
+		"AdjacencyGraph\n1\n-2\n0\n",        // bad m
+		"AdjacencyGraph\n2\n2\n0\nbad\n0\n", // bad offset
+	}
+	for i, c := range cases {
+		if _, err := ReadAdjacency(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestAdjacencyKnownFormat(t *testing.T) {
+	// Hand-written 3-vertex file in PBBS format.
+	in := "AdjacencyGraph\n3\n3\n0\n1\n2\n1\n2\n0\n"
+	g, err := ReadAdjacency(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumEdges())
+	}
+	if g.Neighbors(0)[0] != 1 || g.Neighbors(1)[0] != 2 || g.Neighbors(2)[0] != 0 {
+		t.Fatal("wrong adjacency")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		el := randomEdgeList(23, 200, 31, weighted)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, el); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEdgeList(&buf, el.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != el.N || len(got.Edges) != len(el.Edges) || got.Weighted != weighted {
+			t.Fatalf("shape: n=%d m=%d weighted=%v", got.N, len(got.Edges), got.Weighted)
+		}
+		for i := range el.Edges {
+			if got.Edges[i] != el.Edges[i] {
+				t.Fatalf("edge %d: %v vs %v", i, got.Edges[i], el.Edges[i])
+			}
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndSizing(t *testing.T) {
+	in := "# comment\n% also comment\n\n0 5\n3 1 2.5\n"
+	el, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.N != 6 {
+		t.Fatalf("N=%d want 6 (max id 5)", el.N)
+	}
+	if len(el.Edges) != 2 || !el.Weighted {
+		t.Fatalf("edges=%v weighted=%v", el.Edges, el.Weighted)
+	}
+	if el.Edges[1].W != 2.5 {
+		t.Fatalf("weight=%v", el.Edges[1].W)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for i, c := range []string{"0\n", "a b\n", "0 b\n", "0 1 w\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(c), 0); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := sampleCSR(t, weighted)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csrEqual(t, g, got)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("notmagicatall___"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := sampleCSR(t, false)
+	var buf bytes.Buffer
+	WriteBinary(&buf, g)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	g := sampleCSR(t, true)
+
+	adjPath := filepath.Join(dir, "g.adj")
+	if err := WriteAdjacencyFile(adjPath, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacencyFile(adjPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrEqual(t, g, got)
+
+	binPath := filepath.Join(dir, "g.bin")
+	if err := WriteBinaryFile(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadBinaryFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrEqual(t, g, got2)
+
+	el := g.ToEdgeList()
+	elPath := filepath.Join(dir, "g.txt")
+	if err := WriteEdgeListFile(elPath, el); err != nil {
+		t.Fatal(err)
+	}
+	gotEl, err := ReadEdgeListFile(elPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotEl.Edges) != len(el.Edges) {
+		t.Fatalf("edge count %d want %d", len(gotEl.Edges), len(el.Edges))
+	}
+}
+
+func TestFileHelpersMissingFile(t *testing.T) {
+	if _, err := ReadAdjacencyFile("/nonexistent/x.adj"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := ReadBinaryFile("/nonexistent/x.bin"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := ReadEdgeListFile("/nonexistent/x.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

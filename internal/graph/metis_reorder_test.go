@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		el := randomEdgeList(40, 300, 61, weighted)
+		RemoveSelfLoops(el) // METIS disallows self loops in practice
+		if weighted {
+			// duplicate (u,v) arcs land in scheduler-dependent slot
+			// order; endpoint-determined weights keep the positional
+			// comparison below meaningful
+			for i := range el.Edges {
+				e := &el.Edges[i]
+				e.W = float32(e.U%5 + e.V%3 + 1)
+			}
+		}
+		g := BuildCSR(2, Symmetrize(el))
+		SortAdjacency(2, g)
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMETIS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SortAdjacency(2, got)
+		csrEqual(t, g, got)
+	}
+}
+
+func TestMETISKnownFile(t *testing.T) {
+	// the triangle 1-2-3 in METIS's own documentation style
+	in := "% a comment\n3 3\n2 3\n1 3\n1 2\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumEdges() != 6 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumEdges())
+	}
+	SortAdjacency(1, g)
+	if g.Neighbors(0)[0] != 1 || g.Neighbors(0)[1] != 2 {
+		t.Fatalf("adjacency %v", g.Neighbors(0))
+	}
+}
+
+func TestMETISErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x 3\n",
+		"3\n",
+		"3 3 7\n1 2\n",      // unsupported fmt
+		"3 5\n2 3\n1\n1\n",  // declared edges mismatch
+		"2 1\n5\n1\n",       // neighbor out of range
+		"2 1\n0\n1\n",       // neighbor 0 (1-indexed format)
+		"2 1 1\n2\n1 1.0\n", // weighted: odd fields on vertex 1
+	}
+	for i, c := range cases {
+		if _, err := ReadMETIS(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestMETISRejectsOddArcCount(t *testing.T) {
+	g := BuildCSR(1, &EdgeList{N: 2, Edges: []Edge{{U: 0, V: 1, W: 1}}})
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err == nil {
+		t.Fatal("directed (odd-arc) graph accepted")
+	}
+}
+
+func TestMETISFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	el := randomEdgeList(20, 100, 67, false)
+	RemoveSelfLoops(el)
+	g := BuildCSR(2, Symmetrize(el))
+	path := filepath.Join(dir, "g.metis")
+	if err := WriteMETISFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMETISFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("m=%d want %d", got.NumEdges(), g.NumEdges())
+	}
+	if _, err := ReadMETISFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDegreeOrderHubsFirst(t *testing.T) {
+	// star: center must map to position 0
+	el := Symmetrize(&EdgeList{N: 5, Edges: []Edge{
+		{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}, {U: 0, V: 3, W: 1}, {U: 0, V: 4, W: 1},
+	}})
+	g := BuildCSR(2, el)
+	perm := DegreeOrder(2, g)
+	if perm[0] != 0 {
+		t.Fatalf("center mapped to %d", perm[0])
+	}
+	seen := make([]bool, 5)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("not a permutation")
+		}
+		seen[p] = true
+	}
+}
+
+func TestBFSOrderContiguity(t *testing.T) {
+	// path graph from the highest-degree (interior) vertex: BFS order
+	// must be a permutation and neighbors must get nearby new ids
+	el := Symmetrize(&EdgeList{N: 6, Edges: []Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+		{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 1},
+	}})
+	g := BuildCSR(2, el)
+	perm := BFSOrder(g)
+	seen := make([]bool, 6)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("not a permutation")
+		}
+		seen[p] = true
+	}
+	// every edge must connect vertices within BFS-level distance in the
+	// new ordering (path graph: distance <= 4 trivially; check adjacency
+	// gaps are mostly small)
+	total := 0
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
+			d := int(perm[u]) - int(perm[v])
+			if d < 0 {
+				d = -d
+			}
+			total += d
+		}
+	}
+	if total > 30 { // path graph BFS order keeps gaps tiny
+		t.Fatalf("total adjacency gap %d too large for a path", total)
+	}
+}
+
+func TestBFSOrderDisconnected(t *testing.T) {
+	el := &EdgeList{N: 4, Edges: []Edge{{U: 0, V: 1, W: 1}}}
+	g := BuildCSR(1, Symmetrize(el))
+	perm := BFSOrder(g)
+	seen := make([]bool, 4)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("not a permutation")
+		}
+		seen[p] = true
+	}
+}
+
+func TestApplyOrderPreservesStructure(t *testing.T) {
+	el := randomEdgeList(30, 200, 71, false)
+	g := BuildCSR(2, el)
+	perm := DegreeOrder(2, g)
+	rg := ApplyOrder(2, g, perm)
+	if rg.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	// degree multiset preserved
+	var a, b []int64
+	for v := 0; v < g.N; v++ {
+		a = append(a, g.Degree(NodeID(v)))
+		b = append(b, rg.Degree(NodeID(v)))
+	}
+	parallel := func(s []int64) {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+	}
+	parallel(a)
+	parallel(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("degree multiset changed")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+//go:build linux
+
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// MmapBinaryFile maps a compact binary CSR file (WriteBinaryFile format)
+// into memory and returns a CSR whose slices alias the mapping — loading
+// a multi-GB graph costs page-table setup, not a copy. Call the returned
+// closer to unmap; the CSR must not be used afterwards.
+//
+// Only the fixed-width arrays are aliased; the header is validated the
+// same way ReadBinary validates it.
+func MmapBinaryFile(path string) (*CSR, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	headerSize := int64(8 + 3*8)
+	if size < headerSize {
+		return nil, nil, fmt.Errorf("graph: %s too small for header", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	closer := func() error { return syscall.Munmap(data) }
+	fail := func(err error) (*CSR, func() error, error) {
+		closer()
+		return nil, nil, err
+	}
+	var magic [8]byte
+	copy(magic[:], data[:8])
+	if magic != binMagic {
+		return fail(fmt.Errorf("graph: bad magic in %s", path))
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	m := binary.LittleEndian.Uint64(data[16:])
+	flags := binary.LittleEndian.Uint64(data[24:])
+	weighted := flags&flagWeighted != 0
+	need := headerSize + int64(n+1)*8 + int64(m)*4
+	if weighted {
+		need += int64(m) * 4
+	}
+	if size < need {
+		return fail(fmt.Errorf("graph: %s truncated: %d bytes, need %d", path, size, need))
+	}
+	off := headerSize
+	offsets := unsafe.Slice((*int64)(unsafe.Pointer(&data[off])), n+1)
+	off += int64(n+1) * 8
+	targets := unsafe.Slice((*NodeID)(unsafe.Pointer(&data[off])), m)
+	off += int64(m) * 4
+	g := &CSR{N: int(n), Offsets: offsets, Targets: targets}
+	if weighted {
+		g.Weights = unsafe.Slice((*float32)(unsafe.Pointer(&data[off])), m)
+	}
+	if err := g.Validate(); err != nil {
+		return fail(err)
+	}
+	return g, closer, nil
+}

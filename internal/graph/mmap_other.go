@@ -1,0 +1,13 @@
+//go:build !linux
+
+package graph
+
+// MmapBinaryFile on non-Linux platforms falls back to a regular read;
+// the closer is a no-op.
+func MmapBinaryFile(path string) (*CSR, func() error, error) {
+	g, err := ReadBinaryFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, func() error { return nil }, nil
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMmapBinaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, weighted := range []bool{false, true} {
+		g := buildRandomUnweighted(t, 200, 3000, 11)
+		if weighted {
+			g.Weights = make([]float32, g.NumEdges())
+			for i := range g.Weights {
+				g.Weights[i] = float32(i%7 + 1)
+			}
+		}
+		path := filepath.Join(dir, "g.bin")
+		if err := WriteBinaryFile(path, g); err != nil {
+			t.Fatal(err)
+		}
+		mg, closer, err := MmapBinaryFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csrEqual(t, g, mg)
+		if err := closer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMmapRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	os.WriteFile(bad, []byte("definitely not a graph file....."), 0o644)
+	if _, _, err := MmapBinaryFile(bad); err == nil {
+		t.Fatal("garbage mapped")
+	}
+	tiny := filepath.Join(dir, "tiny.bin")
+	os.WriteFile(tiny, []byte("x"), 0o644)
+	if _, _, err := MmapBinaryFile(tiny); err == nil {
+		t.Fatal("tiny file mapped")
+	}
+	if _, _, err := MmapBinaryFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file mapped")
+	}
+}
+
+func TestMmapRejectsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	g := buildRandomUnweighted(t, 100, 1000, 13)
+	path := filepath.Join(dir, "g.bin")
+	if err := WriteBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	trunc := filepath.Join(dir, "trunc.bin")
+	os.WriteFile(trunc, data[:len(data)/2], 0o644)
+	if _, _, err := MmapBinaryFile(trunc); err == nil {
+		t.Fatal("truncated file mapped")
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// Vertex reorderings for cache-locality studies. The paper's §III
+// discusses exactly this effect: during a dense edge map, Z(u,·) is
+// cache-resident while Z(v,·) accesses "will likely result in cache
+// misses". How much depends on the vertex ordering; these reorderings
+// let the benchmarks quantify it.
+
+// DegreeOrder returns a permutation placing vertices in descending
+// out-degree order (hub vertices first — the hot rows of Z become
+// contiguous). perm[old] = new.
+func DegreeOrder(workers int, g *CSR) []NodeID {
+	n := g.N
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	parallel.SortFunc(workers, order, func(a, b NodeID) bool {
+		da, db := g.Degree(a), g.Degree(b)
+		if da != db {
+			return da > db
+		}
+		return a < b
+	})
+	perm := make([]NodeID, n)
+	for newID, oldID := range order {
+		perm[oldID] = NodeID(newID)
+	}
+	return perm
+}
+
+// BFSOrder returns a permutation placing vertices in BFS discovery order
+// from the highest-degree vertex (neighbors become near-contiguous —
+// the classic locality ordering). Unreached vertices follow in id order.
+// perm[old] = new.
+func BFSOrder(g *CSR) []NodeID {
+	n := g.N
+	perm := make([]NodeID, n)
+	visited := make([]bool, n)
+	next := NodeID(0)
+	// start from the max-degree vertex
+	start := 0
+	for v := 1; v < n; v++ {
+		if g.Degree(NodeID(v)) > g.Degree(NodeID(start)) {
+			start = v
+		}
+	}
+	queue := make([]NodeID, 0, n)
+	enqueue := func(v NodeID) {
+		visited[v] = true
+		perm[v] = next
+		next++
+		queue = append(queue, v)
+	}
+	if n > 0 {
+		enqueue(NodeID(start))
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		nbrs := append([]NodeID(nil), g.Neighbors(u)...)
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, v := range nbrs {
+			if !visited[v] {
+				enqueue(v)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			perm[v] = next
+			next++
+		}
+	}
+	return perm
+}
+
+// ApplyOrder rebuilds the CSR under a permutation (perm[old] = new).
+func ApplyOrder(workers int, g *CSR, perm []NodeID) *CSR {
+	el := g.ToEdgeList()
+	return BuildCSR(workers, Permute(el, perm))
+}

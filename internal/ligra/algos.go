@@ -1,0 +1,136 @@
+package ligra
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Classic Ligra algorithms, implemented on the same EdgeMap/VertexMap
+// interface GEE uses. They serve two purposes: they are regression tests
+// proving the engine has real Ligra semantics (frontier evolution,
+// sparse/dense switching, CAS claims), and they give downstream users of
+// this library the usual graph toolkit (the paper's §II: "This captures
+// almost all modern graph algorithms, including PageRank, Connected
+// Components, and Betweenness Centrality").
+
+// BFS returns the hop distance from source over out-edges (-1 for
+// unreachable vertices). The graph should be symmetrized for undirected
+// semantics.
+func BFS(workers int, g *graph.CSR, source graph.NodeID) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	parents := make([]int32, g.N)
+	for i := range parents {
+		parents[i] = -1
+	}
+	parents[source] = int32(source)
+	frontier := FromNodes(g.N, []graph.NodeID{source})
+	level := int32(0)
+	for !frontier.IsEmpty() {
+		level++
+		lvl := level
+		frontier = EdgeMap(g, frontier, func(u, v graph.NodeID, w float32) bool {
+			// claim v once via CAS on its parent slot
+			if atomic.CompareAndSwapInt32(&parents[v], -1, int32(u)) {
+				atomic.StoreInt32(&dist[v], lvl)
+				return true
+			}
+			return false
+		}, Options{Workers: workers, Cond: func(v graph.NodeID) bool {
+			return atomic.LoadInt32(&parents[v]) == -1
+		}})
+	}
+	return dist
+}
+
+// ConnectedComponents label-propagates the minimum vertex id within each
+// (weakly) connected component of a symmetrized graph.
+func ConnectedComponents(workers int, g *graph.CSR) []graph.NodeID {
+	ids := make([]uint32, g.N)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	frontier := All(g.N)
+	for !frontier.IsEmpty() {
+		frontier = EdgeMap(g, frontier, func(u, v graph.NodeID, w float32) bool {
+			// writeMin(ids[v], ids[u])
+			for {
+				mine := atomic.LoadUint32(&ids[u])
+				theirs := atomic.LoadUint32(&ids[v])
+				if mine >= theirs {
+					return false
+				}
+				if atomic.CompareAndSwapUint32(&ids[v], theirs, mine) {
+					return true
+				}
+			}
+		}, Options{Workers: workers})
+	}
+	out := make([]graph.NodeID, g.N)
+	for i, id := range ids {
+		out[i] = graph.NodeID(id)
+	}
+	return out
+}
+
+// PageRank runs power iteration with damping until the L1 delta falls
+// below eps or maxIter rounds, returning the score vector (sums to ~1 on
+// graphs without dangling vertices; dangling mass is redistributed
+// uniformly).
+func PageRank(workers int, g *graph.CSR, damping float64, eps float64, maxIter int) []float64 {
+	n := g.N
+	if n == 0 {
+		return nil
+	}
+	p := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range p {
+		p[i] = inv
+	}
+	deg := graph.OutDegrees(workers, g)
+	frontier := All(n)
+	for iter := 0; iter < maxIter; iter++ {
+		// dangling mass
+		dangling := parallel.Reduce(workers, n, 0.0, func(lo, hi int) float64 {
+			var s float64
+			for v := lo; v < hi; v++ {
+				if deg[v] == 0 {
+					s += p[v]
+				}
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+		base := (1-damping)*inv + damping*dangling*inv
+		parallel.For(workers, n, func(v int) { next[v] = base })
+		contrib := make([]float64, n)
+		parallel.For(workers, n, func(v int) {
+			if deg[v] > 0 {
+				contrib[v] = damping * p[v] / float64(deg[v])
+			}
+		})
+		Process(g, frontier, func(u, v graph.NodeID, w float32) bool {
+			atomicx.AddFloat64(&next[v], contrib[u])
+			return false
+		}, Options{Workers: workers})
+		delta := parallel.Reduce(workers, n, 0.0, func(lo, hi int) float64 {
+			var s float64
+			for v := lo; v < hi; v++ {
+				s += math.Abs(next[v] - p[v])
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+		p, next = next, p
+		if delta < eps {
+			break
+		}
+	}
+	return p
+}

@@ -1,0 +1,173 @@
+package ligra
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// BellmanFord computes single-source shortest path distances over
+// non-negative edge weights using frontier-based relaxation with Ligra's
+// writeMin primitive (atomicx.MinFloat64). Unweighted arcs count as 1.
+// Returns +Inf for unreachable vertices. Negative cycles are not
+// detected (weights are expected non-negative in this repository).
+func BellmanFord(workers int, g *graph.CSR, source graph.NodeID) []float64 {
+	n := g.N
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	frontier := FromNodes(n, []graph.NodeID{source})
+	for round := 0; round < n && !frontier.IsEmpty(); round++ {
+		frontier = EdgeMap(g, frontier, func(u, v graph.NodeID, w float32) bool {
+			cand := atomicx.LoadFloat64(&dist[u]) + float64(w)
+			return atomicx.MinFloat64(&dist[v], cand)
+		}, Options{Workers: workers})
+	}
+	return dist
+}
+
+// KCore computes the coreness of every vertex of a symmetrized graph by
+// iterative peeling: repeatedly remove vertices of degree < k, the
+// removed vertices at level k have coreness k-1. Implemented with
+// frontier-driven decrement propagation (the standard Ligra formulation).
+func KCore(workers int, g *graph.CSR) []int32 {
+	n := g.N
+	deg := make([]int64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.NodeID(v))
+	}
+	core := make([]int32, n)
+	alive := make([]bool, n)
+	remaining := n
+	for i := range alive {
+		alive[i] = true
+	}
+	for k := int32(1); remaining > 0; k++ {
+		// peel everything with degree < k until fixpoint
+		for {
+			var peel []graph.NodeID
+			for v := 0; v < n; v++ {
+				if alive[v] && deg[v] < int64(k) {
+					peel = append(peel, graph.NodeID(v))
+				}
+			}
+			if len(peel) == 0 {
+				break
+			}
+			for _, v := range peel {
+				alive[v] = false
+				core[v] = k - 1
+				remaining--
+			}
+			frontier := FromNodes(n, peel)
+			Process(g, frontier, func(u, v graph.NodeID, w float32) bool {
+				if alive[v] {
+					atomic.AddInt64(&deg[v], -1)
+				}
+				return false
+			}, Options{Workers: workers})
+		}
+	}
+	return core
+}
+
+// TriangleCount counts triangles of an undirected simple graph given in
+// symmetrized CSR form with sorted adjacency lists. Each triangle is
+// counted once via the rank-ordering trick: only paths u < v < w with
+// u→v, u→w, v→w are intersected.
+func TriangleCount(workers int, g *graph.CSR) int64 {
+	return parallel.Reduce(workers, g.N, int64(0), func(lo, hi int) int64 {
+		var count int64
+		for u := lo; u < hi; u++ {
+			nu := higherNeighbors(g, graph.NodeID(u))
+			for _, v := range nu {
+				count += sortedIntersectCount(nu, higherNeighbors(g, v))
+			}
+		}
+		return count
+	}, func(a, b int64) int64 { return a + b })
+}
+
+// higherNeighbors returns the suffix of u's sorted adjacency containing
+// neighbors with id > u.
+func higherNeighbors(g *graph.CSR, u graph.NodeID) []graph.NodeID {
+	nbrs := g.Neighbors(u)
+	idx := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] > u })
+	return nbrs[idx:]
+}
+
+// sortedIntersectCount counts common elements of two ascending slices.
+func sortedIntersectCount(a, b []graph.NodeID) int64 {
+	var count int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// BFSDirOpt is direction-optimizing BFS (Beamer et al., the optimization
+// Ligra's dense/sparse switch implements): small frontiers push along
+// out-edges, large frontiers pull along in-edges of the transpose. For a
+// symmetrized graph pass g as its own transpose.
+func BFSDirOpt(workers int, g, gT *graph.CSR, source graph.NodeID) []int32 {
+	n := g.N
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[source] = 0
+	parent[source] = int32(source)
+	frontier := FromNodes(n, []graph.NodeID{source})
+	for level := int32(1); !frontier.IsEmpty(); level++ {
+		if frontier.Size() > n/20 { // dense pull round
+			mem := frontier.ToDense()
+			next := make([]bool, n)
+			var count atomic.Int64
+			parallel.For(workers, n, func(v int) {
+				if parent[v] != -1 {
+					return
+				}
+				for _, u := range gT.Neighbors(graph.NodeID(v)) {
+					if mem[u] {
+						parent[v] = int32(u)
+						dist[v] = level
+						next[v] = true
+						count.Add(1)
+						return
+					}
+				}
+			})
+			frontier = &VertexSubset{n: n, size: int(count.Load()), dense: next}
+			continue
+		}
+		lvl := level
+		frontier = EdgeMap(g, frontier, func(u, v graph.NodeID, w float32) bool {
+			if atomic.CompareAndSwapInt32(&parent[v], -1, int32(u)) {
+				atomic.StoreInt32(&dist[v], lvl)
+				return true
+			}
+			return false
+		}, Options{Workers: workers, Cond: func(v graph.NodeID) bool {
+			return atomic.LoadInt32(&parent[v]) == -1
+		}})
+	}
+	return dist
+}

@@ -1,0 +1,216 @@
+package ligra
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBellmanFordUnweightedMatchesBFS(t *testing.T) {
+	el := gen.ErdosRenyi(4, 500, 4000, 71)
+	g := csrOf(t, graph.Symmetrize(el))
+	bfs := BFS(8, g, 0)
+	bf := BellmanFord(8, g, 0)
+	for v := 0; v < g.N; v++ {
+		if bfs[v] == -1 {
+			if !math.IsInf(bf[v], 1) {
+				t.Fatalf("v=%d: BFS unreachable but BF dist %v", v, bf[v])
+			}
+			continue
+		}
+		if float64(bfs[v]) != bf[v] {
+			t.Fatalf("v=%d: BFS %d vs BF %v", v, bfs[v], bf[v])
+		}
+	}
+}
+
+func TestBellmanFordWeighted(t *testing.T) {
+	// 0 -> 1 (w=10), 0 -> 2 (w=1), 2 -> 1 (w=2): best path to 1 costs 3
+	el := &graph.EdgeList{N: 3, Weighted: true, Edges: []graph.Edge{
+		{U: 0, V: 1, W: 10}, {U: 0, V: 2, W: 1}, {U: 2, V: 1, W: 2},
+	}}
+	g := csrOf(t, el)
+	d := BellmanFord(4, g, 0)
+	if d[0] != 0 || d[1] != 3 || d[2] != 1 {
+		t.Fatalf("dist=%v", d)
+	}
+}
+
+func TestBellmanFordAgainstDijkstraOracle(t *testing.T) {
+	el := gen.ErdosRenyi(4, 200, 1500, 73)
+	el.Weighted = true
+	for i := range el.Edges {
+		el.Edges[i].W = float32(i%9 + 1)
+	}
+	sym := graph.Symmetrize(el)
+	g := csrOf(t, sym)
+	got := BellmanFord(8, g, 0)
+	// O(n^2) Dijkstra oracle
+	n := g.N
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		nbrs := g.Neighbors(graph.NodeID(u))
+		ws := g.EdgeWeights(graph.NodeID(u))
+		for i, v := range nbrs {
+			if d := dist[u] + float64(ws[i]); d < dist[v] {
+				dist[v] = d
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if math.IsInf(dist[v], 1) != math.IsInf(got[v], 1) {
+			t.Fatalf("v=%d reachability mismatch", v)
+		}
+		if !math.IsInf(dist[v], 1) && math.Abs(dist[v]-got[v]) > 1e-9 {
+			t.Fatalf("v=%d: oracle %v got %v", v, dist[v], got[v])
+		}
+	}
+}
+
+func TestKCoreCliquePlusTail(t *testing.T) {
+	// 5-clique (coreness 4) with a path tail (coreness 1)
+	el := gen.Complete(5)
+	for _, e := range []graph.Edge{{U: 4, V: 5, W: 1}, {U: 5, V: 6, W: 1}} {
+		el.Edges = append(el.Edges, e)
+	}
+	el.N = 7
+	g := csrOf(t, graph.Symmetrize(el))
+	core := KCore(4, g)
+	for v := 0; v < 5; v++ {
+		if core[v] != 4 {
+			t.Fatalf("clique vertex %d coreness %d want 4", v, core[v])
+		}
+	}
+	if core[5] != 1 || core[6] != 1 {
+		t.Fatalf("tail coreness %v %v want 1", core[5], core[6])
+	}
+}
+
+func TestKCoreCycle(t *testing.T) {
+	g := csrOf(t, graph.Symmetrize(gen.Cycle(10)))
+	core := KCore(4, g)
+	for v, c := range core {
+		if c != 2 {
+			t.Fatalf("cycle vertex %d coreness %d want 2", v, c)
+		}
+	}
+}
+
+func TestKCoreIsolated(t *testing.T) {
+	g := csrOf(t, &graph.EdgeList{N: 3})
+	core := KCore(2, g)
+	for _, c := range core {
+		if c != 0 {
+			t.Fatalf("isolated coreness %d", c)
+		}
+	}
+}
+
+func TestTriangleCountKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		el   *graph.EdgeList
+		want int64
+	}{
+		{"triangle", gen.Cycle(3), 1},
+		{"square", gen.Cycle(4), 0},
+		{"K4", gen.Complete(4), 4},
+		{"K5", gen.Complete(5), 10},
+		{"path", gen.Path(10), 0},
+	}
+	for _, c := range cases {
+		g := csrOf(t, graph.Symmetrize(c.el))
+		if got := TriangleCount(4, g); got != c.want {
+			t.Fatalf("%s: %d triangles want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	el := gen.ErdosRenyi(4, 60, 400, 79)
+	graph.RemoveSelfLoops(el)
+	graph.Deduplicate(2, el)
+	// drop reciprocal duplicates for a simple undirected graph
+	seen := map[[2]graph.NodeID]bool{}
+	simple := el.Edges[:0]
+	for _, e := range el.Edges {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]graph.NodeID{a, b}] {
+			continue
+		}
+		seen[[2]graph.NodeID{a, b}] = true
+		simple = append(simple, graph.Edge{U: a, V: b, W: 1})
+	}
+	el.Edges = simple
+	g := csrOf(t, graph.Symmetrize(el))
+	adj := make([][]bool, el.N)
+	for i := range adj {
+		adj[i] = make([]bool, el.N)
+	}
+	for _, e := range el.Edges {
+		adj[e.U][e.V] = true
+		adj[e.V][e.U] = true
+	}
+	var want int64
+	for a := 0; a < el.N; a++ {
+		for b := a + 1; b < el.N; b++ {
+			if !adj[a][b] {
+				continue
+			}
+			for c := b + 1; c < el.N; c++ {
+				if adj[a][c] && adj[b][c] {
+					want++
+				}
+			}
+		}
+	}
+	if got := TriangleCount(8, g); got != want {
+		t.Fatalf("triangles %d want %d", got, want)
+	}
+}
+
+func TestBFSDirOptMatchesBFS(t *testing.T) {
+	el := gen.RMAT(4, 11, 30_000, gen.Graph500Params, 83)
+	sym := graph.Symmetrize(el)
+	g := csrOf(t, sym)
+	plain := BFS(8, g, 1)
+	dirOpt := BFSDirOpt(8, g, g, 1) // symmetric: g is its own transpose
+	for v := 0; v < g.N; v++ {
+		if plain[v] != dirOpt[v] {
+			t.Fatalf("v=%d: BFS %d dir-opt %d", v, plain[v], dirOpt[v])
+		}
+	}
+}
+
+func TestBFSDirOptDirected(t *testing.T) {
+	el := gen.ErdosRenyi(4, 800, 12_000, 89)
+	g := csrOf(t, el)
+	gT := graph.Transpose(4, g)
+	plain := BFS(8, g, 0)
+	dirOpt := BFSDirOpt(8, g, gT, 0)
+	for v := 0; v < g.N; v++ {
+		if plain[v] != dirOpt[v] {
+			t.Fatalf("v=%d: BFS %d dir-opt %d", v, plain[v], dirOpt[v])
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package ligra
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// BetweennessCentrality computes Brandes' dependency accumulation from a
+// single source over an unweighted symmetrized graph — the Ligra paper's
+// BC benchmark (and name-checked in §II of the paper reproduced here).
+// It returns the per-vertex dependency scores δ_s(v). Exact all-pairs BC
+// sums this over every source; ApproxBetweenness samples sources.
+func BetweennessCentrality(workers int, g *graph.CSR, source graph.NodeID) []float64 {
+	n := g.N
+	sigma := make([]float64, n) // shortest-path counts
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[source] = 1
+	dist[source] = 0
+
+	// forward phase: level-synchronous BFS accumulating path counts
+	var levels []*VertexSubset
+	frontier := FromNodes(n, []graph.NodeID{source})
+	levels = append(levels, frontier)
+	for level := int32(1); !frontier.IsEmpty(); level++ {
+		lvl := level
+		frontier = EdgeMap(g, frontier, func(u, v graph.NodeID, w float32) bool {
+			// claim v for this level (first writer sets dist)
+			if atomic.CompareAndSwapInt32(&dist[v], -1, lvl) {
+				atomicx.AddFloat64(&sigma[v], sigma[u])
+				return true
+			}
+			if atomic.LoadInt32(&dist[v]) == lvl {
+				atomicx.AddFloat64(&sigma[v], sigma[u])
+			}
+			return false
+		}, Options{Workers: workers, Cond: func(v graph.NodeID) bool {
+			d := atomic.LoadInt32(&dist[v])
+			return d == -1 || d == lvl
+		}})
+		if !frontier.IsEmpty() {
+			levels = append(levels, frontier)
+		}
+	}
+
+	// backward phase: dependency accumulation level by level
+	delta := make([]float64, n)
+	for l := len(levels) - 1; l >= 1; l-- {
+		VertexMap(workers, levels[l], func(v graph.NodeID) {
+			// pull from predecessors: for each neighbor u at dist-1,
+			// δ(u) += σ(u)/σ(v) · (1 + δ(v)); push form with atomics:
+			dv := (1 + delta[v]) / sigma[v]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == dist[v]-1 {
+					atomicx.AddFloat64(&delta[u], sigma[u]*dv)
+				}
+			}
+		})
+	}
+	delta[source] = 0
+	return delta
+}
+
+// ApproxBetweenness sums single-source dependencies over sampled sources
+// (Brandes-Pich approximation), scaled to estimate full betweenness.
+func ApproxBetweenness(workers int, g *graph.CSR, sources []graph.NodeID) []float64 {
+	out := make([]float64, g.N)
+	for _, s := range sources {
+		d := BetweennessCentrality(workers, g, s)
+		for v, x := range d {
+			out[v] += x
+		}
+	}
+	if len(sources) > 0 {
+		scale := float64(g.N) / float64(len(sources))
+		for v := range out {
+			out[v] *= scale
+		}
+	}
+	return out
+}
+
+// MaximalIndependentSet computes an MIS with Luby's randomized algorithm
+// on a symmetrized graph: every round, vertices that beat all live
+// neighbors' priorities join the set; their neighbors leave. Returns the
+// membership vector. Deterministic in seed.
+func MaximalIndependentSet(workers int, g *graph.CSR, seed uint64) []bool {
+	n := g.N
+	const (
+		undecided uint32 = 0
+		in        uint32 = 1
+		out       uint32 = 2
+	)
+	state := make([]uint32, n)
+	prio := make([]uint64, n)
+	parallel.For(workers, n, func(v int) {
+		prio[v] = mix(seed, uint64(v))
+	})
+	for {
+		var joined atomic.Int64
+		var remaining atomic.Int64
+		parallel.For(workers, n, func(v int) {
+			if atomic.LoadUint32(&state[v]) != undecided {
+				return
+			}
+			best := true
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if int(u) == v {
+					continue
+				}
+				if atomic.LoadUint32(&state[u]) == undecided &&
+					(prio[u] > prio[v] || (prio[u] == prio[v] && u > graph.NodeID(v))) {
+					best = false
+					break
+				}
+				if atomic.LoadUint32(&state[u]) == in {
+					best = false
+					break
+				}
+			}
+			if best {
+				atomic.StoreUint32(&state[v], in)
+				joined.Add(1)
+			}
+		})
+		// neighbors of newly joined vertices drop out
+		parallel.For(workers, n, func(v int) {
+			if atomic.LoadUint32(&state[v]) != undecided {
+				return
+			}
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if atomic.LoadUint32(&state[u]) == in {
+					atomic.StoreUint32(&state[v], out)
+					return
+				}
+			}
+			remaining.Add(1)
+		})
+		if remaining.Load() == 0 {
+			break
+		}
+		if joined.Load() == 0 {
+			// ties blocked progress (possible only with equal priorities);
+			// bump the seed-derived priorities and continue
+			parallel.For(workers, n, func(v int) {
+				prio[v] = mix(prio[v], uint64(v)+1)
+			})
+		}
+	}
+	mis := make([]bool, n)
+	for v := range mis {
+		mis[v] = state[v] == in
+	}
+	return mis
+}
+
+// mix is a splitmix64-style hash for per-vertex priorities.
+func mix(a, b uint64) uint64 {
+	x := a ^ (b * 0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

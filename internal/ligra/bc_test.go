@@ -1,0 +1,181 @@
+package ligra
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteForceBC computes single-source Brandes dependencies with a plain
+// serial implementation (BFS + reverse accumulation over explicit
+// predecessor lists).
+func bruteForceBC(g *graph.CSR, s graph.NodeID) []float64 {
+	n := g.N
+	dist := make([]int, n)
+	sigma := make([]float64, n)
+	preds := make([][]graph.NodeID, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	sigma[s] = 1
+	queue := []graph.NodeID{s}
+	var order []graph.NodeID
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+				preds[v] = append(preds[v], u)
+			}
+		}
+	}
+	delta := make([]float64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, u := range preds[v] {
+			delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+		}
+	}
+	delta[s] = 0
+	return delta
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// path 0-1-2-3-4 from source 0: delta(v) = #shortest paths through v
+	g := csrOf(t, graph.Symmetrize(gen.Path(5)))
+	d := BetweennessCentrality(4, g, 0)
+	want := []float64{0, 3, 2, 1, 0}
+	for v := range want {
+		if math.Abs(d[v]-want[v]) > 1e-12 {
+			t.Fatalf("delta=%v want %v", d, want)
+		}
+	}
+}
+
+func TestBetweennessMatchesBruteForce(t *testing.T) {
+	el := gen.ErdosRenyi(4, 150, 1200, 91)
+	g := csrOf(t, graph.Symmetrize(el))
+	for _, s := range []graph.NodeID{0, 7, 42} {
+		want := bruteForceBC(g, s)
+		got := BetweennessCentrality(8, g, s)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9*math.Max(1, want[v]) {
+				t.Fatalf("source %d vertex %d: got %v want %v", s, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBetweennessStarCenter(t *testing.T) {
+	// from a leaf, the center lies on every path to the other leaves
+	g := csrOf(t, graph.Symmetrize(gen.Star(10)))
+	d := BetweennessCentrality(4, g, 1)
+	if math.Abs(d[0]-8) > 1e-12 { // 8 other leaves beyond center
+		t.Fatalf("center dependency %v want 8", d[0])
+	}
+}
+
+func TestApproxBetweennessScales(t *testing.T) {
+	el := gen.ErdosRenyi(4, 100, 900, 93)
+	g := csrOf(t, graph.Symmetrize(el))
+	// full sampling = exact sum scaled by n/n = plain sum
+	var sources []graph.NodeID
+	for v := 0; v < g.N; v++ {
+		sources = append(sources, graph.NodeID(v))
+	}
+	approx := ApproxBetweenness(8, g, sources)
+	exact := make([]float64, g.N)
+	for _, s := range sources {
+		for v, x := range bruteForceBC(g, s) {
+			exact[v] += x
+		}
+	}
+	for v := range exact {
+		if math.Abs(approx[v]-exact[v]) > 1e-6*math.Max(1, exact[v]) {
+			t.Fatalf("v=%d: %v want %v", v, approx[v], exact[v])
+		}
+	}
+	if out := ApproxBetweenness(2, g, nil); len(out) != g.N {
+		t.Fatal("empty sources must still return a vector")
+	}
+}
+
+func TestMISValidAndMaximal(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		el := gen.ErdosRenyi(4, 300, 2000, 95+seed)
+		g := csrOf(t, graph.Symmetrize(el))
+		mis := MaximalIndependentSet(8, g, seed)
+		// independence: no two adjacent members
+		for u := 0; u < g.N; u++ {
+			if !mis[u] {
+				continue
+			}
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				if int(v) != u && mis[v] {
+					t.Fatalf("adjacent members %d,%d", u, v)
+				}
+			}
+		}
+		// maximality: every non-member has a member neighbor
+		for u := 0; u < g.N; u++ {
+			if mis[u] {
+				continue
+			}
+			ok := false
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				if mis[v] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("vertex %d could join the set", u)
+			}
+		}
+	}
+}
+
+func TestMISIsolatedAllIn(t *testing.T) {
+	g := csrOf(t, &graph.EdgeList{N: 5})
+	mis := MaximalIndependentSet(4, g, 1)
+	for v, in := range mis {
+		if !in {
+			t.Fatalf("isolated vertex %d excluded", v)
+		}
+	}
+}
+
+func TestMISCompleteGraphExactlyOne(t *testing.T) {
+	g := csrOf(t, graph.Symmetrize(gen.Complete(12)))
+	mis := MaximalIndependentSet(4, g, 7)
+	count := 0
+	for _, in := range mis {
+		if in {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("MIS of K_12 has %d members", count)
+	}
+}
+
+func TestMISDeterministic(t *testing.T) {
+	el := gen.ErdosRenyi(4, 200, 1500, 99)
+	g := csrOf(t, graph.Symmetrize(el))
+	a := MaximalIndependentSet(1, g, 5)
+	b := MaximalIndependentSet(8, g, 5)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("MIS differs across worker counts at %d", v)
+		}
+	}
+}

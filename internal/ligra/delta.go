@@ -1,0 +1,185 @@
+package ligra
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// DeltaStepping computes single-source shortest paths over non-negative
+// float weights with the classic bucketed relaxation (Meyer & Sanders):
+// vertices are settled in distance bands of width delta, light edges
+// (w < delta) are relaxed within a band until fixpoint, heavy edges once
+// per band. delta <= 0 picks the mean edge weight. Unweighted arcs count
+// as 1. Returns +Inf for unreachable vertices.
+func DeltaStepping(workers int, g *graph.CSR, source graph.NodeID, delta float64) []float64 {
+	n := g.N
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	if delta <= 0 {
+		m := g.NumEdges()
+		if m == 0 {
+			return dist
+		}
+		var total float64
+		for i := int64(0); i < m; i++ {
+			total += float64(g.Weight(i))
+		}
+		delta = total / float64(m)
+		if delta <= 0 {
+			delta = 1
+		}
+	}
+	bucketOf := func(d float64) int { return int(d / delta) }
+	buckets := map[int][]graph.NodeID{0: {source}}
+	inBucket := make([]int32, n) // bucket id + 1 the vertex currently sits in, 0 = none
+	inBucket[source] = 1
+	for cur := 0; len(buckets) > 0; cur++ {
+		nodes, ok := buckets[cur]
+		if !ok {
+			// skip to the next non-empty bucket
+			next := -1
+			for b := range buckets {
+				if b >= cur && (next == -1 || b < next) {
+					next = b
+				}
+			}
+			if next == -1 {
+				break
+			}
+			cur = next
+			nodes = buckets[cur]
+		}
+		delete(buckets, cur)
+		// settle this band: repeat light-edge relaxation until no vertex
+		// re-enters the current bucket
+		for len(nodes) > 0 {
+			for _, v := range nodes {
+				if int(inBucket[v])-1 == cur {
+					inBucket[v] = 0
+				}
+			}
+			frontier := FromNodes(n, dedupe(nodes))
+			relaxed := EdgeMap(g, frontier, func(u, v graph.NodeID, w float32) bool {
+				cand := atomicx.LoadFloat64(&dist[u]) + float64(w)
+				return atomicx.MinFloat64(&dist[v], cand)
+			}, Options{Workers: workers})
+			nodes = nodes[:0]
+			for _, v := range relaxed.ToSparse() {
+				b := bucketOf(dist[v])
+				if b <= cur {
+					nodes = append(nodes, v)
+					inBucket[v] = int32(cur) + 1
+				} else if int(inBucket[v])-1 != b {
+					buckets[b] = append(buckets[b], v)
+					inBucket[v] = int32(b) + 1
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// dedupe removes duplicate vertex ids (order not preserved).
+func dedupe(nodes []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{}, len(nodes))
+	out := nodes[:0]
+	for _, v := range nodes {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GreedyColor computes a vertex coloring of a symmetrized graph with the
+// Jones-Plassmann parallel greedy scheme: a vertex colors itself with
+// the smallest color unused by its neighbors once every neighbor with
+// higher random priority is colored. Returns the color vector (colors
+// are dense small ints; adjacent vertices always differ).
+func GreedyColor(workers int, g *graph.CSR, seed uint64) []int32 {
+	n := g.N
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	prio := make([]uint64, n)
+	parallel.For(workers, n, func(v int) { prio[v] = mix(seed, uint64(v)) })
+	higher := func(u, v graph.NodeID) bool {
+		return prio[u] > prio[v] || (prio[u] == prio[v] && u > v)
+	}
+	remaining := n
+	for remaining > 0 {
+		var colored int
+		colored = int(parallel.Reduce(workers, n, int64(0), func(lo, hi int) int64 {
+			var c int64
+			var used []bool
+			for v := lo; v < hi; v++ {
+				if atomic.LoadInt32(&colors[v]) != -1 {
+					continue
+				}
+				ready := true
+				maxColor := 0
+				for _, u := range g.Neighbors(graph.NodeID(v)) {
+					if int(u) == v {
+						continue
+					}
+					cu := atomic.LoadInt32(&colors[u])
+					if cu == -1 && higher(u, graph.NodeID(v)) {
+						ready = false
+						break
+					}
+					if int(cu)+1 > maxColor {
+						maxColor = int(cu) + 1
+					}
+				}
+				if !ready {
+					continue
+				}
+				if cap(used) < maxColor+1 {
+					used = make([]bool, maxColor+1)
+				}
+				used = used[:maxColor+1]
+				for i := range used {
+					used[i] = false
+				}
+				for _, u := range g.Neighbors(graph.NodeID(v)) {
+					if int(u) == v {
+						continue
+					}
+					if cu := atomic.LoadInt32(&colors[u]); cu >= 0 && int(cu) < len(used) {
+						used[cu] = true
+					}
+				}
+				pick := int32(len(used))
+				for i, taken := range used {
+					if !taken {
+						pick = int32(i)
+						break
+					}
+				}
+				atomic.StoreInt32(&colors[v], pick)
+				c++
+			}
+			return c
+		}, func(a, b int64) int64 { return a + b }))
+		remaining -= colored
+		if colored == 0 && remaining > 0 {
+			// cannot happen with distinct priorities; guard anyway
+			for v := 0; v < n; v++ {
+				if colors[v] == -1 {
+					colors[v] = 0
+					remaining--
+				}
+			}
+		}
+	}
+	return colors
+}

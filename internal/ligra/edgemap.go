@@ -1,0 +1,198 @@
+package ligra
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// EdgeFunc is the per-edge update function. It is called once per
+// traversed arc (u, v, w). Returning true marks v for inclusion in the
+// output frontier (subject to Cond and first-claim semantics in sparse
+// mode).
+type EdgeFunc func(u, v graph.NodeID, w float32) bool
+
+// Options configures an EdgeMap invocation.
+type Options struct {
+	Workers int
+	// Cond is Ligra's per-target condition: arcs into vertices failing
+	// Cond are skipped. nil means always true.
+	Cond func(v graph.NodeID) bool
+	// DenseThresholdDiv is Ligra's representation-switch denominator:
+	// traverse dense when |frontier| + out-degree sum > m / div.
+	// Zero selects Ligra's default of 20.
+	DenseThresholdDiv int64
+	// ForceDense / ForceSparse pin the traversal mode (for ablations).
+	ForceDense  bool
+	ForceSparse bool
+}
+
+// EdgeMap traverses the out-edges of the frontier, invoking f per arc,
+// and returns the output frontier of vertices for which f returned true.
+// Mode selection follows Ligra: sparse (frontier-driven, first-claim
+// output dedup) when the frontier is small, dense (one task per vertex,
+// sequential within an edge list) when large.
+func EdgeMap(g *graph.CSR, frontier *VertexSubset, f EdgeFunc, opt Options) *VertexSubset {
+	if frontier.IsEmpty() {
+		return Empty(g.N)
+	}
+	dense := shouldDense(g, frontier, opt)
+	if dense {
+		return edgeMapDense(g, frontier, f, opt)
+	}
+	return edgeMapSparse(g, frontier, f, opt)
+}
+
+// Process traverses the out-edges of the frontier for side effects only:
+// no output frontier is allocated and f's return value is ignored. This
+// is the fast path GEE uses (the embedding update wants no new frontier).
+// The traversal is always dense-style: parallel over vertices, sequential
+// within each vertex's edge list.
+func Process(g *graph.CSR, frontier *VertexSubset, f EdgeFunc, opt Options) {
+	if frontier.IsEmpty() {
+		return
+	}
+	w := opt.Workers
+	if frontier.Size() == frontier.N() {
+		// Whole-graph frontier: skip the membership test entirely and
+		// chunk by vertex. This is GEE's configuration.
+		parallel.ForChunk(w, g.N, 0, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				applyVertex(g, graph.NodeID(u), f, opt.Cond)
+			}
+		})
+		return
+	}
+	mem := frontier.ToDense()
+	parallel.ForChunk(w, g.N, 0, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if mem[u] {
+				applyVertex(g, graph.NodeID(u), f, opt.Cond)
+			}
+		}
+	})
+}
+
+// applyVertex walks u's out-edge list sequentially.
+func applyVertex(g *graph.CSR, u graph.NodeID, f EdgeFunc, cond func(graph.NodeID) bool) {
+	lo, hi := g.Offsets[u], g.Offsets[u+1]
+	if g.Weights == nil {
+		for i := lo; i < hi; i++ {
+			v := g.Targets[i]
+			if cond == nil || cond(v) {
+				f(u, v, 1)
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		v := g.Targets[i]
+		if cond == nil || cond(v) {
+			f(u, v, g.Weights[i])
+		}
+	}
+}
+
+// shouldDense implements Ligra's mode heuristic.
+func shouldDense(g *graph.CSR, frontier *VertexSubset, opt Options) bool {
+	if opt.ForceDense {
+		return true
+	}
+	if opt.ForceSparse {
+		return false
+	}
+	div := opt.DenseThresholdDiv
+	if div <= 0 {
+		div = 20
+	}
+	m := g.NumEdges()
+	if m == 0 {
+		return true
+	}
+	var outDeg int64
+	if frontier.Size() == frontier.N() {
+		outDeg = m
+	} else {
+		nodes := frontier.ToSparse()
+		outDeg = parallel.Reduce(opt.Workers, len(nodes), int64(0), func(lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += g.Degree(nodes[i])
+			}
+			return s
+		}, func(a, b int64) int64 { return a + b })
+	}
+	return int64(frontier.Size())+outDeg > m/div
+}
+
+// edgeMapDense: parallel over all vertices, sequential within each active
+// vertex's out-edge list. Output vertices are claimed exactly once via a
+// CAS flag array (so the size is exact) and returned in dense form.
+// This is the forward/push dense traversal the paper describes
+// ("schedules one worker for the edge list of each node").
+func edgeMapDense(g *graph.CSR, frontier *VertexSubset, f EdgeFunc, opt Options) *VertexSubset {
+	mem := frontier.ToDense()
+	claimed := make([]uint32, g.N)
+	var outCount atomic.Int64
+	parallel.ForChunk(opt.Workers, g.N, 0, func(lo, hi int) {
+		var local int64
+		for u := lo; u < hi; u++ {
+			if !mem[u] {
+				continue
+			}
+			elo, ehi := g.Offsets[u], g.Offsets[u+1]
+			for i := elo; i < ehi; i++ {
+				v := g.Targets[i]
+				if opt.Cond != nil && !opt.Cond(v) {
+					continue
+				}
+				w := float32(1)
+				if g.Weights != nil {
+					w = g.Weights[i]
+				}
+				if f(graph.NodeID(u), v, w) && atomic.CompareAndSwapUint32(&claimed[v], 0, 1) {
+					local++
+				}
+			}
+		}
+		outCount.Add(local)
+	})
+	out := make([]bool, g.N)
+	parallel.For(opt.Workers, g.N, func(v int) { out[v] = claimed[v] != 0 })
+	return &VertexSubset{n: g.N, size: int(outCount.Load()), dense: out}
+}
+
+// edgeMapSparse: parallel over frontier vertices; output vertices claimed
+// exactly once through a CAS flag array, then compacted.
+func edgeMapSparse(g *graph.CSR, frontier *VertexSubset, f EdgeFunc, opt Options) *VertexSubset {
+	nodes := frontier.ToSparse()
+	claimed := make([]uint32, g.N)
+	locals := make([][]graph.NodeID, parallel.Workers(opt.Workers))
+	parallel.ForStatic(opt.Workers, len(nodes), func(worker, lo, hi int) {
+		var mine []graph.NodeID
+		for i := lo; i < hi; i++ {
+			u := nodes[i]
+			elo, ehi := g.Offsets[u], g.Offsets[u+1]
+			for e := elo; e < ehi; e++ {
+				v := g.Targets[e]
+				if opt.Cond != nil && !opt.Cond(v) {
+					continue
+				}
+				w := float32(1)
+				if g.Weights != nil {
+					w = g.Weights[e]
+				}
+				if f(u, v, w) && atomic.CompareAndSwapUint32(&claimed[v], 0, 1) {
+					mine = append(mine, v)
+				}
+			}
+		}
+		locals[worker] = mine
+	})
+	var out []graph.NodeID
+	for _, l := range locals {
+		out = append(out, l...)
+	}
+	return FromNodes(g.N, out)
+}

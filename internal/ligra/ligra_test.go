@@ -1,0 +1,366 @@
+package ligra
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func csrOf(t *testing.T, el *graph.EdgeList) *graph.CSR {
+	t.Helper()
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.BuildCSR(4, el)
+	graph.SortAdjacency(4, g)
+	return g
+}
+
+func TestVertexSubsetAll(t *testing.T) {
+	vs := All(10)
+	if vs.Size() != 10 || vs.N() != 10 || vs.IsEmpty() {
+		t.Fatalf("size=%d", vs.Size())
+	}
+	for v := graph.NodeID(0); v < 10; v++ {
+		if !vs.Contains(v) {
+			t.Fatalf("missing %d", v)
+		}
+	}
+}
+
+func TestVertexSubsetSparseDenseConversion(t *testing.T) {
+	vs := FromNodes(10, []graph.NodeID{3, 7, 1})
+	if vs.Size() != 3 {
+		t.Fatal("size")
+	}
+	d := vs.ToDense()
+	for v := 0; v < 10; v++ {
+		want := v == 1 || v == 3 || v == 7
+		if d[v] != want {
+			t.Fatalf("dense[%d]=%v", v, d[v])
+		}
+	}
+	sp := vs.ToSparse()
+	if len(sp) != 3 {
+		t.Fatalf("sparse len %d", len(sp))
+	}
+	vs2 := FromDense(d)
+	if vs2.Size() != 3 {
+		t.Fatalf("FromDense size %d", vs2.Size())
+	}
+	back := vs2.ToSparse()
+	if len(back) != 3 || back[0] != 1 || back[1] != 3 || back[2] != 7 {
+		t.Fatalf("round trip sparse %v", back)
+	}
+}
+
+func TestVertexSubsetEmpty(t *testing.T) {
+	e := Empty(5)
+	if !e.IsEmpty() || e.Size() != 0 {
+		t.Fatal("Empty not empty")
+	}
+	if e.Contains(0) {
+		t.Fatal("empty contains 0")
+	}
+}
+
+func TestVertexMapVisitsActiveOnly(t *testing.T) {
+	vs := FromNodes(100, []graph.NodeID{5, 50, 99})
+	var count atomic.Int64
+	seen := make([]int32, 100)
+	VertexMap(4, vs, func(v graph.NodeID) {
+		atomic.AddInt32(&seen[v], 1)
+		count.Add(1)
+	})
+	if count.Load() != 3 {
+		t.Fatalf("visited %d", count.Load())
+	}
+	if seen[5] != 1 || seen[50] != 1 || seen[99] != 1 {
+		t.Fatal("wrong vertices")
+	}
+}
+
+func TestVertexFilter(t *testing.T) {
+	vs := All(10)
+	even := VertexFilter(2, vs, func(v graph.NodeID) bool { return v%2 == 0 })
+	if even.Size() != 5 {
+		t.Fatalf("size=%d", even.Size())
+	}
+	if !even.Contains(4) || even.Contains(3) {
+		t.Fatal("wrong membership")
+	}
+}
+
+func TestEdgeMapVisitsEveryArcOnce(t *testing.T) {
+	el := gen.ErdosRenyi(4, 100, 3000, 1)
+	g := csrOf(t, el)
+	for _, force := range []Options{{ForceDense: true}, {ForceSparse: true}, {}} {
+		var visits atomic.Int64
+		opt := force
+		opt.Workers = 8
+		EdgeMap(g, All(g.N), func(u, v graph.NodeID, w float32) bool {
+			visits.Add(1)
+			return false
+		}, opt)
+		if visits.Load() != g.NumEdges() {
+			t.Fatalf("opt %+v: visited %d arcs want %d", force, visits.Load(), g.NumEdges())
+		}
+	}
+}
+
+func TestEdgeMapOutputFrontierExactUnderRaces(t *testing.T) {
+	// star graph: every leaf update targets the same few vertices
+	el := gen.Star(1000)
+	g := csrOf(t, graph.Symmetrize(el))
+	// frontier = leaves; every leaf points at center: output must be
+	// exactly {center} with size 1 in both modes.
+	leaves := make([]graph.NodeID, 0, 999)
+	for v := graph.NodeID(1); v < 1000; v++ {
+		leaves = append(leaves, v)
+	}
+	for _, force := range []Options{{ForceDense: true}, {ForceSparse: true}} {
+		opt := force
+		opt.Workers = 16
+		out := EdgeMap(g, FromNodes(g.N, leaves), func(u, v graph.NodeID, w float32) bool {
+			return true
+		}, opt)
+		if out.Size() != 1 || !out.Contains(0) {
+			t.Fatalf("opt %+v: out size %d", force, out.Size())
+		}
+	}
+}
+
+func TestEdgeMapCondSkipsTargets(t *testing.T) {
+	el := gen.Complete(20)
+	g := csrOf(t, graph.Symmetrize(el))
+	var visits atomic.Int64
+	EdgeMap(g, All(g.N), func(u, v graph.NodeID, w float32) bool {
+		visits.Add(1)
+		return false
+	}, Options{Workers: 4, Cond: func(v graph.NodeID) bool { return v < 10 }})
+	// each of 20 vertices has 19 arcs; only arcs into v<10 count
+	want := int64(20*19) / 2 // half of targets pass
+	if visits.Load() != want {
+		t.Fatalf("visits=%d want %d", visits.Load(), want)
+	}
+}
+
+func TestEdgeMapEmptyFrontier(t *testing.T) {
+	g := csrOf(t, gen.Cycle(5))
+	out := EdgeMap(g, Empty(5), func(u, v graph.NodeID, w float32) bool { return true }, Options{})
+	if !out.IsEmpty() {
+		t.Fatal("empty in, non-empty out")
+	}
+}
+
+func TestProcessFullFrontierVisitsAllArcs(t *testing.T) {
+	el := gen.ErdosRenyi(4, 200, 10_000, 3)
+	g := csrOf(t, el)
+	var visits atomic.Int64
+	Process(g, All(g.N), func(u, v graph.NodeID, w float32) bool {
+		visits.Add(1)
+		return false
+	}, Options{Workers: 8})
+	if visits.Load() != g.NumEdges() {
+		t.Fatalf("visited %d want %d", visits.Load(), g.NumEdges())
+	}
+}
+
+func TestProcessPartialFrontier(t *testing.T) {
+	g := csrOf(t, gen.Cycle(10))
+	var visits atomic.Int64
+	Process(g, FromNodes(10, []graph.NodeID{0, 5}), func(u, v graph.NodeID, w float32) bool {
+		visits.Add(1)
+		return false
+	}, Options{Workers: 4})
+	if visits.Load() != 2 {
+		t.Fatalf("visits=%d want 2", visits.Load())
+	}
+}
+
+func TestProcessWeightsDelivered(t *testing.T) {
+	el := &graph.EdgeList{N: 2, Weighted: true, Edges: []graph.Edge{{U: 0, V: 1, W: 2.5}}}
+	g := csrOf(t, el)
+	var got float32
+	Process(g, All(2), func(u, v graph.NodeID, w float32) bool {
+		got = w
+		return false
+	}, Options{Workers: 1})
+	if got != 2.5 {
+		t.Fatalf("w=%v", got)
+	}
+}
+
+func TestShouldDenseHeuristic(t *testing.T) {
+	el := gen.ErdosRenyi(4, 1000, 40_000, 9)
+	g := csrOf(t, el)
+	if !shouldDense(g, All(g.N), Options{}) {
+		t.Fatal("full frontier must be dense")
+	}
+	tiny := FromNodes(g.N, []graph.NodeID{0})
+	if shouldDense(g, tiny, Options{}) {
+		t.Fatal("single-vertex frontier on a 40k-edge graph must be sparse")
+	}
+	if !shouldDense(g, tiny, Options{ForceDense: true}) {
+		t.Fatal("ForceDense ignored")
+	}
+	if shouldDense(g, All(g.N), Options{ForceSparse: true}) {
+		t.Fatal("ForceSparse ignored")
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := csrOf(t, graph.Symmetrize(gen.Path(6)))
+	dist := BFS(4, g, 0)
+	for v := 0; v < 6; v++ {
+		if dist[v] != int32(v) {
+			t.Fatalf("dist[%d]=%d", v, dist[v])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	el := &graph.EdgeList{N: 4, Edges: []graph.Edge{{U: 0, V: 1, W: 1}}}
+	g := csrOf(t, graph.Symmetrize(el))
+	dist := BFS(2, g, 0)
+	if dist[1] != 1 || dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("dist=%v", dist)
+	}
+}
+
+func TestBFSGridDistances(t *testing.T) {
+	g := csrOf(t, graph.Symmetrize(gen.Grid2D(8, 8)))
+	dist := BFS(8, g, 0)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if dist[r*8+c] != int32(r+c) {
+				t.Fatalf("dist(%d,%d)=%d want %d", r, c, dist[r*8+c], r+c)
+			}
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// two disjoint cycles
+	el := &graph.EdgeList{N: 8}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4}} {
+		el.Edges = append(el.Edges, graph.Edge{U: e[0], V: e[1], W: 1})
+	}
+	g := csrOf(t, graph.Symmetrize(el))
+	cc := ConnectedComponents(8, g)
+	if cc[0] != cc[1] || cc[1] != cc[2] || cc[0] != 0 {
+		t.Fatalf("component A: %v", cc[:3])
+	}
+	if cc[4] != cc[5] || cc[5] != cc[6] || cc[6] != cc[7] || cc[4] != 4 {
+		t.Fatalf("component B: %v", cc[4:])
+	}
+	if cc[3] != 3 {
+		t.Fatalf("isolated vertex: %v", cc[3])
+	}
+	if cc[0] == cc[4] {
+		t.Fatal("components merged")
+	}
+}
+
+func TestConnectedComponentsRandomAgainstUnionFind(t *testing.T) {
+	el := gen.ErdosRenyi(4, 300, 500, 77)
+	sym := graph.Symmetrize(el)
+	g := csrOf(t, sym)
+	got := ConnectedComponents(8, g)
+	// serial union-find oracle
+	parent := make([]int, 300)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range el.Edges {
+		a, b := find(int(e.U)), find(int(e.V))
+		if a != b {
+			parent[a] = b
+		}
+	}
+	for u := 0; u < 300; u++ {
+		for v := u + 1; v < 300; v++ {
+			same := find(u) == find(v)
+			gotSame := got[u] == got[v]
+			if same != gotSame {
+				t.Fatalf("pair (%d,%d): oracle %v, ligra %v", u, v, same, gotSame)
+			}
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	el := gen.ErdosRenyi(4, 500, 5000, 55)
+	g := csrOf(t, graph.Symmetrize(el))
+	pr := PageRank(8, g, 0.85, 1e-10, 100)
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("sum=%v", sum)
+	}
+}
+
+func TestPageRankStarCenterDominates(t *testing.T) {
+	g := csrOf(t, graph.Symmetrize(gen.Star(50)))
+	pr := PageRank(4, g, 0.85, 1e-12, 200)
+	for v := 1; v < 50; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("center rank %v <= leaf %v", pr[0], pr[v])
+		}
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	g := csrOf(t, graph.Symmetrize(gen.Cycle(10)))
+	pr := PageRank(4, g, 0.85, 1e-12, 500)
+	for v := 1; v < 10; v++ {
+		if math.Abs(pr[v]-pr[0]) > 1e-9 {
+			t.Fatalf("cycle not uniform: pr[%d]=%v pr[0]=%v", v, pr[v], pr[0])
+		}
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	if pr := PageRank(2, graph.BuildCSR(1, &graph.EdgeList{N: 0}), 0.85, 1e-9, 10); pr != nil {
+		t.Fatal("expected nil for empty graph")
+	}
+}
+
+func TestBFSSparseToDenseSwitch(t *testing.T) {
+	// A graph big enough that BFS starts sparse and flips dense.
+	el := gen.ErdosRenyi(8, 2000, 30_000, 101)
+	g := csrOf(t, graph.Symmetrize(el))
+	dist := BFS(8, g, 0)
+	// sanity: most vertices reachable within a few hops on a dense ER
+	reached := 0
+	for _, d := range dist {
+		if d >= 0 {
+			reached++
+		}
+	}
+	if reached < 1900 {
+		t.Fatalf("only %d reached", reached)
+	}
+	// distances must respect edge relaxation: |d(u)-d(v)| <= 1 per edge
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			du, dv := dist[u], dist[v]
+			if du >= 0 && dv >= 0 && dv > du+1 {
+				t.Fatalf("triangle inequality violated: d(%d)=%d d(%d)=%d", u, du, v, dv)
+			}
+		}
+	}
+}

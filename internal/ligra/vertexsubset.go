@@ -1,0 +1,132 @@
+// Package ligra is a Go implementation of the Ligra shared-memory graph
+// processing interface (Shun & Blelloch, PPoPP 2013): VertexSubset
+// frontiers with sparse/dense dual representations, EdgeMap with the
+// |frontier|-based representation switch, and VertexMap.
+//
+// The paper runs GEE as an EdgeMap over the full-graph frontier, which
+// Ligra evaluates with edgeMapDense: one parallel task per vertex that
+// walks that vertex's out-edge list sequentially. That traversal order is
+// load-bearing for GEE — updates Z(u, ·) from a single vertex's list
+// never race with each other — so this package reproduces it exactly.
+package ligra
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// VertexSubset is a set of active vertices (a frontier). It keeps either
+// a sparse list of vertex IDs or a dense boolean membership vector, and
+// converts lazily like Ligra.
+type VertexSubset struct {
+	n      int
+	size   int
+	sparse []graph.NodeID // valid when dense == nil
+	dense  []bool         // valid when non-nil
+}
+
+// All returns the frontier containing every vertex of an n-vertex graph,
+// in dense form (GEE's frontier: "all nodes are active").
+func All(n int) *VertexSubset {
+	d := make([]bool, n)
+	for i := range d {
+		d[i] = true
+	}
+	return &VertexSubset{n: n, size: n, dense: d}
+}
+
+// FromNodes returns a sparse frontier over the given vertices (caller
+// promises they are unique and in range).
+func FromNodes(n int, nodes []graph.NodeID) *VertexSubset {
+	return &VertexSubset{n: n, size: len(nodes), sparse: nodes}
+}
+
+// FromDense wraps a dense membership vector.
+func FromDense(membership []bool) *VertexSubset {
+	size := 0
+	for _, b := range membership {
+		if b {
+			size++
+		}
+	}
+	return &VertexSubset{n: len(membership), size: size, dense: membership}
+}
+
+// Empty returns the empty frontier for an n-vertex graph.
+func Empty(n int) *VertexSubset { return &VertexSubset{n: n} }
+
+// Size returns the number of active vertices.
+func (vs *VertexSubset) Size() int { return vs.size }
+
+// N returns the universe size.
+func (vs *VertexSubset) N() int { return vs.n }
+
+// IsEmpty reports whether no vertices are active.
+func (vs *VertexSubset) IsEmpty() bool { return vs.size == 0 }
+
+// Contains reports whether v is active.
+func (vs *VertexSubset) Contains(v graph.NodeID) bool {
+	if vs.dense != nil {
+		return vs.dense[v]
+	}
+	for _, u := range vs.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ToSparse materializes (and caches) the sparse representation and
+// returns it in ascending vertex order.
+func (vs *VertexSubset) ToSparse() []graph.NodeID {
+	if vs.dense == nil {
+		return vs.sparse
+	}
+	out := make([]graph.NodeID, 0, vs.size)
+	for v, in := range vs.dense {
+		if in {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	vs.sparse = out
+	return out
+}
+
+// ToDense materializes (and caches) the dense representation.
+func (vs *VertexSubset) ToDense() []bool {
+	if vs.dense != nil {
+		return vs.dense
+	}
+	d := make([]bool, vs.n)
+	for _, v := range vs.sparse {
+		d[v] = true
+	}
+	vs.dense = d
+	return d
+}
+
+// VertexMap applies fn to every active vertex in parallel.
+func VertexMap(workers int, vs *VertexSubset, fn func(v graph.NodeID)) {
+	if vs.dense != nil {
+		parallel.For(workers, vs.n, func(v int) {
+			if vs.dense[v] {
+				fn(graph.NodeID(v))
+			}
+		})
+		return
+	}
+	parallel.For(workers, len(vs.sparse), func(i int) { fn(vs.sparse[i]) })
+}
+
+// VertexFilter returns the sub-frontier of active vertices for which keep
+// returns true.
+func VertexFilter(workers int, vs *VertexSubset, keep func(v graph.NodeID) bool) *VertexSubset {
+	mem := make([]bool, vs.n)
+	VertexMap(workers, vs, func(v graph.NodeID) {
+		if keep(v) {
+			mem[v] = true
+		}
+	})
+	return FromDense(mem)
+}

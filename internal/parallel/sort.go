@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"sort"
+	"sync"
+)
+
+// sortSerialThreshold is the slice length below which SortFunc falls back
+// to the standard library sort.
+const sortSerialThreshold = 1 << 14
+
+// SortFunc sorts s by less using a parallel merge sort. The sort is not
+// stable. workers <= 0 selects GOMAXPROCS.
+func SortFunc[T any](workers int, s []T, less func(a, b T) bool) {
+	w := Workers(workers)
+	if w <= 1 || len(s) < sortSerialThreshold {
+		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		return
+	}
+	buf := make([]T, len(s))
+	mergeSort(s, buf, less, depthFor(w))
+}
+
+// depthFor picks a recursion depth that yields at least 2*w leaves so the
+// scheduler can balance uneven halves.
+func depthFor(w int) int {
+	d := 0
+	for 1<<d < 2*w {
+		d++
+	}
+	return d
+}
+
+// mergeSort sorts s in place using buf as scratch, spawning goroutines
+// until depth reaches zero.
+func mergeSort[T any](s, buf []T, less func(a, b T) bool, depth int) {
+	if depth <= 0 || len(s) < sortSerialThreshold {
+		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		return
+	}
+	mid := len(s) / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mergeSort(s[:mid], buf[:mid], less, depth-1)
+	}()
+	mergeSort(s[mid:], buf[mid:], less, depth-1)
+	wg.Wait()
+	merge(s, buf, mid, less)
+}
+
+// merge merges the sorted halves s[:mid] and s[mid:] through buf back
+// into s.
+func merge[T any](s, buf []T, mid int, less func(a, b T) bool) {
+	copy(buf, s)
+	i, j := 0, mid
+	for k := 0; k < len(s); k++ {
+		switch {
+		case i >= mid:
+			s[k] = buf[j]
+			j++
+		case j >= len(s):
+			s[k] = buf[i]
+			i++
+		case less(buf[j], buf[i]):
+			s[k] = buf[j]
+			j++
+		default:
+			s[k] = buf[i]
+			i++
+		}
+	}
+}

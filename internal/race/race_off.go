@@ -1,0 +1,8 @@
+//go:build !race
+
+// Package race exposes whether the Go race detector is compiled in.
+// See race_on.go for why the GEE ablation consults it.
+package race
+
+// Enabled reports whether the race detector is active in this build.
+const Enabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+// Package race exposes whether the Go race detector is compiled in.
+// The GEE-Ligra "atomics off" ablation (LigraParallelUnsafe) performs
+// deliberately racy adds — the exact experiment the paper runs in §IV.
+// Under `-race` builds that implementation substitutes atomic adds so
+// the detector stays usable on the rest of the repository.
+package race
+
+// Enabled reports whether the race detector is active in this build.
+const Enabled = true

@@ -1,0 +1,64 @@
+package spectral
+
+import "math"
+
+// jacobiEigen computes the full eigendecomposition of a small symmetric
+// k×k matrix (row-major) with the cyclic Jacobi rotation method:
+// returns eigenvalues and the column-eigenvector matrix V (row-major,
+// V[i*k+j] = component i of eigenvector j). k here is the embedding
+// dimension (≤ a few hundred), for which Jacobi is simple and accurate.
+func jacobiEigen(a []float64, k int) (values []float64, vectors []float64) {
+	m := make([]float64, len(a))
+	copy(m, a)
+	v := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		v[i*k+i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				off += m[i*k+j] * m[i*k+j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < k; p++ {
+			for q := p + 1; q < k; q++ {
+				apq := m[p*k+q]
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m[p*k+p], m[q*k+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// rotate rows/cols p and q of m
+				for i := 0; i < k; i++ {
+					aip, aiq := m[i*k+p], m[i*k+q]
+					m[i*k+p] = c*aip - s*aiq
+					m[i*k+q] = s*aip + c*aiq
+				}
+				for i := 0; i < k; i++ {
+					api, aqi := m[p*k+i], m[q*k+i]
+					m[p*k+i] = c*api - s*aqi
+					m[q*k+i] = s*api + c*aqi
+				}
+				// accumulate rotations into v
+				for i := 0; i < k; i++ {
+					vip, viq := v[i*k+p], v[i*k+q]
+					v[i*k+p] = c*vip - s*viq
+					v[i*k+q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	values = make([]float64, k)
+	for i := 0; i < k; i++ {
+		values[i] = m[i*k+i]
+	}
+	return values, v
+}

@@ -1,0 +1,205 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func symCSR(t *testing.T, el *graph.EdgeList) *graph.CSR {
+	t.Helper()
+	g := graph.BuildCSR(4, graph.Symmetrize(el))
+	graph.SortAdjacency(4, g)
+	return g
+}
+
+func TestLeadingEigenvalueIsOne(t *testing.T) {
+	// For any connected non-bipartite graph the normalized adjacency has
+	// a unique dominant eigenvalue exactly 1 (eigenvector D^{1/2}·1).
+	// (Bipartite graphs also have -1, which ties in magnitude — subspace
+	// iteration cannot prefer one, so those need the K=2 test below.)
+	grid := gen.Grid2D(5, 6)
+	grid.Edges = append(grid.Edges, graph.Edge{U: 0, V: 7, W: 1}) // diagonal: adds a triangle
+	for _, el := range []*graph.EdgeList{gen.Cycle(15), gen.Complete(10), grid} {
+		g := symCSR(t, el)
+		res, err := Embed(g, Options{K: 1, Seed: 1, MaxIter: 2000, Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Values[0]-1) > 1e-6 {
+			t.Fatalf("top eigenvalue %v want 1", res.Values[0])
+		}
+	}
+}
+
+func TestCompleteGraphSpectrum(t *testing.T) {
+	// Normalized adjacency of K_n: eigenvalues 1 and -1/(n-1).
+	n := 12
+	g := symCSR(t, gen.Complete(n))
+	res, err := Embed(g, Options{K: 3, Seed: 2, MaxIter: 2000, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[0]-1) > 1e-6 {
+		t.Fatalf("lambda0=%v", res.Values[0])
+	}
+	want := -1.0 / float64(n-1)
+	for _, got := range res.Values[1:] {
+		if math.Abs(got-want) > 1e-5 {
+			t.Fatalf("subdominant eigenvalue %v want %v", got, want)
+		}
+	}
+}
+
+func TestOddCycleSpectrum(t *testing.T) {
+	// Normalized adjacency of C_n has eigenvalues cos(2*pi*j/n). For odd
+	// n = 15 the three largest by magnitude are {1, cos(14π/15),
+	// cos(14π/15)} ≈ {1, -0.978, -0.978}, with a clean magnitude gap to
+	// the next pair (0.913) — so subspace iteration must recover them.
+	// (Even cycles are bipartite with a ±1 magnitude tie; subspace
+	// iteration cannot split equal-magnitude eigenvalues, so they make a
+	// poor oracle.)
+	n := 15
+	g := symCSR(t, gen.Cycle(n))
+	res, err := Embed(g, Options{K: 3, Seed: 3, MaxIter: 5000, Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[0]-1) > 1e-6 {
+		t.Fatalf("lambda0=%v", res.Values[0])
+	}
+	want := math.Cos(2 * math.Pi * 7 / float64(n))
+	for _, got := range res.Values[1:] {
+		if math.Abs(got-want) > 1e-4 {
+			t.Fatalf("eigenvalues %v want second pair %v", res.Values, want)
+		}
+	}
+}
+
+func TestBipartiteNegativeEigenvalueFound(t *testing.T) {
+	// Even cycles are bipartite: the spectrum contains -1, which ties +1
+	// in magnitude. The Rayleigh-Ritz rotation must surface both signs
+	// in the top-2 Ritz values.
+	g := symCSR(t, gen.Cycle(16))
+	res, err := Embed(g, Options{K: 2, Seed: 3, MaxIter: 3000, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mags := []float64{math.Abs(res.Values[0]), math.Abs(res.Values[1])}
+	if math.Abs(mags[0]-1) > 1e-5 || math.Abs(mags[1]-1) > 1e-5 {
+		t.Fatalf("magnitudes %v want 1,1", mags)
+	}
+	if res.Values[0]*res.Values[1] > 0 {
+		t.Fatalf("bipartite ±1 pair not separated: %v", res.Values)
+	}
+}
+
+func TestVectorsOrthonormal(t *testing.T) {
+	el := gen.ErdosRenyi(4, 300, 3000, 5)
+	g := symCSR(t, el)
+	res, err := Embed(g, Options{K: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Vectors
+	for a := 0; a < v.C; a++ {
+		for b := a; b < v.C; b++ {
+			var dot float64
+			for i := 0; i < v.R; i++ {
+				dot += v.At(i, a) * v.At(i, b)
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("col %d·%d = %v want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestEigenvectorResidual(t *testing.T) {
+	el := gen.ErdosRenyi(4, 200, 2400, 7)
+	g := symCSR(t, el)
+	res, err := Embed(g, Options{K: 2, Seed: 5, MaxIter: 2000, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ||B q - lambda q|| should be small for the dominant pair
+	n := g.N
+	invSqrt := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := float64(g.Degree(graph.NodeID(v)))
+		if d > 0 {
+			invSqrt[v] = 1 / math.Sqrt(d)
+		}
+	}
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = res.Vectors.At(i, 0)
+	}
+	bq := make([]float64, n)
+	for u := 0; u < n; u++ {
+		for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+			v := g.Targets[i]
+			bq[u] += invSqrt[u] * invSqrt[v] * q[v]
+		}
+	}
+	var resid float64
+	for i := range q {
+		d := bq[i] - res.Values[0]*q[i]
+		resid += d * d
+	}
+	if math.Sqrt(resid) > 1e-5 {
+		t.Fatalf("residual %v", math.Sqrt(resid))
+	}
+}
+
+func TestSBMRecoverySpectral(t *testing.T) {
+	el, truth := gen.SBM(8, 1200, 3, 0.08, 0.003, 11)
+	g := symCSR(t, el)
+	res, err := Embed(g, Options{K: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := cluster.KMeans(8, res.Z, 3, 7, 100)
+	if ari := cluster.ARI(km.Assign, truth); ari < 0.8 {
+		t.Fatalf("spectral ARI=%v on separated SBM", ari)
+	}
+}
+
+func TestEmbedValidation(t *testing.T) {
+	g := graph.BuildCSR(1, gen.Path(3))
+	if _, err := Embed(g, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	// K > n clamps
+	res, err := Embed(graph.BuildCSR(1, graph.Symmetrize(gen.Path(3))), Options{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Z.C != 3 {
+		t.Fatalf("K not clamped: %d", res.Z.C)
+	}
+}
+
+func TestIsolatedVerticesZeroRows(t *testing.T) {
+	el := &graph.EdgeList{N: 4, Edges: []graph.Edge{{U: 0, V: 1, W: 1}}}
+	g := symCSR(t, el)
+	res, err := Embed(g, Options{K: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vertices 2,3 are isolated: their Z rows must be zero (no degree)
+	for _, v := range []int{2, 3} {
+		for j := 0; j < 2; j++ {
+			if math.Abs(res.Z.At(v, j)) > 1e-9 {
+				t.Fatalf("isolated vertex %d has nonzero embedding %v", v, res.Z.Row(v))
+			}
+		}
+	}
+}

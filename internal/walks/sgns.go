@@ -1,0 +1,180 @@
+package walks
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/race"
+	"repro/internal/xrand"
+)
+
+// TrainConfig configures skip-gram-with-negative-sampling training over
+// a walk corpus.
+type TrainConfig struct {
+	Dims      int
+	Window    int
+	Negatives int
+	Epochs    int
+	// LearningRate is the initial SGD step; it decays linearly to 1/10
+	// of itself over training.
+	LearningRate float64
+	Workers      int
+	Seed         uint64
+}
+
+// withDefaults fills the word2vec-conventional defaults.
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Dims <= 0 {
+		c.Dims = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.025
+	}
+	return c
+}
+
+// Train learns vertex embeddings from a walk corpus with SGNS. Updates
+// are Hogwild-style (racy, unsynchronized) — the standard approach for
+// this model family: per-step sparsity makes conflicts rare and the
+// noise is dominated by SGD variance. Under `-race` builds training is
+// serialized to one worker so the deliberate races don't trip the
+// detector. n is the vertex count; returns an n×Dims matrix.
+func Train(n int, corpus [][]graph.NodeID, cfg TrainConfig) (*mat.Dense, error) {
+	cfg = cfg.withDefaults()
+	if race.Enabled {
+		cfg.Workers = 1
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("walks: n must be positive")
+	}
+	// unigram^(3/4) negative-sampling table, word2vec convention
+	counts := make([]float64, n)
+	var tokens int
+	for _, walk := range corpus {
+		for _, v := range walk {
+			counts[v]++
+			tokens++
+		}
+	}
+	if tokens == 0 {
+		return nil, fmt.Errorf("walks: empty corpus")
+	}
+	const tableSize = 1 << 20
+	table := make([]graph.NodeID, tableSize)
+	var totalPow float64
+	for _, c := range counts {
+		totalPow += math.Pow(c, 0.75)
+	}
+	idx := 0
+	var cum float64
+	for v := 0; v < n && idx < tableSize; v++ {
+		cum += math.Pow(counts[v], 0.75)
+		target := int(cum / totalPow * tableSize)
+		for idx < target && idx < tableSize {
+			table[idx] = graph.NodeID(v)
+			idx++
+		}
+	}
+	for ; idx < tableSize; idx++ {
+		table[idx] = graph.NodeID(n - 1)
+	}
+
+	d := cfg.Dims
+	emb := make([]float64, n*d) // input vectors (the embedding)
+	ctx := make([]float64, n*d) // output/context vectors
+	init := xrand.New(cfg.Seed)
+	for i := range emb {
+		emb[i] = (init.Float64() - 0.5) / float64(d)
+	}
+
+	steps := cfg.Epochs * len(corpus)
+	var done int64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		e := epoch
+		parallel.ForChunk(cfg.Workers, len(corpus), 64, func(lo, hi int) {
+			r := xrand.NewStream(cfg.Seed+1, uint64(e)<<32|uint64(lo))
+			grad := make([]float64, d)
+			for wi := lo; wi < hi; wi++ {
+				walk := corpus[wi]
+				// linear LR decay based on a progress estimate
+				progress := float64(done+int64(wi-lo)) / float64(steps)
+				lr := cfg.LearningRate * (1 - 0.9*progress)
+				for pos, center := range walk {
+					win := 1 + r.Intn(cfg.Window) // word2vec window shrink
+					for off := -win; off <= win; off++ {
+						tp := pos + off
+						if off == 0 || tp < 0 || tp >= len(walk) {
+							continue
+						}
+						target := walk[tp]
+						sgnsStep(emb, ctx, int(center), int(target), d, lr, cfg.Negatives, table, r, grad)
+					}
+				}
+			}
+		})
+		done += int64(len(corpus))
+	}
+	out := mat.NewDense(n, d)
+	copy(out.Data, emb)
+	return out, nil
+}
+
+// sgnsStep performs one positive + k negative updates for (center,
+// target) with the logistic loss.
+func sgnsStep(emb, ctx []float64, center, target, d int, lr float64,
+	negatives int, table []graph.NodeID, r *xrand.Rand, grad []float64) {
+	ce := emb[center*d : center*d+d]
+	for i := range grad {
+		grad[i] = 0
+	}
+	// positive sample
+	update(ce, ctx[target*d:target*d+d], 1, lr, grad)
+	// negative samples
+	for k := 0; k < negatives; k++ {
+		neg := int(table[r.Intn(len(table))])
+		if neg == target {
+			continue
+		}
+		update(ce, ctx[neg*d:neg*d+d], 0, lr, grad)
+	}
+	for i := range ce {
+		ce[i] += grad[i]
+	}
+}
+
+// update applies the logistic-loss gradient to the context vector and
+// accumulates the center-vector gradient.
+func update(ce, co []float64, label, lr float64, grad []float64) {
+	var dot float64
+	for i := range ce {
+		dot += ce[i] * co[i]
+	}
+	g := lr * (label - sigmoid(dot))
+	for i := range ce {
+		grad[i] += g * co[i]
+		co[i] += g * ce[i]
+	}
+}
+
+// sigmoid with clamping (word2vec clamps to ±6).
+func sigmoid(x float64) float64 {
+	if x > 6 {
+		return 1
+	}
+	if x < -6 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}

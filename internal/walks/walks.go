@@ -1,0 +1,143 @@
+// Package walks implements the random-walk embedding baseline family the
+// paper's introduction positions GEE against (§I: methods based on random
+// walks "are O(n) but have large constants in the length and number of
+// the walks" — DeepWalk, node2vec). It provides a parallel random-walk
+// generator (uniform/DeepWalk and p,q-biased/node2vec second-order walks)
+// and a skip-gram-with-negative-sampling trainer over the walk corpus.
+//
+// Like every generator in this repository, walk generation is
+// deterministic and independent of the worker count.
+package walks
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/xrand"
+)
+
+// WalkConfig configures walk generation.
+type WalkConfig struct {
+	WalksPerNode int
+	WalkLength   int
+	// P is node2vec's return parameter, Q the in-out parameter.
+	// P = Q = 1 reduces to uniform DeepWalk walks (and skips the
+	// second-order machinery entirely).
+	P, Q    float64
+	Workers int
+	Seed    uint64
+}
+
+// Generate produces WalksPerNode walks from every vertex of the
+// symmetrized graph g. Walks stop early at sink vertices (no out-edges).
+// The result has one row per walk; row order is deterministic.
+func Generate(g *graph.CSR, cfg WalkConfig) ([][]graph.NodeID, error) {
+	if cfg.WalksPerNode <= 0 || cfg.WalkLength <= 0 {
+		return nil, fmt.Errorf("walks: WalksPerNode and WalkLength must be positive")
+	}
+	if cfg.P <= 0 {
+		cfg.P = 1
+	}
+	if cfg.Q <= 0 {
+		cfg.Q = 1
+	}
+	n := g.N
+	total := n * cfg.WalksPerNode
+	out := make([][]graph.NodeID, total)
+	secondOrder := cfg.P != 1 || cfg.Q != 1
+	parallel.ForChunk(cfg.Workers, total, 256, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			r := xrand.NewStream(cfg.Seed, uint64(w))
+			start := graph.NodeID(w % n)
+			if secondOrder {
+				out[w] = biasedWalk(g, r, start, cfg.WalkLength, cfg.P, cfg.Q)
+			} else {
+				out[w] = uniformWalk(g, r, start, cfg.WalkLength)
+			}
+		}
+	})
+	return out, nil
+}
+
+// uniformWalk is the DeepWalk first-order walk.
+func uniformWalk(g *graph.CSR, r *xrand.Rand, start graph.NodeID, length int) []graph.NodeID {
+	walk := make([]graph.NodeID, 1, length)
+	walk[0] = start
+	cur := start
+	for len(walk) < length {
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) == 0 {
+			break
+		}
+		cur = nbrs[r.Intn(len(nbrs))]
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+// biasedWalk is node2vec's second-order walk via rejection sampling:
+// propose a uniform neighbor of cur and accept with probability
+// bias/maxBias, where bias is 1/p for returning to prev, 1 for neighbors
+// of prev, and 1/q otherwise. Rejection sampling avoids the per-edge
+// alias tables of the reference implementation (O(d_max) memory instead
+// of O(m·d)).
+func biasedWalk(g *graph.CSR, r *xrand.Rand, start graph.NodeID, length int, p, q float64) []graph.NodeID {
+	walk := make([]graph.NodeID, 1, length)
+	walk[0] = start
+	cur := start
+	prev := start
+	first := true
+	invP, invQ := 1/p, 1/q
+	maxBias := invP
+	if 1 > maxBias {
+		maxBias = 1
+	}
+	if invQ > maxBias {
+		maxBias = invQ
+	}
+	for len(walk) < length {
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) == 0 {
+			break
+		}
+		var next graph.NodeID
+		if first {
+			next = nbrs[r.Intn(len(nbrs))]
+			first = false
+		} else {
+			prevNbrs := g.Neighbors(prev)
+			for {
+				cand := nbrs[r.Intn(len(nbrs))]
+				bias := invQ
+				if cand == prev {
+					bias = invP
+				} else if sortedContains(prevNbrs, cand) {
+					bias = 1
+				}
+				if r.Float64()*maxBias <= bias {
+					next = cand
+					break
+				}
+			}
+		}
+		prev, cur = cur, next
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+// sortedContains reports membership in an ascending adjacency slice
+// (binary search; adjacency must be sorted — see graph.SortAdjacency).
+func sortedContains(nbrs []graph.NodeID, v graph.NodeID) bool {
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nbrs) && nbrs[lo] == v
+}

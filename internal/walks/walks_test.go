@@ -1,0 +1,213 @@
+package walks
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/race"
+)
+
+func symCSR(t *testing.T, el *graph.EdgeList) *graph.CSR {
+	t.Helper()
+	g := graph.BuildCSR(4, graph.Symmetrize(el))
+	graph.SortAdjacency(4, g)
+	return g
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := symCSR(t, gen.Cycle(20))
+	walks, err := Generate(g, WalkConfig{WalksPerNode: 3, WalkLength: 10, Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walks) != 60 {
+		t.Fatalf("%d walks", len(walks))
+	}
+	for i, w := range walks {
+		if len(w) != 10 {
+			t.Fatalf("walk %d length %d (cycle has no sinks)", i, len(w))
+		}
+		if w[0] != graph.NodeID(i%20) {
+			t.Fatalf("walk %d starts at %d", i, w[0])
+		}
+		for j := 1; j < len(w); j++ {
+			if !sortedContains(g.Neighbors(w[j-1]), w[j]) {
+				t.Fatalf("walk %d: %d -> %d is not an edge", i, w[j-1], w[j])
+			}
+		}
+	}
+}
+
+func TestGenerateWorkerInvariance(t *testing.T) {
+	g := symCSR(t, gen.ErdosRenyi(4, 100, 800, 3))
+	a, err := Generate(g, WalkConfig{WalksPerNode: 2, WalkLength: 8, Workers: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, WalkConfig{WalksPerNode: 2, WalkLength: 8, Workers: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("walk %d length differs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("walk %d step %d differs across worker counts", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateStopsAtSinks(t *testing.T) {
+	// directed path without symmetrization: vertex 2 is a sink
+	g := graph.BuildCSR(1, gen.Path(3))
+	walks, err := Generate(g, WalkConfig{WalksPerNode: 1, WalkLength: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walks[0]) != 3 { // 0 -> 1 -> 2 stop
+		t.Fatalf("walk from 0: %v", walks[0])
+	}
+	if len(walks[2]) != 1 { // sink start
+		t.Fatalf("walk from sink: %v", walks[2])
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := symCSR(t, gen.Cycle(5))
+	if _, err := Generate(g, WalkConfig{WalksPerNode: 0, WalkLength: 5}); err == nil {
+		t.Fatal("zero walks accepted")
+	}
+	if _, err := Generate(g, WalkConfig{WalksPerNode: 1, WalkLength: 0}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestBiasedWalkValidEdges(t *testing.T) {
+	g := symCSR(t, gen.ErdosRenyi(4, 80, 600, 5))
+	walks, err := Generate(g, WalkConfig{
+		WalksPerNode: 2, WalkLength: 12, P: 0.25, Q: 4, Workers: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range walks {
+		for j := 1; j < len(w); j++ {
+			if !sortedContains(g.Neighbors(w[j-1]), w[j]) {
+				t.Fatalf("biased walk %d: %d -> %d not an edge", i, w[j-1], w[j])
+			}
+		}
+	}
+}
+
+func TestBiasedWalkReturnBias(t *testing.T) {
+	// On a star, from a leaf every second-order step is at the center
+	// with prev = leaf. With huge 1/p (tiny p), the walk should return
+	// to the same leaf far more often than under uniform choice.
+	g := symCSR(t, gen.Star(21)) // center 0, 20 leaves
+	countReturns := func(p, q float64, seed uint64) int {
+		walks, err := Generate(g, WalkConfig{
+			WalksPerNode: 20, WalkLength: 21, P: p, Q: q, Workers: 4, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret := 0
+		for _, w := range walks {
+			if w[0] == 0 {
+				continue // started at center
+			}
+			for j := 2; j < len(w); j += 2 {
+				if w[j] == w[j-2] {
+					ret++
+				}
+			}
+		}
+		return ret
+	}
+	lowP := countReturns(0.05, 1, 11) // strong return bias
+	highP := countReturns(20, 1, 11)  // strong anti-return bias
+	if lowP < 3*highP {
+		t.Fatalf("return bias not expressed: p=0.05 returns %d vs p=20 returns %d", lowP, highP)
+	}
+}
+
+func TestSortedContains(t *testing.T) {
+	nbrs := []graph.NodeID{2, 5, 9, 14}
+	for _, v := range nbrs {
+		if !sortedContains(nbrs, v) {
+			t.Fatalf("missing %d", v)
+		}
+	}
+	for _, v := range []graph.NodeID{0, 3, 15} {
+		if sortedContains(nbrs, v) {
+			t.Fatalf("false positive %d", v)
+		}
+	}
+	if sortedContains(nil, 1) {
+		t.Fatal("empty contains")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(0, nil, TrainConfig{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Train(5, nil, TrainConfig{}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+func TestTrainShapeAndFiniteness(t *testing.T) {
+	g := symCSR(t, gen.Cycle(30))
+	corpus, err := Generate(g, WalkConfig{WalksPerNode: 5, WalkLength: 10, Workers: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := Train(30, corpus, TrainConfig{Dims: 8, Epochs: 2, Workers: 4, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.R != 30 || z.C != 8 {
+		t.Fatalf("shape %dx%d", z.R, z.C)
+	}
+	for _, v := range z.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite embedding value")
+		}
+	}
+	if z.MaxAbs() == 0 {
+		t.Fatal("embedding untouched by training")
+	}
+}
+
+// TestDeepWalkRecoversSBM is the end-to-end quality check for the
+// baseline: walk embeddings of a well-separated SBM must cluster into
+// the planted communities.
+func TestDeepWalkRecoversSBM(t *testing.T) {
+	if race.Enabled {
+		t.Skip("SGNS training is serialized and ~50x slower under the race detector")
+	}
+	el, truth := gen.SBM(8, 400, 2, 0.15, 0.005, 17)
+	g := symCSR(t, el)
+	corpus, err := Generate(g, WalkConfig{WalksPerNode: 12, WalkLength: 30, Workers: 8, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := Train(400, corpus, TrainConfig{
+		Dims: 32, Window: 5, Negatives: 5, Epochs: 4, Workers: 8, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z.RowL2Normalize()
+	km := cluster.KMeans(8, z, 2, 20, 100)
+	if ari := cluster.ARI(km.Assign, truth); ari < 0.6 {
+		t.Fatalf("DeepWalk ARI=%v on strong 2-block SBM", ari)
+	}
+}

@@ -1,0 +1,369 @@
+// Package repro is the public API of the Edge-Parallel Graph Encoder
+// Embedding reproduction (Lubonja, Shen, Priebe, Burns — IPPS 2024).
+//
+// It embeds the n vertices of a graph into K dimensions with a single
+// pass over the edges, in any of the paper's four implementations — from
+// the faithful serial reference to the Ligra-style edge-parallel version
+// with lock-free atomic updates.
+//
+// Quick start:
+//
+//	el, _ := repro.LoadEdgeList("graph.txt")
+//	y := repro.SampleLabels(el.N, 50, 0.10, 1) // paper's protocol
+//	res, err := repro.Embed(repro.LigraParallel, el, y, repro.Options{K: 50})
+//	// res.Z.Row(v) is the K-dimensional embedding of vertex v
+//
+// The heavy lifting lives in internal packages; this package re-exports
+// the stable surface: graph types and I/O (internal/graph), generators
+// (internal/gen), the GEE family (internal/gee), labels
+// (internal/labels), evaluation (internal/cluster), and the Ligra engine
+// algorithms (internal/ligra).
+package repro
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/gcn"
+	"repro/internal/gee"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/labels"
+	"repro/internal/ligra"
+	"repro/internal/mat"
+	"repro/internal/spectral"
+	"repro/internal/walks"
+)
+
+// Core graph types.
+type (
+	// NodeID identifies a vertex (dense uint32 ids).
+	NodeID = graph.NodeID
+	// Edge is one row of the edge list E ∈ R^{s×3}.
+	Edge = graph.Edge
+	// EdgeList is the paper's native input representation.
+	EdgeList = graph.EdgeList
+	// Graph is the compressed sparse row form the Ligra engine traverses.
+	Graph = graph.CSR
+	// Dense is the row-major matrix type used for embeddings.
+	Dense = mat.Dense
+)
+
+// Embedding types.
+type (
+	// Impl selects one of the paper's implementations.
+	Impl = gee.Impl
+	// Options configures an embedding run.
+	Options = gee.Options
+	// Result is the output of an embedding run.
+	Result = gee.Result
+	// Timings records Algorithm 2's two phases.
+	Timings = gee.Timings
+	// VerifyReport is a cross-implementation equivalence record.
+	VerifyReport = gee.VerifyReport
+	// RefineOptions configures the unsupervised pipeline.
+	RefineOptions = gee.RefineOptions
+	// RefineResult is the unsupervised pipeline output.
+	RefineResult = gee.RefineResult
+)
+
+// The paper's implementations (Table I order) plus the ablation.
+const (
+	Reference           = gee.Reference
+	Optimized           = gee.Optimized
+	LigraSerial         = gee.LigraSerial
+	LigraParallel       = gee.LigraParallel
+	LigraParallelUnsafe = gee.LigraParallelUnsafe
+)
+
+// Impls lists every implementation.
+var Impls = gee.Impls
+
+// Unknown marks an unlabeled vertex in a label vector.
+const Unknown = labels.Unknown
+
+// Embed runs implementation impl on an edge list. See gee.Embed.
+func Embed(impl Impl, el *EdgeList, y []int32, opts Options) (*Result, error) {
+	return gee.Embed(impl, el, y, opts)
+}
+
+// EmbedGraph runs an implementation over a prebuilt CSR graph.
+func EmbedGraph(impl Impl, g *Graph, y []int32, opts Options) (*Result, error) {
+	return gee.EmbedCSR(impl, g, y, opts)
+}
+
+// EmbedGraphTimed additionally reports Algorithm 2's per-phase timings
+// (Ligra implementations only).
+func EmbedGraphTimed(impl Impl, g *Graph, y []int32, opts Options) (*Result, *Timings, error) {
+	return gee.EmbedCSRTimed(impl, g, y, opts)
+}
+
+// Verify runs every implementation and compares against the Reference
+// oracle within tol.
+func Verify(el *EdgeList, y []int32, opts Options, tol float64) ([]VerifyReport, error) {
+	return gee.Verify(el, y, opts, tol)
+}
+
+// Refine runs the unsupervised embed → cluster → relabel pipeline.
+func Refine(el *EdgeList, opts RefineOptions) (*RefineResult, error) {
+	return gee.Refine(el, opts)
+}
+
+// BuildGraph constructs the CSR form of an edge list in parallel.
+// workers <= 0 selects GOMAXPROCS.
+func BuildGraph(workers int, el *EdgeList) *Graph {
+	return graph.BuildCSR(workers, el)
+}
+
+// Graph I/O.
+
+// LoadEdgeList reads a SNAP-style "u v [w]" text file.
+func LoadEdgeList(path string) (*EdgeList, error) { return graph.ReadEdgeListFile(path) }
+
+// SaveEdgeList writes a SNAP-style edge list text file.
+func SaveEdgeList(path string, el *EdgeList) error { return graph.WriteEdgeListFile(path, el) }
+
+// LoadAdjacency reads a Ligra/PBBS (Weighted)AdjacencyGraph file.
+func LoadAdjacency(path string) (*Graph, error) { return graph.ReadAdjacencyFile(path) }
+
+// SaveAdjacency writes a Ligra/PBBS (Weighted)AdjacencyGraph file.
+func SaveAdjacency(path string, g *Graph) error { return graph.WriteAdjacencyFile(path, g) }
+
+// LoadBinary reads the compact binary CSR format.
+func LoadBinary(path string) (*Graph, error) { return graph.ReadBinaryFile(path) }
+
+// SaveBinary writes the compact binary CSR format.
+func SaveBinary(path string, g *Graph) error { return graph.WriteBinaryFile(path, g) }
+
+// Generators (deterministic; independent of worker count).
+
+// NewErdosRenyi samples m uniform random edges over n vertices.
+func NewErdosRenyi(workers, n int, m int64, seed uint64) *EdgeList {
+	return gen.ErdosRenyi(workers, n, m, seed)
+}
+
+// NewRMAT samples a Graph500-parameterized R-MAT graph over 2^scale
+// vertices (the repository's stand-in for SNAP social networks).
+func NewRMAT(workers, scale int, m int64, seed uint64) *EdgeList {
+	return gen.RMAT(workers, scale, m, gen.Graph500Params, seed)
+}
+
+// NewSBM samples a planted-partition stochastic block model and returns
+// the graph plus ground-truth block labels.
+func NewSBM(workers, n, k int, pIn, pOut float64, seed uint64) (*EdgeList, []int32) {
+	return gen.SBM(workers, n, k, pIn, pOut, seed)
+}
+
+// Labels.
+
+// SampleLabels implements the paper's protocol: labels uniform over
+// [0, k) for fraction of the nodes, Unknown elsewhere.
+func SampleLabels(n, k int, fraction float64, seed uint64) []int32 {
+	return labels.SampleSemiSupervised(n, k, fraction, seed)
+}
+
+// PropagationLabels derives labels by community detection (synchronous
+// label propagation — the repository's Leiden substitute). The graph
+// should be symmetrized.
+func PropagationLabels(workers int, g *Graph, rounds int, seed uint64) []int32 {
+	return labels.Propagation(workers, g, rounds, seed)
+}
+
+// Evaluation.
+
+// KMeansLabels clusters embedding rows into k clusters and returns the
+// assignment.
+func KMeansLabels(workers int, z *Dense, k int, seed uint64) []int32 {
+	return cluster.KMeans(workers, z, k, seed, 100).Assign
+}
+
+// ARI computes the Adjusted Rand Index between two labelings.
+func ARI(a, b []int32) float64 { return cluster.ARI(a, b) }
+
+// NMI computes normalized mutual information between two labelings.
+func NMI(a, b []int32) float64 { return cluster.NMI(a, b) }
+
+// Engine algorithms (the same EdgeMap interface GEE runs on).
+
+// BFS returns hop distances from source (-1 when unreachable).
+func BFS(workers int, g *Graph, source NodeID) []int32 { return ligra.BFS(workers, g, source) }
+
+// ConnectedComponents labels each vertex with its component's minimum id.
+func ConnectedComponents(workers int, g *Graph) []NodeID {
+	return ligra.ConnectedComponents(workers, g)
+}
+
+// PageRank runs damped power iteration to eps or maxIter.
+func PageRank(workers int, g *Graph, damping, eps float64, maxIter int) []float64 {
+	return ligra.PageRank(workers, g, damping, eps, maxIter)
+}
+
+// Symmetrize returns an edge list with both arc directions per edge (for
+// traversal algorithms; GEE does not need it).
+func Symmetrize(el *EdgeList) *EdgeList { return graph.Symmetrize(el) }
+
+// WriteEmbedding streams Z as TSV (one vertex per row).
+func WriteEmbedding(w io.Writer, z *Dense) error { return writeEmbeddingTSV(w, z) }
+
+// Spectral baseline.
+
+type (
+	// SpectralOptions configures the adjacency spectral embedding baseline.
+	SpectralOptions = spectral.Options
+	// SpectralResult is the ASE output.
+	SpectralResult = spectral.Result
+)
+
+// SpectralEmbed computes the adjacency spectral embedding of a
+// symmetrized graph — the baseline family the GEE papers compare against.
+func SpectralEmbed(g *Graph, opts SpectralOptions) (*SpectralResult, error) {
+	return spectral.Embed(g, opts)
+}
+
+// Streaming / incremental embedding.
+
+// StreamingEmbedder maintains a GEE embedding under edge insertions and
+// removals (contributions are linear, so batches fold in atomically).
+type StreamingEmbedder = gee.StreamingEmbedder
+
+// NewStreamingEmbedder prepares an empty embedding with fixed labels.
+func NewStreamingEmbedder(n int, y []int32, opts Options) (*StreamingEmbedder, error) {
+	return gee.NewStreamingEmbedder(n, y, opts)
+}
+
+// Directed variant and structural helpers.
+
+// EmbedDirected produces the 2K-wide directed embedding (separate out-
+// and in-profiles per vertex).
+func EmbedDirected(impl Impl, g *Graph, y []int32, opts Options) (*Result, error) {
+	return gee.EmbedDirected(impl, g, y, opts)
+}
+
+// FoldDirected collapses a directed 2K-wide embedding to the standard K.
+func FoldDirected(z *Dense) *Dense { return gee.FoldDirected(z) }
+
+// DiagonalAugment adds a unit self loop per vertex (the GEE paper's
+// diagonal augmentation for low-degree stability).
+func DiagonalAugment(el *EdgeList) *EdgeList { return gee.DiagonalAugment(el) }
+
+// KNNClassify predicts labels by k-nearest-neighbor vote in embedding
+// space (rows with y >= 0 are the training set).
+func KNNClassify(workers int, z *Dense, y []int32, k int) []int32 {
+	return cluster.KNNClassify(workers, z, y, k)
+}
+
+// Random-walk embedding baseline (DeepWalk / node2vec).
+
+type (
+	// WalkConfig configures random-walk generation.
+	WalkConfig = walks.WalkConfig
+	// WalkTrainConfig configures skip-gram-with-negative-sampling training.
+	WalkTrainConfig = walks.TrainConfig
+)
+
+// GenerateWalks produces random walks over a symmetrized, adjacency-
+// sorted graph (uniform when P=Q=1, node2vec-biased otherwise).
+func GenerateWalks(g *Graph, cfg WalkConfig) ([][]NodeID, error) {
+	return walks.Generate(g, cfg)
+}
+
+// TrainWalkEmbedding learns vertex embeddings from a walk corpus (SGNS).
+func TrainWalkEmbedding(n int, corpus [][]NodeID, cfg WalkTrainConfig) (*Dense, error) {
+	return walks.Train(n, corpus, cfg)
+}
+
+// GCN baseline.
+
+type (
+	// GCNConfig configures the 2-layer GCN baseline.
+	GCNConfig = gcn.Config
+	// GCNResult is the trained GCN output.
+	GCNResult = gcn.Result
+)
+
+// TrainGCN fits the 2-layer GCN baseline on a symmetrized graph for
+// semi-supervised node classification (y: class or -1).
+func TrainGCN(g *Graph, y []int32, x *Dense, cfg GCNConfig) (*GCNResult, error) {
+	return gcn.Train(g, y, x, cfg)
+}
+
+// Additional engine algorithms.
+
+// BellmanFord computes shortest-path distances over non-negative weights
+// using the engine's writeMin primitive (+Inf = unreachable).
+func BellmanFord(workers int, g *Graph, source NodeID) []float64 {
+	return ligra.BellmanFord(workers, g, source)
+}
+
+// KCore returns the coreness of every vertex of a symmetrized graph.
+func KCore(workers int, g *Graph) []int32 { return ligra.KCore(workers, g) }
+
+// TriangleCount counts triangles of a symmetrized, adjacency-sorted graph.
+func TriangleCount(workers int, g *Graph) int64 { return ligra.TriangleCount(workers, g) }
+
+// BetweennessCentrality returns single-source Brandes dependencies.
+func BetweennessCentrality(workers int, g *Graph, source NodeID) []float64 {
+	return ligra.BetweennessCentrality(workers, g, source)
+}
+
+// MaximalIndependentSet computes an MIS with Luby's algorithm.
+func MaximalIndependentSet(workers int, g *Graph, seed uint64) []bool {
+	return ligra.MaximalIndependentSet(workers, g, seed)
+}
+
+// DeltaStepping computes shortest paths with bucketed relaxation
+// (delta <= 0 picks the mean edge weight).
+func DeltaStepping(workers int, g *Graph, source NodeID, delta float64) []float64 {
+	return ligra.DeltaStepping(workers, g, source, delta)
+}
+
+// GreedyColor computes a proper vertex coloring (Jones-Plassmann).
+func GreedyColor(workers int, g *Graph, seed uint64) []int32 {
+	return ligra.GreedyColor(workers, g, seed)
+}
+
+// SortAdjacency canonically sorts every adjacency list (required by
+// TriangleCount and node2vec-biased walks).
+func SortAdjacency(workers int, g *Graph) { graph.SortAdjacency(workers, g) }
+
+// Compressed graphs and large-graph loading.
+
+// CompressedGraph is the Ligra+-style varint delta-encoded adjacency
+// structure (unweighted graphs; 2-4x smaller than plain CSR).
+type CompressedGraph = graph.CompressedCSR
+
+// CompressGraph builds the compressed form of an unweighted graph.
+func CompressGraph(workers int, g *Graph) (*CompressedGraph, error) {
+	return graph.Compress(workers, g)
+}
+
+// EmbedCompressed runs the parallel GEE kernel directly over a
+// compressed graph, decoding adjacency on the fly.
+func EmbedCompressed(c *CompressedGraph, y []int32, opts Options) (*Result, error) {
+	return gee.EmbedCompressed(c, y, opts)
+}
+
+// MmapBinary maps a compact binary CSR file into memory without copying
+// (Linux; falls back to a regular read elsewhere). Call the closer when
+// done; the graph must not be used afterwards.
+func MmapBinary(path string) (*Graph, func() error, error) {
+	return graph.MmapBinaryFile(path)
+}
+
+// LoadMETIS reads a METIS-format graph (symmetrized, 1-indexed).
+func LoadMETIS(path string) (*Graph, error) { return graph.ReadMETISFile(path) }
+
+// SaveMETIS writes a symmetrized graph in METIS format.
+func SaveMETIS(path string, g *Graph) error { return graph.WriteMETISFile(path, g) }
+
+// DegreeOrder returns the hubs-first relabeling permutation.
+func DegreeOrder(workers int, g *Graph) []NodeID { return graph.DegreeOrder(workers, g) }
+
+// BFSOrder returns the BFS-discovery relabeling permutation.
+func BFSOrder(g *Graph) []NodeID { return graph.BFSOrder(g) }
+
+// ApplyOrder rebuilds a graph under a relabeling permutation
+// (perm[old] = new).
+func ApplyOrder(workers int, g *Graph, perm []NodeID) *Graph {
+	return graph.ApplyOrder(workers, g, perm)
+}

@@ -1,0 +1,196 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	el := NewRMAT(4, 10, 10_000, 1)
+	y := SampleLabels(el.N, 10, 0.2, 2)
+	res, err := Embed(LigraParallel, el, y, Options{K: 10, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Z.R != el.N || res.Z.C != 10 {
+		t.Fatalf("shape %dx%d", res.Z.R, res.Z.C)
+	}
+	ref, err := Embed(Reference, el, y, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Z.EqualTol(res.Z, 1e-9) {
+		t.Fatal("facade parallel differs from reference")
+	}
+}
+
+func TestFacadeGraphPath(t *testing.T) {
+	el := NewErdosRenyi(4, 500, 8000, 3)
+	g := BuildGraph(4, el)
+	y := SampleLabels(el.N, 5, 0.5, 4)
+	a, err := EmbedGraph(LigraSerial, g, y, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := EmbedGraphTimed(LigraParallel, g, y, Options{K: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Z.EqualTol(b.Z, 1e-9) {
+		t.Fatal("serial and timed parallel differ")
+	}
+}
+
+func TestFacadeVerify(t *testing.T) {
+	el := NewErdosRenyi(4, 200, 2000, 5)
+	y := SampleLabels(el.N, 4, 0.5, 6)
+	reports, err := Verify(el, y, Options{K: 4, Workers: 4}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(Impls)-1 {
+		t.Fatalf("%d reports", len(reports))
+	}
+}
+
+func TestFacadeSBMPipeline(t *testing.T) {
+	el, truth := NewSBM(8, 900, 3, 0.08, 0.002, 7)
+	res, err := Refine(el, RefineOptions{
+		Embedding: Options{K: 3, Workers: 8},
+		Impl:      LigraParallel,
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := ARI(res.Labels, truth); ari < 0.7 {
+		t.Fatalf("refine ARI=%v", ari)
+	}
+	if nmi := NMI(res.Labels, truth); nmi < 0.5 {
+		t.Fatalf("refine NMI=%v", nmi)
+	}
+}
+
+func TestFacadeEngineAlgorithms(t *testing.T) {
+	el := NewErdosRenyi(4, 400, 4000, 11)
+	g := BuildGraph(4, Symmetrize(el))
+	dist := BFS(4, g, 0)
+	if dist[0] != 0 {
+		t.Fatal("BFS source distance")
+	}
+	cc := ConnectedComponents(4, g)
+	if len(cc) != 400 {
+		t.Fatal("CC length")
+	}
+	pr := PageRank(4, g, 0.85, 1e-9, 50)
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sum=%v", sum)
+	}
+}
+
+func TestFacadePropagationLabels(t *testing.T) {
+	el, truth := NewSBM(4, 800, 2, 0.1, 0.002, 13)
+	g := BuildGraph(4, Symmetrize(el))
+	y := PropagationLabels(4, g, 50, 14)
+	if ari := ARI(y, truth); ari < 0.5 {
+		t.Fatalf("propagation ARI=%v", ari)
+	}
+}
+
+func TestFacadeKMeansLabels(t *testing.T) {
+	el, truth := NewSBM(4, 600, 2, 0.1, 0.002, 15)
+	y := make([]int32, el.N)
+	for i := range y {
+		y[i] = Unknown
+	}
+	seeded := SampleLabels(el.N, 2, 0.1, 16)
+	for i := range y {
+		if seeded[i] >= 0 {
+			y[i] = truth[i]
+		}
+	}
+	res, err := Embed(Optimized, el, y, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := res.Z.Clone()
+	z.RowL2Normalize() // the GEE paper's preprocessing before clustering
+	assign := KMeansLabels(4, z, 2, 17)
+	if ari := ARI(assign, truth); ari < 0.8 {
+		t.Fatalf("kmeans ARI=%v", ari)
+	}
+}
+
+func TestFacadeFileRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	el := NewErdosRenyi(2, 50, 300, 19)
+	elPath := filepath.Join(dir, "g.txt")
+	if err := SaveEdgeList(elPath, el); err != nil {
+		t.Fatal(err)
+	}
+	el2, err := LoadEdgeList(elPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(el2.Edges) != len(el.Edges) {
+		t.Fatal("edge list round trip")
+	}
+	g := BuildGraph(2, el)
+	adjPath := filepath.Join(dir, "g.adj")
+	if err := SaveAdjacency(adjPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAdjacency(adjPath); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "g.bin")
+	if err := SaveBinary(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinary(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip")
+	}
+}
+
+func TestEmbeddingTSVRoundTrip(t *testing.T) {
+	el := NewErdosRenyi(2, 40, 200, 21)
+	y := SampleLabels(el.N, 3, 0.5, 22)
+	res, err := Embed(Optimized, el, y, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEmbedding(&buf, res.Z); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEmbedding(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxAbsDiff(res.Z) != 0 {
+		t.Fatal("TSV round trip lost precision")
+	}
+}
+
+func TestReadEmbeddingErrors(t *testing.T) {
+	if _, err := ReadEmbedding(bytes.NewReader([]byte("1\t2\n3\n"))); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := ReadEmbedding(bytes.NewReader([]byte("1\tx\n"))); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	z, err := ReadEmbedding(bytes.NewReader(nil))
+	if err != nil || z.R != 0 {
+		t.Fatalf("empty embedding: %v %v", z, err)
+	}
+}
