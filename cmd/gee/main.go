@@ -27,7 +27,7 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "input graph file (required)")
 		format    = flag.String("format", "edgelist", "graph format: edgelist, adj, bin")
-		implName  = flag.String("impl", "parallel", "implementation: reference, optimized, serial, parallel, unsafe")
+		implName  = flag.String("impl", "parallel", "implementation: reference, optimized, serial, parallel, unsafe, replicated, sharded")
 		k         = flag.Int("k", 50, "number of classes / embedding dimensions")
 		labelFrac = flag.Float64("label-frac", 0.1, "fraction of nodes labeled (ignored with -labels)")
 		labelPath = flag.String("labels", "", "label file, one int per line (-1 = unknown)")
@@ -117,6 +117,10 @@ func parseImpl(name string) (repro.Impl, error) {
 		return repro.LigraParallel, nil
 	case "unsafe":
 		return repro.LigraParallelUnsafe, nil
+	case "replicated":
+		return repro.Replicated, nil
+	case "sharded", "sharded-parallel":
+		return repro.ShardedParallel, nil
 	}
 	return 0, fmt.Errorf("unknown implementation %q", name)
 }

@@ -104,13 +104,15 @@ func TestReadLabelsErrors(t *testing.T) {
 
 func TestParseImpl(t *testing.T) {
 	cases := map[string]repro.Impl{
-		"reference": repro.Reference,
-		"python":    repro.Reference,
-		"numba":     repro.Optimized,
-		"serial":    repro.LigraSerial,
-		"parallel":  repro.LigraParallel,
-		"Ligra":     repro.LigraParallel,
-		"unsafe":    repro.LigraParallelUnsafe,
+		"reference":  repro.Reference,
+		"python":     repro.Reference,
+		"numba":      repro.Optimized,
+		"serial":     repro.LigraSerial,
+		"parallel":   repro.LigraParallel,
+		"Ligra":      repro.LigraParallel,
+		"unsafe":     repro.LigraParallelUnsafe,
+		"replicated": repro.Replicated,
+		"sharded":    repro.ShardedParallel,
 	}
 	for name, want := range cases {
 		got, err := parseImpl(name)

@@ -27,14 +27,18 @@ func ExampleVerify() {
 	if err != nil {
 		panic(err)
 	}
-	ok := 0
+	ok, total := 0, 0
 	for _, r := range reports {
+		if r.Impl == repro.LigraParallelUnsafe {
+			continue // racy by design; may deviate on multicore non-race builds
+		}
+		total++
 		if r.WithinTol {
 			ok++
 		}
 	}
-	fmt.Printf("%d/%d implementations within tolerance\n", ok, len(reports))
-	// Output: 4/4 implementations within tolerance
+	fmt.Printf("%d/%d race-free implementations within tolerance\n", ok, total)
+	// Output: 5/5 race-free implementations within tolerance
 }
 
 // Unsupervised use: alternate embedding and clustering until labels

@@ -11,11 +11,12 @@ import (
 	"repro/internal/labels"
 )
 
-// AblationResult compares the three race-handling strategies on the same
+// AblationResult compares the race-handling strategies on the same
 // workload (the paper's §IV ablation: "we ran the program with atomics
 // off, performing unsafe updates, and saw no appreciable performance
 // difference" — plus the replicated-buffer alternative the paper's
-// memory-efficiency argument implicitly rejects).
+// memory-efficiency argument implicitly rejects, and the
+// destination-sharded backend that avoids atomics with no replicas).
 type AblationResult struct {
 	Graph      string
 	N          int
@@ -23,6 +24,7 @@ type AblationResult struct {
 	Atomic     time.Duration // LigraParallel (writeAdd)
 	Unsafe     time.Duration // LigraParallelUnsafe (plain adds, racy)
 	Replicated time.Duration // per-worker Z buffers + reduction
+	Sharded    time.Duration // ShardedParallel (owned row ranges, plain writes)
 	// MaxUnsafeDeviation is the largest |Z_atomic - Z_unsafe| observed,
 	// i.e. how much the races actually corrupted on this run.
 	MaxUnsafeDeviation float64
@@ -43,13 +45,13 @@ func RunAblation(spec GraphSpec, cfg Config, progress io.Writer) (*AblationResul
 	if res.Unsafe, err = TimeImpl(w, gee.LigraParallelUnsafe, cfg); err != nil {
 		return nil, err
 	}
-	opts := gee.Options{K: w.K, Workers: cfg.Workers}
-	if res.Replicated, err = TimeFunc(cfg.Reps, func() error {
-		_, err := gee.EmbedReplicated(w.G, w.Y, opts)
-		return err
-	}); err != nil {
+	if res.Replicated, err = TimeImpl(w, gee.Replicated, cfg); err != nil {
 		return nil, err
 	}
+	if res.Sharded, err = TimeImpl(w, gee.ShardedParallel, cfg); err != nil {
+		return nil, err
+	}
+	opts := gee.Options{K: w.K, Workers: cfg.Workers}
 	atomic, err := gee.EmbedCSR(gee.LigraParallel, w.G, w.Y, opts)
 	if err != nil {
 		return nil, err
@@ -69,6 +71,7 @@ func RenderAblation(w io.Writer, r *AblationResult) {
 	fmt.Fprintf(w, "  %-34s %10s\n", "atomic writeAdd (paper's choice)", fmtSecs(r.Atomic))
 	fmt.Fprintf(w, "  %-34s %10s\n", "atomics off (unsafe, racy)", fmtSecs(r.Unsafe))
 	fmt.Fprintf(w, "  %-34s %10s\n", "replicated per-worker Z + reduce", fmtSecs(r.Replicated))
+	fmt.Fprintf(w, "  %-34s %10s\n", "destination-sharded (no atomics)", fmtSecs(r.Sharded))
 	fmt.Fprintf(w, "  max |Z_atomic - Z_unsafe| this run: %g\n", r.MaxUnsafeDeviation)
 	fmt.Fprintln(w, "Paper: atomics on vs off showed no appreciable difference (memory-bound)")
 }

@@ -116,11 +116,14 @@ func TestRunTableITiny(t *testing.T) {
 		t.Fatalf("%d rows", len(rows))
 	}
 	for _, r := range rows {
-		if r.Parallel <= 0 || r.Optimized <= 0 || r.Serial <= 0 || r.Reference <= 0 {
+		if r.Parallel <= 0 || r.Optimized <= 0 || r.Serial <= 0 || r.Reference <= 0 || r.Sharded <= 0 {
 			t.Fatalf("%s: zero duration in %+v", r.Graph, r)
 		}
 		if r.SpeedupVsOptimized <= 0 || r.SpeedupVsSerial <= 0 || r.SpeedupVsReference <= 0 {
 			t.Fatalf("%s: speedups not computed", r.Graph)
+		}
+		if r.ShardedVsParallel <= 0 {
+			t.Fatalf("%s: sharded speedup not computed", r.Graph)
 		}
 	}
 	var buf bytes.Buffer
@@ -213,13 +216,16 @@ func TestRunAblationTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Atomic <= 0 || res.Unsafe <= 0 || res.Replicated <= 0 {
+	if res.Atomic <= 0 || res.Unsafe <= 0 || res.Replicated <= 0 || res.Sharded <= 0 {
 		t.Fatalf("%+v", res)
 	}
 	var buf bytes.Buffer
 	RenderAblation(&buf, res)
 	if !strings.Contains(buf.String(), "atomic writeAdd") {
 		t.Fatal("render missing")
+	}
+	if !strings.Contains(buf.String(), "destination-sharded") {
+		t.Fatal("sharded row missing from render")
 	}
 }
 

@@ -15,8 +15,8 @@ import (
 func WriteTableICSV(w io.Writer, rows []TableIRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"graph", "n", "m",
-		"reference_s", "optimized_s", "ligra_serial_s", "ligra_parallel_s",
-		"speedup_vs_reference", "speedup_vs_optimized", "speedup_vs_serial"}); err != nil {
+		"reference_s", "optimized_s", "ligra_serial_s", "ligra_parallel_s", "sharded_parallel_s",
+		"speedup_vs_reference", "speedup_vs_optimized", "speedup_vs_serial", "sharded_vs_parallel"}); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -28,9 +28,11 @@ func WriteTableICSV(w io.Writer, rows []TableIRow) error {
 			fmtF(r.Optimized.Seconds()),
 			fmtF(r.Serial.Seconds()),
 			fmtF(r.Parallel.Seconds()),
+			fmtF(r.Sharded.Seconds()),
 			fmtF(r.SpeedupVsReference),
 			fmtF(r.SpeedupVsOptimized),
 			fmtF(r.SpeedupVsSerial),
+			fmtF(r.ShardedVsParallel),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -15,7 +15,9 @@ func TestWriteTableICSV(t *testing.T) {
 		Graph: "Twitch", N: 100, M: 400,
 		Reference: 4 * time.Second, Optimized: 2 * time.Second,
 		Serial: time.Second, Parallel: 100 * time.Millisecond,
+		Sharded:            80 * time.Millisecond,
 		SpeedupVsReference: 40, SpeedupVsOptimized: 20, SpeedupVsSerial: 10,
+		ShardedVsParallel: 1.25,
 	}}
 	var buf bytes.Buffer
 	if err := WriteTableICSV(&buf, rows); err != nil {
@@ -27,6 +29,12 @@ func TestWriteTableICSV(t *testing.T) {
 	}
 	if len(recs) != 2 || recs[1][0] != "Twitch" || recs[1][3] != "4" {
 		t.Fatalf("recs=%v", recs)
+	}
+	if recs[0][7] != "sharded_parallel_s" || recs[1][7] != "0.08" {
+		t.Fatalf("sharded column: header=%q value=%q", recs[0][7], recs[1][7])
+	}
+	if recs[0][11] != "sharded_vs_parallel" || recs[1][11] != "1.25" {
+		t.Fatalf("sharded speedup column: %v", recs[0])
 	}
 }
 

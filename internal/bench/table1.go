@@ -17,11 +17,15 @@ type TableIRow struct {
 	Optimized time.Duration // "Numba Serial" column
 	Serial    time.Duration // "GEE-Ligra Serial" column
 	Parallel  time.Duration // "GEE-Ligra Parallel" column
+	Sharded   time.Duration // GEE-Sharded: destination-sharded, no atomics
 
 	// Speedup columns exactly as the paper reports them.
 	SpeedupVsReference float64 // parallel vs GEE(-Python analog)
 	SpeedupVsOptimized float64 // parallel vs Numba analog
 	SpeedupVsSerial    float64 // parallel vs Ligra serial
+	// ShardedVsParallel extends the table beyond the paper: the atomic
+	// parallel time over the sharded time (> 1 means sharding wins).
+	ShardedVsParallel float64
 }
 
 // RunTableI measures every implementation on every Table I stand-in.
@@ -52,12 +56,18 @@ func RunTableI(cfg Config, progress io.Writer) ([]TableIRow, error) {
 		if row.Parallel, err = TimeImpl(w, gee.LigraParallel, cfg); err != nil {
 			return nil, err
 		}
+		if row.Sharded, err = TimeImpl(w, gee.ShardedParallel, cfg); err != nil {
+			return nil, err
+		}
 		if row.Parallel > 0 {
 			if row.Reference > 0 {
 				row.SpeedupVsReference = row.Reference.Seconds() / row.Parallel.Seconds()
 			}
 			row.SpeedupVsOptimized = row.Optimized.Seconds() / row.Parallel.Seconds()
 			row.SpeedupVsSerial = row.Serial.Seconds() / row.Parallel.Seconds()
+			if row.Sharded > 0 {
+				row.ShardedVsParallel = row.Parallel.Seconds() / row.Sharded.Seconds()
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -69,9 +79,9 @@ func RenderTableI(w io.Writer, rows []TableIRow, cfg Config) {
 	cfg = cfg.withDefaults()
 	fmt.Fprintf(w, "Table I reproduction — K=%d, %.0f%% labels, %d workers, scale 1/%d\n",
 		cfg.K, cfg.LabelFraction*100, cfg.Workers, cfg.ScaleDiv)
-	fmt.Fprintf(w, "%-17s %10s %11s | %10s %10s %10s %10s | %8s %8s %8s\n",
-		"Graph", "n", "s", "Reference", "Optimized", "LigraSer", "LigraPar",
-		"vs Ref", "vs Opt", "vs Ser")
+	fmt.Fprintf(w, "%-17s %10s %11s | %10s %10s %10s %10s %10s | %8s %8s %8s %8s\n",
+		"Graph", "n", "s", "Reference", "Optimized", "LigraSer", "LigraPar", "Sharded",
+		"vs Ref", "vs Opt", "vs Ser", "Shd/Par")
 	for _, r := range rows {
 		ref := "-"
 		vsRef := "-"
@@ -79,10 +89,10 @@ func RenderTableI(w io.Writer, rows []TableIRow, cfg Config) {
 			ref = fmtSecs(r.Reference)
 			vsRef = fmt.Sprintf("%.0fx", r.SpeedupVsReference)
 		}
-		fmt.Fprintf(w, "%-17s %10d %11d | %10s %10s %10s %10s | %8s %7.1fx %7.1fx\n",
+		fmt.Fprintf(w, "%-17s %10d %11d | %10s %10s %10s %10s %10s | %8s %7.1fx %7.1fx %7.2fx\n",
 			r.Graph, r.N, r.M,
-			ref, fmtSecs(r.Optimized), fmtSecs(r.Serial), fmtSecs(r.Parallel),
-			vsRef, r.SpeedupVsOptimized, r.SpeedupVsSerial)
+			ref, fmtSecs(r.Optimized), fmtSecs(r.Serial), fmtSecs(r.Parallel), fmtSecs(r.Sharded),
+			vsRef, r.SpeedupVsOptimized, r.SpeedupVsSerial, r.ShardedVsParallel)
 	}
 	fmt.Fprintln(w, "\nPaper's Table I (24-core Xeon, full-size datasets), for shape comparison:")
 	fmt.Fprintf(w, "%-17s %10s %10s %10s %10s | %8s %8s %8s\n",

@@ -1,0 +1,356 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// testKernel builds a GEE-shaped kernel over n vertices: k classes
+// cycled over the vertices with every 7th vertex unlabeled, coefficients
+// 1/count(class), and optionally a per-vertex scale (the Laplacian
+// shape) and a shifted DstCol (the directed shape, width 2k).
+func testKernel(n, k int, scaled, directed bool) Kernel[float64] {
+	y := make([]int32, n)
+	counts := make([]int64, k)
+	for i := range y {
+		if i%7 == 3 {
+			y[i] = -1
+			continue
+		}
+		y[i] = int32(i % k)
+		counts[y[i]]++
+	}
+	coeff := make([]float64, n)
+	for i, c := range y {
+		if c >= 0 {
+			coeff[i] = 1 / float64(counts[c])
+		}
+	}
+	width := k
+	dst := y
+	if directed {
+		width = 2 * k
+		dst = make([]int32, n)
+		for i, c := range y {
+			if c >= 0 {
+				dst[i] = c + int32(k)
+			} else {
+				dst[i] = -1
+			}
+		}
+	}
+	var scale []float64
+	if scaled {
+		scale = make([]float64, n)
+		for i := range scale {
+			scale[i] = 1 / math.Sqrt(float64(i%5+1))
+		}
+	}
+	return Kernel[float64]{Width: width, SrcCol: y, DstCol: dst, Coeff: coeff, Scale: scale}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if x := math.Abs(a[i] - b[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// powerLawGraph builds a skewed RMAT stand-in: the workload where hot
+// destination rows serialize atomic adds and sharding matters.
+func powerLawGraph(t testing.TB, scale int, m int64, seed uint64) *graph.CSR {
+	t.Helper()
+	el := gen.RMAT(4, scale, m, gen.Graph500Params, seed)
+	return graph.BuildCSR(4, el)
+}
+
+func TestStrategiesMatchSerialOracle(t *testing.T) {
+	g := powerLawGraph(t, 11, 40_000, 1)
+	shapes := []struct {
+		name             string
+		scaled, directed bool
+	}{
+		{"plain", false, false},
+		{"scaled", true, false},
+		{"directed", false, true},
+		{"scaled-directed", true, true},
+	}
+	for _, shape := range shapes {
+		k := testKernel(g.N, 8, shape.scaled, shape.directed)
+		oracle := make([]float64, g.N*k.Width)
+		if _, err := Run(Serial, g, k, oracle, Options{}); err != nil {
+			t.Fatalf("%s serial: %v", shape.name, err)
+		}
+		for _, s := range []Strategy{Atomic, Replicated, ShardedDest} {
+			z := make([]float64, len(oracle))
+			st, err := Run(s, g, k, z, Options{Workers: 8})
+			if err != nil {
+				t.Fatalf("%s %v: %v", shape.name, s, err)
+			}
+			if d := maxAbsDiff(oracle, z); d > 1e-9 {
+				t.Errorf("%s %v: max |Δ| = %g vs serial oracle", shape.name, s, d)
+			}
+			if st.AtomicAdds+st.PlainAdds == 0 {
+				t.Errorf("%s %v: no adds recorded", shape.name, s)
+			}
+		}
+	}
+}
+
+func TestWeightedArcsMatchSerialOracle(t *testing.T) {
+	el := gen.RMAT(4, 10, 20_000, gen.Graph500Params, 5)
+	el.Weighted = true
+	for i := range el.Edges {
+		el.Edges[i].W = float32(i%9 + 1)
+	}
+	g := graph.BuildCSR(4, el)
+	k := testKernel(g.N, 6, true, false)
+	oracle := make([]float64, g.N*k.Width)
+	if _, err := Run(Serial, g, k, oracle, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Atomic, Replicated, ShardedDest} {
+		z := make([]float64, len(oracle))
+		if _, err := Run(s, g, k, z, Options{Workers: 8}); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if d := maxAbsDiff(oracle, z); d > 1e-9 {
+			t.Errorf("%v: max |Δ| = %g on weighted arcs", s, d)
+		}
+	}
+}
+
+// TestShardedMatchesAtomicWithZeroAtomicAdds is the acceptance check for
+// the sharded backend: output equal to the Atomic (LigraParallel)
+// discipline within 1e-9 while the Stats counting hook records zero
+// atomic operations, and the same number of logical adds.
+func TestShardedMatchesAtomicWithZeroAtomicAdds(t *testing.T) {
+	g := powerLawGraph(t, 12, 100_000, 7)
+	k := testKernel(g.N, 16, false, false)
+	az := make([]float64, g.N*k.Width)
+	sz := make([]float64, g.N*k.Width)
+	ast, err := Run(Atomic, g, k, az, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sst, err := Run(ShardedDest, g, k, sz, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(az, sz); d > 1e-9 {
+		t.Fatalf("sharded deviates from atomic by %g", d)
+	}
+	if sst.AtomicAdds != 0 {
+		t.Fatalf("sharded performed %d atomic adds, want 0", sst.AtomicAdds)
+	}
+	if ast.PlainAdds != 0 {
+		t.Fatalf("atomic performed %d plain adds, want 0", ast.PlainAdds)
+	}
+	if sst.PlainAdds != ast.AtomicAdds {
+		t.Fatalf("add counts disagree: sharded %d plain vs atomic %d atomic (lost or duplicated updates)",
+			sst.PlainAdds, ast.AtomicAdds)
+	}
+	if sst.Shards < 2 {
+		t.Fatalf("expected a real shard split, got %d", sst.Shards)
+	}
+}
+
+// TestShardedRaceFree exercises ShardedDest under the race detector on a
+// skewed power-law graph with more workers than cores, across repeated
+// runs: the contention-free ownership claim is that no two workers ever
+// touch the same Z cell. `go test -race ./internal/exec` is the real
+// assertion here.
+func TestShardedRaceFree(t *testing.T) {
+	g := powerLawGraph(t, 12, 150_000, 11)
+	k := testKernel(g.N, 4, false, false)
+	for trial := 0; trial < 3; trial++ {
+		z := make([]float64, g.N*k.Width)
+		st, err := Run(ShardedDest, g, k, z, Options{Workers: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.AtomicAdds != 0 {
+			t.Fatalf("trial %d: %d atomic adds", trial, st.AtomicAdds)
+		}
+	}
+}
+
+func TestShardedDeterministic(t *testing.T) {
+	// Disjoint ownership means a fixed per-cell accumulation order:
+	// repeated runs must agree bit-for-bit (unlike Atomic, whose
+	// interleaving reorders the sums).
+	g := powerLawGraph(t, 10, 30_000, 13)
+	k := testKernel(g.N, 8, true, false)
+	a := make([]float64, g.N*k.Width)
+	b := make([]float64, g.N*k.Width)
+	if _, err := Run(ShardedDest, g, k, a, Options{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ShardedDest, g, k, b, Options{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d: %v vs %v across identical runs", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShardedBucketsCoverEveryArc(t *testing.T) {
+	g := powerLawGraph(t, 10, 25_000, 17)
+	for _, parts := range []int{2, 3, 8} {
+		plan := buildDestPlan(g, parts, 4)
+		if got := int64(len(plan.arcs)); got != g.NumEdges() {
+			t.Fatalf("parts=%d: %d bucketed arcs for %d stored", parts, got, g.NumEdges())
+		}
+		if plan.start[len(plan.start)-1] != g.NumEdges() {
+			t.Fatalf("parts=%d: bucket starts %v", parts, plan.start)
+		}
+		for p := 0; p < parts; p++ {
+			for _, e := range plan.arcs[plan.start[p]:plan.start[p+1]] {
+				if q := parallel.RangeOf(plan.bounds, int(e.V)); q != p {
+					t.Fatalf("parts=%d: arc to %d bucketed into shard %d, owner %d", parts, e.V, p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestRacyUpgradesOrRuns(t *testing.T) {
+	// Racy must execute without error regardless of the race detector
+	// (under -race it silently upgrades to Atomic).
+	g := powerLawGraph(t, 9, 10_000, 19)
+	k := testKernel(g.N, 4, false, false)
+	z := make([]float64, g.N*k.Width)
+	if _, err := Run(Racy, g, k, z, Options{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat32Instantiation(t *testing.T) {
+	g := powerLawGraph(t, 10, 20_000, 23)
+	k64 := testKernel(g.N, 8, true, false)
+	k32 := Kernel[float32]{
+		Width:  k64.Width,
+		SrcCol: k64.SrcCol,
+		DstCol: k64.DstCol,
+		Coeff:  make([]float32, g.N),
+		Scale:  make([]float32, g.N),
+	}
+	for i := range k32.Coeff {
+		k32.Coeff[i] = float32(k64.Coeff[i])
+		k32.Scale[i] = float32(k64.Scale[i])
+	}
+	oracle := make([]float64, g.N*k64.Width)
+	if _, err := Run(Serial, g, k64, oracle, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Serial, Atomic, ShardedDest} {
+		z := make([]float32, g.N*k32.Width)
+		if _, err := Run(s, g, k32, z, Options{Workers: 8}); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		var d float64
+		for i := range z {
+			if x := math.Abs(float64(z[i]) - oracle[i]); x > d {
+				d = x
+			}
+		}
+		if d > 1e-3 {
+			t.Errorf("%v: float32 deviates from float64 oracle by %g", s, d)
+		}
+	}
+}
+
+func TestEdgeSliceExecutionMatchesCSR(t *testing.T) {
+	el := gen.RMAT(4, 10, 15_000, gen.Graph500Params, 29)
+	g := graph.BuildCSR(4, el)
+	k := testKernel(g.N, 8, false, false)
+	want := make([]float64, g.N*k.Width)
+	if _, err := Run(Serial, g, k, want, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]float64, len(want))
+	if _, err := SerialEdges(k, el.Edges, el.N, serial); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(want, serial); d > 1e-9 {
+		t.Fatalf("SerialEdges deviates by %g", d)
+	}
+	atomicZ := make([]float64, len(want))
+	st, err := AtomicEdges(k, el.Edges, el.N, atomicZ, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(want, atomicZ); d > 1e-9 {
+		t.Fatalf("AtomicEdges deviates by %g", d)
+	}
+	if st.AtomicAdds == 0 {
+		t.Fatal("AtomicEdges recorded no atomic adds")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := graph.BuildCSR(1, &graph.EdgeList{N: 3, Edges: []graph.Edge{{U: 0, V: 1, W: 1}}})
+	good := testKernel(3, 2, false, false)
+	z := make([]float64, 3*good.Width)
+	if _, err := Run(Strategy(99), g, good, z, Options{}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	bad := good
+	bad.Coeff = bad.Coeff[:1]
+	if _, err := Run(Serial, g, bad, z, Options{}); err == nil {
+		t.Fatal("short coeff array accepted")
+	}
+	if _, err := Run(Serial, g, good, z[:2], Options{}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	zero := good
+	zero.Width = 0
+	if _, err := Run(Serial, g, zero, nil, Options{}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := SerialEdges(bad, nil, 3, z); err == nil {
+		t.Fatal("SerialEdges accepted bad kernel")
+	}
+	if _, err := AtomicEdges(bad, nil, 3, z, 2); err == nil {
+		t.Fatal("AtomicEdges accepted bad kernel")
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	empty := graph.BuildCSR(1, &graph.EdgeList{N: 0})
+	k := Kernel[float64]{Width: 2, SrcCol: nil, DstCol: nil, Coeff: nil}
+	if _, err := Run(ShardedDest, empty, k, nil, Options{Workers: 8}); err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	// Fewer vertices than workers: shard count clamps to n.
+	tiny := graph.BuildCSR(1, &graph.EdgeList{N: 2, Edges: []graph.Edge{{U: 0, V: 1, W: 1}}})
+	tk := testKernel(2, 1, false, false)
+	z := make([]float64, 2*tk.Width)
+	st, err := Run(ShardedDest, tiny, tk, z, Options{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards > 2 {
+		t.Fatalf("%d shards for 2 vertices", st.Shards)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range Strategies {
+		if s.String() == "" || s.String()[0] == 'S' {
+			t.Fatalf("strategy %d has no name", int(s))
+		}
+	}
+	if Strategy(42).String() == "" {
+		t.Fatal("unknown strategy must stringify")
+	}
+}

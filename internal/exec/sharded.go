@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// The destination-sharded executor. The vertex range [0, n) is split
+// into P contiguous shards balanced by total incident arcs (out-degree
+// from g.Offsets plus an in-degree histogram), and each worker owns the
+// Z rows of exactly one shard. An arc (u, v) contributes two
+// half-updates with structurally known target rows — the src half writes
+// row u, the dst half writes row v — so:
+//
+//   - every src half is applied by the owner of u while it walks its own
+//     vertices' arc lists (the cache-friendly Ligra schedule), and
+//   - every dst half is routed to the owner of v through a bucketing
+//     pass that groups arcs by destination shard.
+//
+// Each worker then touches only rows it owns, with plain non-atomic
+// writes: no races, no per-worker n×K replicas, no reduction pass. The
+// cost is one O(m) bucketing pass and m edge records of transient
+// memory, which is why the paper-faithful Atomic strategy remains the
+// default; on skewed graphs the removal of CAS retries on hot rows pays
+// for it (see the ablation benchmarks).
+
+// destPlan is the bucketed form of a graph's arcs: arcs grouped by the
+// destination shard that must apply their dst half-update.
+type destPlan struct {
+	bounds []int        // len P+1 — vertex range of each shard
+	arcs   []graph.Edge // len m — arcs grouped by destination shard
+	start  []int64      // len P+1 — arcs[start[p]:start[p+1]] is shard p's bucket
+}
+
+// runSharded executes the kernel with the destination-sharded strategy.
+func runSharded[T Float](g *graph.CSR, k Kernel[T], z []T, workers int) Stats {
+	if g.N == 0 {
+		return Stats{}
+	}
+	p := workers
+	if p > g.N {
+		p = g.N
+	}
+	if p <= 1 {
+		st := runSerial(g, k, z)
+		st.Shards = 1
+		return st
+	}
+	plan := buildDestPlan(g, p, workers)
+	var adds atomic.Int64
+	parallel.ForStatic(p, p, func(_, lo, hi int) {
+		var local int64
+		for shard := lo; shard < hi; shard++ {
+			// Src halves: walk the owned vertices' arc lists; every write
+			// lands in an owned row u.
+			for u := plan.bounds[shard]; u < plan.bounds[shard+1]; u++ {
+				alo, ahi := g.Offsets[u], g.Offsets[u+1]
+				for i := alo; i < ahi; i++ {
+					local += k.ApplySrc(z, graph.NodeID(u), g.Targets[i], g.Weight(i))
+				}
+			}
+			// Dst halves: drain the owned bucket; every write lands in an
+			// owned row v.
+			bucket := plan.arcs[plan.start[shard]:plan.start[shard+1]]
+			for i := range bucket {
+				e := &bucket[i]
+				local += k.ApplyDst(z, e.U, e.V, e.W)
+			}
+		}
+		adds.Add(local)
+	})
+	return Stats{PlainAdds: adds.Load(), Shards: p}
+}
+
+// buildDestPlan computes degree-balanced shard boundaries and buckets
+// every arc by the shard owning its destination row.
+func buildDestPlan(g *graph.CSR, parts, workers int) *destPlan {
+	m := len(g.Targets)
+	// Shard boundaries balance the per-shard half-update load: the src
+	// walk costs the shard's out-degrees, the bucket drain its
+	// in-degrees, so split on the prefix sum of outdeg + indeg.
+	indeg := parallel.Histogram(workers, m, g.N, func(i int) int { return int(g.Targets[i]) })
+	prefix := make([]int64, g.N+1)
+	parallel.For(workers, g.N, func(u int) {
+		prefix[u] = g.Offsets[u+1] - g.Offsets[u] + indeg[u]
+	})
+	parallel.ExclusiveSum(workers, prefix)
+	bounds := parallel.SplitByWeight(parts, prefix)
+	// Flatten the boundary search into a vertex → shard map once (n
+	// lookups) so the two O(m) bucketing passes below are plain loads.
+	shardOf := make([]int32, g.N)
+	parallel.ForChunk(workers, g.N, 0, func(lo, hi int) {
+		p := parallel.RangeOf(bounds, lo)
+		for v := lo; v < hi; v++ {
+			for v >= bounds[p+1] {
+				p++
+			}
+			shardOf[v] = int32(p)
+		}
+	})
+
+	// Bucket arcs by destination shard with a contention-free two-pass
+	// scatter: per-(worker, shard) counts, a cursor scan, then each
+	// worker writes into its reserved slots. Scatter workers take
+	// arc-balanced source ranges via the Offsets prefix.
+	w := parallel.Workers(workers)
+	srcBounds := parallel.SplitByWeight(w, g.Offsets)
+	counts := make([][]int64, w)
+	parallel.For(w, w, func(worker int) {
+		c := make([]int64, parts)
+		for u := srcBounds[worker]; u < srcBounds[worker+1]; u++ {
+			for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+				c[shardOf[g.Targets[i]]]++
+			}
+		}
+		counts[worker] = c
+	})
+	start := make([]int64, parts+1)
+	cursor := make([][]int64, w)
+	for worker := range cursor {
+		cursor[worker] = make([]int64, parts)
+	}
+	var acc int64
+	for p := 0; p < parts; p++ {
+		start[p] = acc
+		for worker := 0; worker < w; worker++ {
+			cursor[worker][p] = acc
+			acc += counts[worker][p]
+		}
+	}
+	start[parts] = acc
+	arcs := make([]graph.Edge, m)
+	parallel.For(w, w, func(worker int) {
+		cur := cursor[worker]
+		for u := srcBounds[worker]; u < srcBounds[worker+1]; u++ {
+			for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+				v := g.Targets[i]
+				p := shardOf[v]
+				arcs[cur[p]] = graph.Edge{U: graph.NodeID(u), V: v, W: g.Weight(i)}
+				cur[p]++
+			}
+		}
+	})
+	return &destPlan{bounds: bounds, arcs: arcs, start: start}
+}

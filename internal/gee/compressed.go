@@ -1,7 +1,6 @@
 package gee
 
 import (
-	"repro/internal/atomicx"
 	"repro/internal/graph"
 	"repro/internal/mat"
 )
@@ -11,43 +10,34 @@ import (
 // inside the edge map, never materialized. This trades decode ALU work
 // for 2-4x less adjacency memory traffic — on a kernel the paper argues
 // is memory-bound, that trade is worth measuring (see the compression
-// benchmarks). Unweighted graphs only (the compressed format carries no
-// weights).
+// benchmarks). The per-arc math is the shared exec kernel applied with
+// atomic adds (the decoder streams arcs with no ownership structure, so
+// the atomic discipline is the only race-free one without bucketing).
+// Unweighted graphs only (the compressed format carries no weights).
 func EmbedCompressed(c *graph.CompressedCSR, y []int32, opts Options) (*Result, error) {
 	k, err := opts.normalize(c.N, y)
 	if err != nil {
 		return nil, err
 	}
 	workers := opts.workers()
-	counts := classCounts(workers, y, k)
-	coeff := projectionCoeffs(workers, y, counts)
-	z := mat.NewDense(c.N, k)
-	zd := z.Data
+	var deg []float64
 	if opts.Laplacian {
 		// degrees from a streaming pass over the compressed arcs
-		deg := make([]float64, c.N)
+		deg = make([]float64, c.N)
 		c.ProcessEdges(1, func(u, v graph.NodeID) { // serial: plain adds
 			deg[u]++
 			deg[v]++
 		})
-		c.ProcessEdges(workers, func(u, v graph.NodeID) {
-			wt := laplacianScale(deg, u, v)
-			if yv := y[v]; yv >= 0 {
-				atomicx.AddFloat64(&zd[int(u)*k+int(yv)], coeff[v]*wt)
-			}
-			if yu := y[u]; yu >= 0 {
-				atomicx.AddFloat64(&zd[int(v)*k+int(yu)], coeff[u]*wt)
-			}
-		})
-		return &Result{Z: z, K: k, Impl: LigraParallel}, nil
 	}
+	kern := buildKernel(workers, y, k, deg)
+	z := mat.NewDense(c.N, k)
+	zd := z.Data
+	apply := kern.AtomicApplier()
 	c.ProcessEdges(workers, func(u, v graph.NodeID) {
-		if yv := y[v]; yv >= 0 {
-			atomicx.AddFloat64(&zd[int(u)*k+int(yv)], coeff[v])
-		}
-		if yu := y[u]; yu >= 0 {
-			atomicx.AddFloat64(&zd[int(v)*k+int(yu)], coeff[u])
-		}
+		apply(zd, u, v, 1)
 	})
+	// Impl enumerates execution disciplines, not graph representations:
+	// this path runs the LigraParallel (atomic) discipline over the
+	// compressed form, so that is what the result reports.
 	return &Result{Z: z, K: k, Impl: LigraParallel}, nil
 }

@@ -3,11 +3,9 @@ package gee
 import (
 	"fmt"
 
-	"repro/internal/atomicx"
+	"repro/internal/exec"
 	"repro/internal/graph"
-	"repro/internal/ligra"
 	"repro/internal/mat"
-	"repro/internal/race"
 )
 
 // EmbedDirected computes the directed variant from the GEE paper: instead
@@ -21,53 +19,42 @@ import (
 // standard embedding discards (a vertex that only follows class-c
 // accounts and one that is only followed by them become distinguishable).
 //
-// Supported for all Ligra implementations; parallel uses the same atomic
-// writeAdd scheme as Algorithm 2.
+// In kernel terms the variant is nothing but a shifted destination
+// column array over a doubled width, so every CSR execution strategy is
+// supported — including ShardedParallel and Replicated.
 func EmbedDirected(impl Impl, g *graph.CSR, y []int32, opts Options) (*Result, error) {
 	k, err := opts.normalize(g.N, y)
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.workers()
-	switch impl {
-	case LigraSerial:
-		workers = 1
-	case LigraParallel, LigraParallelUnsafe:
-	default:
-		return nil, fmt.Errorf("gee: EmbedDirected supports the Ligra implementations, got %v", impl)
+	strategy, ok := impl.strategy()
+	if !ok {
+		return nil, fmt.Errorf("gee: EmbedDirected supports the CSR implementations, got %v", impl)
 	}
-	counts := classCounts(workers, y, k)
-	coeff := projectionCoeffs(workers, y, counts)
+	workers := opts.workers()
+	if impl == LigraSerial {
+		workers = 1
+	}
 	var deg []float64
 	if opts.Laplacian {
 		deg = incidentDegreesCSR(workers, g)
 	}
-	z := mat.NewDense(g.N, 2*k)
-	zd := z.Data
-	width := 2 * k
-	atomic := workers > 1 && (impl == LigraParallel || (impl == LigraParallelUnsafe && race.Enabled))
-	update := func(u, v graph.NodeID, w float32) bool {
-		wt := float64(w)
-		if opts.Laplacian {
-			wt *= laplacianScale(deg, u, v)
+	kern := buildKernel(workers, y, k, deg)
+	kern.Width = 2 * k
+	// Shift the in-profile updates into the second half of the row.
+	dst := make([]int32, g.N)
+	for i, c := range y {
+		if c >= 0 {
+			dst[i] = c + int32(k)
+		} else {
+			dst[i] = -1
 		}
-		if yv := y[v]; yv >= 0 {
-			if atomic {
-				atomicx.AddFloat64(&zd[int(u)*width+int(yv)], coeff[v]*wt)
-			} else {
-				zd[int(u)*width+int(yv)] += coeff[v] * wt
-			}
-		}
-		if yu := y[u]; yu >= 0 {
-			if atomic {
-				atomicx.AddFloat64(&zd[int(v)*width+k+int(yu)], coeff[u]*wt)
-			} else {
-				zd[int(v)*width+k+int(yu)] += coeff[u] * wt
-			}
-		}
-		return false
 	}
-	ligra.Process(g, ligra.All(g.N), update, ligra.Options{Workers: workers})
+	kern.DstCol = dst
+	z := mat.NewDense(g.N, 2*k)
+	if _, err := exec.Run(strategy, g, kern, z.Data, exec.Options{Workers: workers}); err != nil {
+		return nil, err
+	}
 	return &Result{Z: z, K: 2 * k, Impl: impl}, nil
 }
 

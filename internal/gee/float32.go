@@ -1,9 +1,8 @@
 package gee
 
 import (
-	"repro/internal/atomicx"
+	"repro/internal/exec"
 	"repro/internal/graph"
-	"repro/internal/ligra"
 	"repro/internal/mat"
 )
 
@@ -12,7 +11,8 @@ import (
 // write per edge. The paper argues GEE-Ligra is memory-bound ("two
 // fused-multiply adds per edge and two memory writes, one of which is
 // likely to miss"), so cell width is the natural knob to test that
-// claim — see the ablation benchmarks.
+// claim — see the ablation benchmarks. The variant is the float32
+// instantiation of the shared exec kernel under the Atomic strategy.
 //
 // Returns the result widened to float64 for interoperability; quantify
 // precision loss against the float64 pipeline with Result.Z.MaxAbsDiff.
@@ -22,31 +22,15 @@ func EmbedFloat32(g *graph.CSR, y []int32, opts Options) (*Result, error) {
 		return nil, err
 	}
 	workers := opts.workers()
-	counts := classCounts(workers, y, k)
-	coeff64 := projectionCoeffs(workers, y, counts)
-	coeff := make([]float32, len(coeff64))
-	for i, v := range coeff64 {
-		coeff[i] = float32(v)
-	}
 	var deg []float64
 	if opts.Laplacian {
 		deg = incidentDegreesCSR(workers, g)
 	}
+	kern := exec.Narrow32(buildKernel(workers, y, k, deg))
 	zd := make([]float32, g.N*k)
-	update := func(u, v graph.NodeID, w float32) bool {
-		wt := w
-		if opts.Laplacian {
-			wt *= float32(laplacianScale(deg, u, v))
-		}
-		if yv := y[v]; yv >= 0 {
-			atomicx.AddFloat32(&zd[int(u)*k+int(yv)], coeff[v]*wt)
-		}
-		if yu := y[u]; yu >= 0 {
-			atomicx.AddFloat32(&zd[int(v)*k+int(yu)], coeff[u]*wt)
-		}
-		return false
+	if _, err := exec.Run(exec.Atomic, g, kern, zd, exec.Options{Workers: workers}); err != nil {
+		return nil, err
 	}
-	ligra.Process(g, ligra.All(g.N), update, ligra.Options{Workers: workers})
 	z := mat.NewDense(g.N, k)
 	for i, v := range zd {
 		z.Data[i] = float64(v)

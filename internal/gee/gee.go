@@ -12,15 +12,27 @@
 //     the edge map formulation over the Ligra engine. Parallel uses
 //     lock-free atomic writeAdd (atomicx.AddFloat64); Unsafe is the
 //     paper's ablation with atomics off (plain, racy adds).
+//   - Replicated: per-worker private copies of Z reduced at the end —
+//     the alternative the paper rejects for memory, promoted to a
+//     first-class implementation for the ablation that quantifies that
+//     choice.
+//   - ShardedParallel: a destination-sharded execution where each worker
+//     owns a disjoint slice of Z rows and accumulates with plain
+//     non-atomic writes — no races, no replicas, no reduction pass. On
+//     skewed graphs this removes the CAS-retry serialization that hot
+//     rows impose on the atomic version.
 //
 // All implementations compute the same Z ∈ R^{n×K} on the same inputs
-// (up to floating-point summation order in the parallel versions).
+// (up to floating-point summation order in the parallel versions). The
+// per-edge math lives once, as an internal/exec kernel; the
+// implementations differ only in the exec strategy that runs it.
 package gee
 
 import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/labels"
 	"repro/internal/mat"
@@ -46,10 +58,19 @@ const (
 	// paper's §IV ablation ("we ran the program with atomics off,
 	// performing unsafe updates").
 	LigraParallelUnsafe
+	// Replicated accumulates into per-worker private copies of Z and
+	// reduces them: race-free without atomics, at workers × n × K
+	// memory (the alternative the paper's memory argument rejects).
+	Replicated
+	// ShardedParallel partitions Z rows into degree-balanced shards and
+	// routes both half-updates of every edge to the owning worker:
+	// race-free plain writes with no replicas and no atomics.
+	ShardedParallel
 )
 
-// Impls lists every implementation in Table I order plus the ablation.
-var Impls = []Impl{Reference, Optimized, LigraSerial, LigraParallel, LigraParallelUnsafe}
+// Impls lists every implementation in Table I order plus the ablations
+// and the sharded backend.
+var Impls = []Impl{Reference, Optimized, LigraSerial, LigraParallel, LigraParallelUnsafe, Replicated, ShardedParallel}
 
 // String names the implementation, following the paper's Table I rows.
 func (im Impl) String() string {
@@ -64,8 +85,32 @@ func (im Impl) String() string {
 		return "GEE-Ligra-Parallel"
 	case LigraParallelUnsafe:
 		return "GEE-Ligra-Unsafe"
+	case Replicated:
+		return "GEE-Replicated"
+	case ShardedParallel:
+		return "GEE-Sharded"
 	default:
 		return fmt.Sprintf("Impl(%d)", int(im))
+	}
+}
+
+// strategy maps a CSR-executing implementation to its exec strategy.
+// The edge-list implementations (Reference, Optimized) report ok=false:
+// they run exec.SerialEdges over E directly.
+func (im Impl) strategy() (exec.Strategy, bool) {
+	switch im {
+	case LigraSerial:
+		return exec.Serial, true
+	case LigraParallel:
+		return exec.Atomic, true
+	case LigraParallelUnsafe:
+		return exec.Racy, true
+	case Replicated:
+		return exec.Replicated, true
+	case ShardedParallel:
+		return exec.ShardedDest, true
+	default:
+		return 0, false
 	}
 }
 
@@ -74,7 +119,7 @@ type Options struct {
 	// K is the number of classes (embedding dimensionality). Zero means
 	// infer 1 + max(Y).
 	K int
-	// Workers bounds parallelism for the Ligra implementations; <= 0
+	// Workers bounds parallelism for the CSR implementations; <= 0
 	// selects GOMAXPROCS.
 	Workers int
 	// Laplacian selects the degree-normalized variant: each edge's
@@ -83,7 +128,9 @@ type Options struct {
 	// preprocessing).
 	Laplacian bool
 	// ForceSparseEdgeMap pins the Ligra traversal to the sparse path
-	// (ablation only; the paper's configuration is dense).
+	// (ablation only; the paper's configuration is dense). It applies to
+	// the Ligra implementations; Replicated and ShardedParallel are not
+	// frontier traversals and ignore it.
 	ForceSparseEdgeMap bool
 }
 
@@ -127,7 +174,7 @@ type Result struct {
 // Embed runs implementation impl over the paper's native input: the edge
 // list E ∈ R^{s×3} plus labels Y. Each edge-list row receives both of
 // Algorithm 1's updates (source into the destination's class and vice
-// versa), so undirected graphs must list each edge once. The Ligra
+// versa), so undirected graphs must list each edge once. The CSR
 // implementations build a CSR internally; use EmbedCSR to amortize that
 // across runs (the benchmarks do, matching the paper, which excludes
 // graph loading from its timings).
@@ -138,15 +185,23 @@ func Embed(impl Impl, el *graph.EdgeList, y []int32, opts Options) (*Result, err
 	}
 	switch impl {
 	case Reference:
-		return &Result{Z: referenceEmbed(el, y, k, opts), K: k, Impl: impl}, nil
+		z, err := referenceEmbed(el, y, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Z: z, K: k, Impl: impl}, nil
 	case Optimized:
-		return &Result{Z: optimizedEmbed(el, y, k, opts), K: k, Impl: impl}, nil
-	case LigraSerial, LigraParallel, LigraParallelUnsafe:
+		z, err := optimizedEmbed(el, y, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Z: z, K: k, Impl: impl}, nil
+	}
+	if _, ok := impl.strategy(); ok {
 		g := graph.BuildCSR(opts.workers(), el)
 		return EmbedCSR(impl, g, y, opts)
-	default:
-		return nil, fmt.Errorf("gee: unknown implementation %d", int(impl))
 	}
+	return nil, fmt.Errorf("gee: unknown implementation %d", int(impl))
 }
 
 // EmbedCSR runs an implementation over a prebuilt CSR. Each stored arc is
@@ -158,11 +213,21 @@ func EmbedCSR(impl Impl, g *graph.CSR, y []int32, opts Options) (*Result, error)
 		return nil, err
 	}
 	switch impl {
-	case Reference, Optimized:
+	case Reference:
 		return Embed(impl, g.ToEdgeList(), y, opts)
-	case LigraSerial, LigraParallel, LigraParallelUnsafe:
-		return &Result{Z: ligraEmbed(g, y, k, opts, impl), K: k, Impl: impl}, nil
-	default:
-		return nil, fmt.Errorf("gee: unknown implementation %d", int(impl))
+	case Optimized:
+		z, err := optimizedEmbedCSR(g, y, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Z: z, K: k, Impl: impl}, nil
 	}
+	if _, ok := impl.strategy(); ok {
+		z, err := csrEmbed(g, y, k, opts, impl)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Z: z, K: k, Impl: impl}, nil
+	}
+	return nil, fmt.Errorf("gee: unknown implementation %d", int(impl))
 }

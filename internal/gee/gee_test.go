@@ -275,8 +275,17 @@ func TestLaplacianCrossImplEquivalence(t *testing.T) {
 }
 
 func TestLaplacianZeroDegreeGuard(t *testing.T) {
-	if s := laplacianScale([]float64{0, 1}, 0, 1); s != 0 {
-		t.Fatalf("scale=%v for zero-degree endpoint", s)
+	// A zero-degree vertex must zero out any edge factor it enters
+	// (1/sqrt(d(u)·d(v)) is factored as Scale[u]·Scale[v] in the kernel).
+	s := invSqrtDegrees(1, []float64{0, 1, 4})
+	if s[0] != 0 {
+		t.Fatalf("scale=%v for zero-degree vertex", s[0])
+	}
+	if s[1] != 1 || s[2] != 0.5 {
+		t.Fatalf("scales=%v want [0 1 0.5]", s)
+	}
+	if invSqrtDegrees(2, nil) != nil {
+		t.Fatal("nil degrees must stay nil")
 	}
 }
 
@@ -329,11 +338,17 @@ func TestOptimizedEmbedCSRMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := optimizedEmbedCSR(g, y, 7, Options{})
+	got, err := optimizedEmbedCSR(g, y, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !want.Z.EqualTol(got, 1e-9) {
 		t.Fatal("optimizedEmbedCSR differs from reference")
 	}
-	gotLap := optimizedEmbedCSR(g, y, 7, Options{Laplacian: true})
+	gotLap, err := optimizedEmbedCSR(g, y, 7, Options{Laplacian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantLap, err := EmbedCSR(Reference, g, y, Options{K: 7, Laplacian: true})
 	if err != nil {
 		t.Fatal(err)
@@ -427,10 +442,19 @@ func TestImplString(t *testing.T) {
 		LigraSerial:         "GEE-Ligra-Serial",
 		LigraParallel:       "GEE-Ligra-Parallel",
 		LigraParallelUnsafe: "GEE-Ligra-Unsafe",
+		Replicated:          "GEE-Replicated",
+		ShardedParallel:     "GEE-Sharded",
 	}
 	for impl, want := range names {
 		if impl.String() != want {
 			t.Fatalf("%d: %q", int(impl), impl.String())
+		}
+	}
+	// Every registered implementation must have a real name — bench CSV
+	// column headers are derived from String().
+	for _, impl := range Impls {
+		if _, named := names[impl]; !named {
+			t.Fatalf("Impls entry %d missing from the String() coverage table", int(impl))
 		}
 	}
 	if Impl(42).String() == "" {

@@ -4,32 +4,28 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/atomicx"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/ligra"
 	"repro/internal/mat"
 	"repro/internal/parallel"
-	"repro/internal/race"
 )
 
-// ligraEmbed is Algorithm 2 (GEE-Ligra): the projection initialization is
-// parallelized (lines 3-6), then a single EdgeMap over the whole-graph
-// frontier applies updateEmb to every arc (line 7).
+// csrEmbed is Algorithm 2 (GEE-Ligra) generalized over execution
+// strategies: the projection initialization is parallelized (lines 3-6),
+// then the whole-arc edge map applies updateEmb to every arc (line 7).
 //
 // updateEmb (lines 9-12) performs the two writeAdd updates per arc:
 //
 //	writeAdd(Z(u, Y(v)), W(v, Y(v)) · w)
 //	writeAdd(Z(v, Y(u)), W(u, Y(u)) · w)
 //
-// The first update hits Z(u, ·), which edgeMapDense keeps cache-resident
-// (all arcs of u are processed by one worker); the second hits Z(v, ·)
-// and is the likely cache miss the paper discusses. Races are possible
-// only across different source vertices (Figure 1); LigraParallel
-// resolves them with the lock-free atomic add, LigraParallelUnsafe
-// deliberately does not (the paper's ablation), and LigraSerial runs the
-// same code on one worker.
-func ligraEmbed(g *graph.CSR, y []int32, k int, opts Options, impl Impl) *mat.Dense {
-	return ligraEmbedTimed(g, y, k, opts, impl, nil)
+// The math is carried by the shared exec kernel; how the two writes are
+// scheduled and made race-free is the implementation's exec strategy
+// (gee.Impl.strategy): serial, atomic writeAdd, racy plain adds (the
+// paper's ablation), replicated buffers, or destination sharding.
+func csrEmbed(g *graph.CSR, y []int32, k int, opts Options, impl Impl) (*mat.Dense, error) {
+	return csrEmbedTimed(g, y, k, opts, impl, nil)
 }
 
 // Timings records the two phases of Algorithm 2 for the paper's §III
@@ -40,36 +36,37 @@ type Timings struct {
 	EdgeMap time.Duration // line 7: the edge map over all arcs
 }
 
-// EmbedCSRTimed is EmbedCSR for the Ligra implementations with per-phase
-// timing.
+// EmbedCSRTimed is EmbedCSR for the CSR-executing implementations with
+// per-phase timing.
 func EmbedCSRTimed(impl Impl, g *graph.CSR, y []int32, opts Options) (*Result, *Timings, error) {
 	k, err := opts.normalize(g.N, y)
 	if err != nil {
 		return nil, nil, err
 	}
-	switch impl {
-	case LigraSerial, LigraParallel, LigraParallelUnsafe:
-	default:
-		return nil, nil, fmt.Errorf("gee: EmbedCSRTimed supports only the Ligra implementations, got %v", impl)
+	if _, ok := impl.strategy(); !ok {
+		return nil, nil, fmt.Errorf("gee: EmbedCSRTimed supports only the CSR implementations, got %v", impl)
 	}
 	var tm Timings
-	z := ligraEmbedTimed(g, y, k, opts, impl, &tm)
+	z, err := csrEmbedTimed(g, y, k, opts, impl, &tm)
+	if err != nil {
+		return nil, nil, err
+	}
 	return &Result{Z: z, K: k, Impl: impl}, &tm, nil
 }
 
-func ligraEmbedTimed(g *graph.CSR, y []int32, k int, opts Options, impl Impl, tm *Timings) *mat.Dense {
+func csrEmbedTimed(g *graph.CSR, y []int32, k int, opts Options, impl Impl, tm *Timings) (*mat.Dense, error) {
 	workers := opts.workers()
 	if impl == LigraSerial {
 		workers = 1
 	}
-	// Algorithm 2, lines 3-6: parallel projection initialization.
+	// Algorithm 2, lines 3-6: parallel projection initialization,
+	// expressed as the shared exec kernel.
 	start := time.Now()
-	counts := classCounts(workers, y, k)
-	coeff := projectionCoeffs(workers, y, counts)
 	var deg []float64
 	if opts.Laplacian {
 		deg = incidentDegreesCSR(workers, g)
 	}
+	kern := buildKernel(workers, y, k, deg)
 	// Allocating and first-touching Z is the other O(nK) initialization
 	// component. The touch pass is eager and parallel: Go's make()
 	// defers page zeroing to first write, which would smear this cost
@@ -87,78 +84,40 @@ func ligraEmbedTimed(g *graph.CSR, y []int32, k int, opts Options, impl Impl, tm
 		tm.WInit = time.Since(start)
 		start = time.Now()
 	}
-	zd := z.Data
-	frontier := ligra.All(g.N)
-	engineOpts := ligra.Options{Workers: workers, ForceSparse: opts.ForceSparseEdgeMap}
-
-	// LigraParallelUnsafe deliberately performs racy plain adds (the
-	// paper's atomics-off ablation). Under `-race` builds it upgrades to
-	// atomic adds so the detector remains usable repo-wide; the ablation
-	// is only meaningful in normal builds anyway (the sanitizer's
-	// instrumentation would distort its timing).
-	atomic := workers > 1 &&
-		(impl == LigraParallel || (impl == LigraParallelUnsafe && race.Enabled))
-	var updateEmb ligra.EdgeFunc
-	switch {
-	case atomic && opts.Laplacian:
-		updateEmb = func(u, v graph.NodeID, w float32) bool {
-			wt := float64(w) * laplacianScale(deg, u, v)
-			if yv := y[v]; yv >= 0 {
-				atomicx.AddFloat64(&zd[int(u)*k+int(yv)], coeff[v]*wt)
-			}
-			if yu := y[u]; yu >= 0 {
-				atomicx.AddFloat64(&zd[int(v)*k+int(yu)], coeff[u]*wt)
-			}
-			return false
-		}
-	case atomic:
-		updateEmb = func(u, v graph.NodeID, w float32) bool {
-			wt := float64(w)
-			if yv := y[v]; yv >= 0 {
-				atomicx.AddFloat64(&zd[int(u)*k+int(yv)], coeff[v]*wt)
-			}
-			if yu := y[u]; yu >= 0 {
-				atomicx.AddFloat64(&zd[int(v)*k+int(yu)], coeff[u]*wt)
-			}
-			return false
-		}
-	case opts.Laplacian:
-		updateEmb = func(u, v graph.NodeID, w float32) bool {
-			wt := float64(w) * laplacianScale(deg, u, v)
-			if yv := y[v]; yv >= 0 {
-				zd[int(u)*k+int(yv)] += coeff[v] * wt
-			}
-			if yu := y[u]; yu >= 0 {
-				zd[int(v)*k+int(yu)] += coeff[u] * wt
-			}
-			return false
-		}
-	default:
-		// Plain adds: LigraSerial (single worker, race-free) and
-		// LigraParallelUnsafe (racy on purpose).
-		updateEmb = func(u, v graph.NodeID, w float32) bool {
-			wt := float64(w)
-			if yv := y[v]; yv >= 0 {
-				zd[int(u)*k+int(yv)] += coeff[v] * wt
-			}
-			if yu := y[u]; yu >= 0 {
-				zd[int(v)*k+int(yu)] += coeff[u] * wt
-			}
-			return false
-		}
-	}
-	// Algorithm 2, line 7: EdgeMap(updateEmb, frontier = all vertices).
-	if opts.ForceSparseEdgeMap {
+	strategy, _ := impl.strategy()
+	if opts.ForceSparseEdgeMap &&
+		(strategy == exec.Serial || strategy == exec.Atomic || strategy == exec.Racy) {
 		// Ablation path: frontier-driven sparse traversal instead of the
 		// dense per-vertex schedule. Note this breaks the "updates from
 		// one vertex's list never race" property, so it is only valid
-		// with atomics (or one worker).
-		ligra.EdgeMap(g, frontier, updateEmb, engineOpts)
+		// with atomics (or one worker); the racy ablation stays racy on
+		// purpose, as in the dense schedule.
+		atomic := exec.UsesAtomicAdds(strategy, workers)
+		zd := z.Data
+		var updateEmb ligra.EdgeFunc
+		if atomic {
+			apply := kern.AtomicApplier()
+			updateEmb = func(u, v graph.NodeID, w float32) bool {
+				apply(zd, u, v, w)
+				return false
+			}
+		} else {
+			updateEmb = func(u, v graph.NodeID, w float32) bool {
+				kern.Apply(zd, u, v, w)
+				return false
+			}
+		}
+		ligra.EdgeMap(g, ligra.All(g.N), updateEmb,
+			ligra.Options{Workers: workers, ForceSparse: true})
 	} else {
-		ligra.Process(g, frontier, updateEmb, engineOpts)
+		// Algorithm 2, line 7: the edge map over all arcs, under the
+		// implementation's write discipline.
+		if _, err := exec.Run(strategy, g, kern, z.Data, exec.Options{Workers: workers}); err != nil {
+			return nil, err
+		}
 	}
 	if tm != nil {
 		tm.EdgeMap = time.Since(start)
 	}
-	return z
+	return z, nil
 }

@@ -1,92 +1,42 @@
 package gee
 
 import (
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/mat"
 )
 
 // optimizedEmbed is the Numba-JIT analog (Table I "Numba Serial"): the
 // same single pass over the edge list as Algorithm 1, but with the
-// projection matrix compressed to one coefficient per vertex, flat
-// row-major storage, and no per-access bounds gymnastics — exactly the
-// loop a tracing JIT emits for the reference kernel. Serial by
-// construction.
-func optimizedEmbed(el *graph.EdgeList, y []int32, k int, opts Options) *mat.Dense {
-	n := el.N
-	counts := make([]int64, k)
-	for _, c := range y {
-		if c >= 0 {
-			counts[c]++
-		}
-	}
-	coeff := make([]float64, n)
-	for v, c := range y {
-		if c >= 0 && counts[c] > 0 {
-			coeff[v] = 1 / float64(counts[c])
-		}
-	}
+// projection matrix compressed to one coefficient per vertex and flat
+// row-major storage — exactly the loop a tracing JIT emits for the
+// reference kernel. That loop is the shared serial exec kernel; serial
+// by construction.
+func optimizedEmbed(el *graph.EdgeList, y []int32, k int, opts Options) (*mat.Dense, error) {
 	var deg []float64
 	if opts.Laplacian {
 		deg = incidentDegreesEdgeList(el)
 	}
-	z := mat.NewDense(n, k)
-	zd := z.Data
-	kk := k
-	for i := range el.Edges {
-		e := &el.Edges[i]
-		u, v := e.U, e.V
-		wt := float64(e.W)
-		if opts.Laplacian {
-			wt *= laplacianScale(deg, u, v)
-		}
-		if yv := y[v]; yv >= 0 {
-			zd[int(u)*kk+int(yv)] += coeff[v] * wt
-		}
-		if yu := y[u]; yu >= 0 {
-			zd[int(v)*kk+int(yu)] += coeff[u] * wt
-		}
+	kern := buildKernel(1, y, k, deg)
+	z := mat.NewDense(el.N, k)
+	if _, err := exec.SerialEdges(kern, el.Edges, el.N, z.Data); err != nil {
+		return nil, err
 	}
-	return z
+	return z, nil
 }
 
 // optimizedEmbedCSR runs the optimized serial kernel directly over CSR
-// arcs (used by benchmarks to hold the input representation constant
-// across implementations).
-func optimizedEmbedCSR(g *graph.CSR, y []int32, k int, opts Options) *mat.Dense {
-	n := g.N
-	counts := make([]int64, k)
-	for _, c := range y {
-		if c >= 0 {
-			counts[c]++
-		}
-	}
-	coeff := make([]float64, n)
-	for v, c := range y {
-		if c >= 0 && counts[c] > 0 {
-			coeff[v] = 1 / float64(counts[c])
-		}
-	}
+// arcs (used by benchmarks and EmbedCSR to hold the input representation
+// constant across implementations).
+func optimizedEmbedCSR(g *graph.CSR, y []int32, k int, opts Options) (*mat.Dense, error) {
 	var deg []float64
 	if opts.Laplacian {
 		deg = incidentDegreesCSR(1, g)
 	}
-	z := mat.NewDense(n, k)
-	zd := z.Data
-	for u := 0; u < n; u++ {
-		lo, hi := g.Offsets[u], g.Offsets[u+1]
-		for i := lo; i < hi; i++ {
-			v := g.Targets[i]
-			wt := float64(g.Weight(i))
-			if opts.Laplacian {
-				wt *= laplacianScale(deg, graph.NodeID(u), v)
-			}
-			if yv := y[v]; yv >= 0 {
-				zd[u*k+int(yv)] += coeff[v] * wt
-			}
-			if yu := y[u]; yu >= 0 {
-				zd[int(v)*k+int(yu)] += coeff[u] * wt
-			}
-		}
+	kern := buildKernel(1, y, k, deg)
+	z := mat.NewDense(g.N, k)
+	if _, err := exec.Run(exec.Serial, g, kern, z.Data, exec.Options{Workers: 1}); err != nil {
+		return nil, err
 	}
-	return z
+	return z, nil
 }

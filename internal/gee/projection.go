@@ -3,6 +3,7 @@ package gee
 import (
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -29,6 +30,39 @@ func projectionCoeffs(workers int, y []int32, counts []int64) []float64 {
 		}
 	})
 	return coeff
+}
+
+// buildKernel assembles the exec kernel every implementation shares: the
+// label vector doubles as both column arrays (unlabeled vertices are
+// negative and skip their half-update), the compressed projection
+// coefficients carry the magnitudes, and the optional Laplacian degrees
+// become the per-vertex scale 1/sqrt(d) whose pairwise product is the
+// edge factor 1/sqrt(d(u)·d(v)).
+func buildKernel(workers int, y []int32, k int, deg []float64) exec.Kernel[float64] {
+	counts := classCounts(workers, y, k)
+	return exec.Kernel[float64]{
+		Width:  k,
+		SrcCol: y,
+		DstCol: y,
+		Coeff:  projectionCoeffs(workers, y, counts),
+		Scale:  invSqrtDegrees(workers, deg),
+	}
+}
+
+// invSqrtDegrees maps incident degrees to the kernel scale 1/sqrt(d)
+// (0 for empty vertices, preserving the zero-degree guard of
+// laplacianScale). nil in, nil out.
+func invSqrtDegrees(workers int, deg []float64) []float64 {
+	if deg == nil {
+		return nil
+	}
+	s := make([]float64, len(deg))
+	parallel.For(workers, len(deg), func(i int) {
+		if deg[i] > 0 {
+			s[i] = 1 / math.Sqrt(deg[i])
+		}
+	})
+	return s
 }
 
 // incidentDegreesEdgeList computes each vertex's total incident weight
@@ -70,15 +104,4 @@ func incidentDegreesCSR(workers int, g *graph.CSR) []float64 {
 		}
 	}
 	return out
-}
-
-// laplacianScale returns the multiplicative factor 1/sqrt(d(u)·d(v)) for
-// an edge, or 0 when either endpoint has zero degree (unreachable for
-// endpoints of real edges; guards degenerate inputs).
-func laplacianScale(deg []float64, u, v graph.NodeID) float64 {
-	du, dv := deg[u], deg[v]
-	if du <= 0 || dv <= 0 {
-		return 0
-	}
-	return 1 / math.Sqrt(du*dv)
 }

@@ -1,13 +1,14 @@
 package gee
 
 import (
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/mat"
 )
 
 // referenceEmbed is the faithful transcription of Algorithm 1
-// (Semi-Supervised GEE) from the paper, deliberately written the way the
-// original interpreted implementation computes it:
+// (Semi-Supervised GEE) from the paper, computed the way the original
+// interpreted implementation computes it:
 //
 //	W = zeros(n, K)                      // lines 2-6
 //	for k in 0..K-1:
@@ -18,49 +19,34 @@ import (
 //	    Z[v, Y[u]] += W[u, Y[u]] * w
 //
 // The full n×K projection matrix is materialized (that memory footprint
-// is part of what the paper's Numba/Ligra versions eliminate), the edge
-// loop is serial, and every access goes through 2-D indexing. It is the
-// correctness oracle for the optimized implementations.
-func referenceEmbed(el *graph.EdgeList, y []int32, k int, opts Options) *mat.Dense {
+// is part of what the paper's Numba/Ligra versions eliminate) and every
+// coefficient is read back through its 2-D index. The edge loop itself
+// is the shared serial exec kernel over E — the same pass, applied in
+// edge-list order on one worker. It is the correctness oracle for the
+// optimized implementations.
+func referenceEmbed(el *graph.EdgeList, y []int32, k int, opts Options) (*mat.Dense, error) {
 	n := el.N
-	// Lines 2-6: projection matrix.
-	w := mat.NewDense(n, k)
-	counts := make([]int64, k)
-	for _, c := range y {
-		if c >= 0 {
-			counts[c]++
-		}
-	}
-	for class := 0; class < k; class++ {
-		if counts[class] == 0 {
-			continue
-		}
-		inv := 1 / float64(counts[class])
-		for v := 0; v < n; v++ {
-			if y[v] == int32(class) {
-				w.Set(v, class, inv)
-			}
+	// Lines 2-6: the literal projection matrix.
+	w := referenceProjection(n, y, k)
+	// The kernel coefficient of vertex v is W(v, Y(v)), read through the
+	// materialized matrix as Algorithm 1's inner loop does.
+	coeff := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if c := y[v]; c >= 0 {
+			coeff[v] = w.At(v, int(c))
 		}
 	}
 	var deg []float64
 	if opts.Laplacian {
 		deg = incidentDegreesEdgeList(el)
 	}
-	// Lines 7-12: single pass over the edge list.
+	kern := exec.Kernel[float64]{Width: k, SrcCol: y, DstCol: y, Coeff: coeff, Scale: invSqrtDegrees(1, deg)}
+	// Lines 7-12: single serial pass over the edge list.
 	z := mat.NewDense(n, k)
-	for _, e := range el.Edges {
-		u, v, wt := int(e.U), int(e.V), float64(e.W)
-		if opts.Laplacian {
-			wt *= laplacianScale(deg, e.U, e.V)
-		}
-		if yv := y[v]; yv >= 0 {
-			z.Add(u, int(yv), w.At(v, int(yv))*wt)
-		}
-		if yu := y[u]; yu >= 0 {
-			z.Add(v, int(yu), w.At(u, int(yu))*wt)
-		}
+	if _, err := exec.SerialEdges(kern, el.Edges, n, z.Data); err != nil {
+		return nil, err
 	}
-	return z
+	return z, nil
 }
 
 // referenceProjection exposes the full W matrix of Algorithm 1 lines 2-6

@@ -2,8 +2,6 @@ package gee
 
 import (
 	"repro/internal/graph"
-	"repro/internal/mat"
-	"repro/internal/parallel"
 )
 
 // EmbedReplicated is the classic alternative to atomic updates: each
@@ -13,54 +11,10 @@ import (
 // and a full reduction pass.
 //
 // The paper chooses atomics instead ("more efficient memory usage");
-// this implementation exists for the ablation benchmark that quantifies
-// that choice. It is not part of Impls and deliberately refuses
-// unreasonable buffer sizes.
+// the ablation benchmark quantifies that choice. Replication now rides
+// the exec layer as a first-class implementation — this wrapper is the
+// original entry point, kept for callers that predate EmbedCSR(
+// Replicated, ...).
 func EmbedReplicated(g *graph.CSR, y []int32, opts Options) (*Result, error) {
-	k, err := opts.normalize(g.N, y)
-	if err != nil {
-		return nil, err
-	}
-	workers := opts.workers()
-	counts := classCounts(workers, y, k)
-	coeff := projectionCoeffs(workers, y, counts)
-	var deg []float64
-	if opts.Laplacian {
-		deg = incidentDegreesCSR(workers, g)
-	}
-	w := parallel.Workers(workers)
-	buffers := make([][]float64, w)
-	parallel.ForStatic(w, g.N, func(worker, lo, hi int) {
-		zd := make([]float64, g.N*k)
-		buffers[worker] = zd
-		for u := lo; u < hi; u++ {
-			for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
-				v := g.Targets[i]
-				wt := float64(g.Weight(i))
-				if opts.Laplacian {
-					wt *= laplacianScale(deg, graph.NodeID(u), v)
-				}
-				if yv := y[v]; yv >= 0 {
-					zd[u*k+int(yv)] += coeff[v] * wt
-				}
-				if yu := y[u]; yu >= 0 {
-					zd[int(v)*k+int(yu)] += coeff[u] * wt
-				}
-			}
-		}
-	})
-	z := mat.NewDense(g.N, k)
-	out := z.Data
-	// parallel over cells, deterministic per-cell accumulation order
-	parallel.ForChunk(workers, g.N*k, 0, func(lo, hi int) {
-		for _, buf := range buffers {
-			if buf == nil {
-				continue
-			}
-			for i := lo; i < hi; i++ {
-				out[i] += buf[i]
-			}
-		}
-	})
-	return &Result{Z: z, K: k, Impl: LigraParallel}, nil
+	return EmbedCSR(Replicated, g, y, opts)
 }

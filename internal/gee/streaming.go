@@ -3,10 +3,9 @@ package gee
 import (
 	"fmt"
 
-	"repro/internal/atomicx"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/mat"
-	"repro/internal/parallel"
 )
 
 // StreamingEmbedder maintains a GEE embedding under edge insertions.
@@ -14,7 +13,8 @@ import (
 // a new batch of edges folds into Z with the same two writeAdd updates
 // per edge and no recomputation — the natural incremental extension of
 // the paper's one-pass formulation (its conclusion positions GEE for
-// exactly this streaming regime).
+// exactly this streaming regime). Batches run through the shared exec
+// kernel with atomic adds.
 //
 // The label vector and class counts are fixed at construction: the
 // per-vertex coefficients 1/count(Y=k) enter every contribution, so
@@ -22,8 +22,7 @@ import (
 type StreamingEmbedder struct {
 	n, k    int
 	workers int
-	y       []int32
-	coeff   []float64
+	kern    exec.Kernel[float64]
 	z       *mat.Dense
 	edges   int64
 }
@@ -39,12 +38,10 @@ func NewStreamingEmbedder(n int, y []int32, opts Options) (*StreamingEmbedder, e
 		return nil, fmt.Errorf("gee: streaming Laplacian unsupported (degrees change with every batch)")
 	}
 	workers := opts.workers()
-	counts := classCounts(workers, y, k)
 	return &StreamingEmbedder{
 		n: n, k: k, workers: workers,
-		y:     y,
-		coeff: projectionCoeffs(workers, y, counts),
-		z:     mat.NewDense(n, k),
+		kern: buildKernel(workers, y, k, nil),
+		z:    mat.NewDense(n, k),
 	}, nil
 }
 
@@ -57,20 +54,9 @@ func (s *StreamingEmbedder) AddEdges(batch []graph.Edge) error {
 			return fmt.Errorf("gee: batch edge %d (%d->%d) out of range [0,%d)", i, e.U, e.V, s.n)
 		}
 	}
-	zd := s.z.Data
-	k := s.k
-	parallel.ForChunk(s.workers, len(batch), 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e := batch[i]
-			wt := float64(e.W)
-			if yv := s.y[e.V]; yv >= 0 {
-				atomicx.AddFloat64(&zd[int(e.U)*k+int(yv)], s.coeff[e.V]*wt)
-			}
-			if yu := s.y[e.U]; yu >= 0 {
-				atomicx.AddFloat64(&zd[int(e.V)*k+int(yu)], s.coeff[e.U]*wt)
-			}
-		}
-	})
+	if _, err := exec.AtomicEdges(s.kern, batch, s.n, s.z.Data, s.workers); err != nil {
+		return err
+	}
 	s.edges += int64(len(batch))
 	return nil
 }

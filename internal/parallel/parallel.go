@@ -11,6 +11,7 @@ package parallel
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -215,6 +216,50 @@ func ExclusiveSum[T Integer](workers int, s []T) T {
 	}
 	wg.Wait()
 	return total
+}
+
+// SplitByWeight partitions the index range [0, n) into parts contiguous
+// ranges of roughly equal total weight, where prefix is the exclusive
+// prefix-sum array of the per-index weights (len n+1, monotone,
+// prefix[n] = total). It returns parts+1 monotone boundaries b with
+// b[0] = 0 and b[parts] = n; ranges may be empty when a single index
+// outweighs its fair share (e.g. a power-law hub vertex).
+//
+// This is the range-partition primitive behind the destination-sharded
+// executor: handed a CSR's Offsets array (a degree prefix sum), it yields
+// vertex ranges with balanced incident-arc counts rather than balanced
+// vertex counts.
+func SplitByWeight[T Integer](parts int, prefix []T) []int {
+	n := len(prefix) - 1
+	if n < 0 {
+		panic("parallel: SplitByWeight needs a non-empty prefix array")
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	bounds := make([]int, parts+1)
+	bounds[parts] = n
+	total := prefix[n]
+	lo := 0
+	for p := 1; p < parts; p++ {
+		// Smallest i with prefix[i] >= target, searched from the previous
+		// boundary so boundaries stay monotone. Weights are counts, so the
+		// uint64 product cannot overflow for any realistic m × parts.
+		target := T(uint64(total) * uint64(p) / uint64(parts))
+		i := sort.Search(n-lo, func(j int) bool { return prefix[lo+j] >= target }) + lo
+		bounds[p] = i
+		lo = i
+	}
+	return bounds
+}
+
+// RangeOf returns the index p of the range containing i under the
+// boundary array returned by SplitByWeight: bounds[p] <= i < bounds[p+1].
+// Empty ranges are skipped (the returned range always contains i).
+func RangeOf(bounds []int, i int) int {
+	// Largest p with bounds[p] <= i; sort.Search finds the first boundary
+	// strictly above i.
+	return sort.Search(len(bounds)-1, func(p int) bool { return bounds[p+1] > i })
 }
 
 // Histogram counts key(i) occurrences for i in [0, n) into buckets

@@ -272,3 +272,66 @@ func TestReducePropertySumEqualsSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitByWeightBalancesSkewedWeights(t *testing.T) {
+	// Power-law-ish weights: one heavy index among many light ones.
+	weights := make([]int64, 1000)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[17] = 5000
+	prefix := make([]int64, len(weights)+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	for _, parts := range []int{1, 2, 3, 7, 16} {
+		bounds := SplitByWeight(parts, prefix)
+		if len(bounds) != parts+1 || bounds[0] != 0 || bounds[parts] != len(weights) {
+			t.Fatalf("parts=%d: bounds=%v", parts, bounds)
+		}
+		total := prefix[len(weights)]
+		fair := total / int64(parts)
+		for p := 0; p < parts; p++ {
+			if bounds[p] > bounds[p+1] {
+				t.Fatalf("parts=%d: non-monotone bounds %v", parts, bounds)
+			}
+			got := prefix[bounds[p+1]] - prefix[bounds[p]]
+			// Each range holds at most its fair share plus one item's
+			// weight (the indivisible heavy index).
+			if got > fair+5000 {
+				t.Fatalf("parts=%d range %d: weight %d over fair share %d", parts, p, got, fair)
+			}
+		}
+	}
+}
+
+func TestSplitByWeightEdgeCases(t *testing.T) {
+	// Empty range.
+	bounds := SplitByWeight(4, []int64{0})
+	if len(bounds) != 5 || bounds[4] != 0 {
+		t.Fatalf("empty: %v", bounds)
+	}
+	// Zero total weight: all boundaries collapse but cover [0, n).
+	bounds = SplitByWeight(3, []int64{0, 0, 0})
+	if bounds[0] != 0 || bounds[3] != 2 {
+		t.Fatalf("zero-weight: %v", bounds)
+	}
+	// parts < 1 clamps to 1.
+	bounds = SplitByWeight(0, []int64{0, 3, 9})
+	if len(bounds) != 2 || bounds[1] != 2 {
+		t.Fatalf("clamped: %v", bounds)
+	}
+}
+
+func TestRangeOfLocatesEveryIndex(t *testing.T) {
+	prefix := []int64{0, 4, 4, 10, 11, 20}
+	for _, parts := range []int{1, 2, 3, 5} {
+		bounds := SplitByWeight(parts, prefix)
+		for i := 0; i < 5; i++ {
+			p := RangeOf(bounds, i)
+			if p < 0 || p >= parts || bounds[p] > i || i >= bounds[p+1] {
+				t.Fatalf("parts=%d i=%d: p=%d bounds=%v", parts, i, p, bounds)
+			}
+		}
+	}
+}

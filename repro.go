@@ -4,7 +4,9 @@
 // It embeds the n vertices of a graph into K dimensions with a single
 // pass over the edges, in any of the paper's four implementations — from
 // the faithful serial reference to the Ligra-style edge-parallel version
-// with lock-free atomic updates.
+// with lock-free atomic updates — plus two race-free parallel backends:
+// Replicated (per-worker buffers + reduction) and ShardedParallel
+// (destination-sharded plain writes, no atomics and no replicas).
 //
 // Quick start:
 //
@@ -67,13 +69,21 @@ type (
 	RefineResult = gee.RefineResult
 )
 
-// The paper's implementations (Table I order) plus the ablation.
+// The paper's implementations (Table I order), the ablations, and the
+// contention-free sharded backend.
 const (
 	Reference           = gee.Reference
 	Optimized           = gee.Optimized
 	LigraSerial         = gee.LigraSerial
 	LigraParallel       = gee.LigraParallel
 	LigraParallelUnsafe = gee.LigraParallelUnsafe
+	// Replicated accumulates into per-worker private copies of Z and
+	// reduces them (race-free without atomics, workers × n × K memory).
+	Replicated = gee.Replicated
+	// ShardedParallel partitions Z rows into degree-balanced shards so
+	// each worker owns a disjoint slice and writes without atomics —
+	// no races, no replicas, no reduction pass.
+	ShardedParallel = gee.ShardedParallel
 )
 
 // Impls lists every implementation.
