@@ -1,0 +1,308 @@
+// Command geeserve drives the dynamic embedding service (internal/dyn)
+// under an ingest+query workload: edge insertions, deletions, and label
+// updates stream into a DynamicEmbedder while concurrent reader
+// goroutines answer embedding queries from its published snapshots.
+//
+// Two modes:
+//
+//	geeserve                        # generated SBM churn with ground truth
+//	geeserve -stdin -n 1000 -k 10   # ops from stdin, one per line
+//
+// In generated mode the workload is a planted-partition graph whose
+// edges churn batch by batch (each round inserts a fresh batch, deletes
+// the oldest live one past a window, and reveals or perturbs a few
+// labels); every -eval-every rounds the embedding is classified by
+// arg-max coordinate and scored as ARI/NMI against the planted blocks,
+// so embedding quality is observable while the graph churns underneath.
+//
+// Stdin lines:
+//
+//	a u v [w]   insert edge (weight 1 when omitted)
+//	d u v [w]   delete a live edge (exact match)
+//	l v c       relabel vertex v to class c (-1 unlabels)
+//
+// Ops are folded in batches of -batch lines (and at EOF).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dyn"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/labels"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		stdin     = flag.Bool("stdin", false, "read ops from stdin instead of generating churn")
+		n         = flag.Int("n", 100_000, "vertex count")
+		k         = flag.Int("k", 10, "classes (= SBM blocks in generated mode)")
+		pIn       = flag.Float64("p-in", 8e-4, "SBM within-block edge probability")
+		pOut      = flag.Float64("p-out", 4e-5, "SBM cross-block edge probability")
+		labelFrac = flag.Float64("label-frac", 0.1, "initially labeled fraction (true block labels)")
+		batch     = flag.Int("batch", 20_000, "edges per ingest batch (ops per batch in stdin mode)")
+		rounds    = flag.Int("rounds", 200, "ingest rounds in generated mode")
+		window    = flag.Int("window", 8, "live batches kept before the oldest is deleted")
+		relabel   = flag.Int("relabel", 50, "label updates per round in generated mode")
+		readers   = flag.Int("readers", 4, "concurrent query reader goroutines")
+		evalEvery = flag.Int("eval-every", 25, "rounds between ARI/NMI evaluations (0 disables)")
+		threshold = flag.Int("sharded-threshold", 0, "batch size switching folds to the sharded path (0 default, <0 never)")
+		workers   = flag.Int("workers", 0, "fold parallelism (0 = GOMAXPROCS)")
+		seed      = flag.Uint64("seed", 12345, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*stdin, *n, *k, *pIn, *pOut, *labelFrac, *batch, *rounds, *window,
+		*relabel, *readers, *evalEvery, *threshold, *workers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "geeserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdin bool, n, k int, pIn, pOut, labelFrac float64, batch, rounds, window,
+	relabel, readers, evalEvery, threshold, workers int, seed uint64) error {
+	opts := dyn.Options{K: k, Workers: workers, ShardedThreshold: threshold}
+	if stdin {
+		y := make([]int32, n)
+		for i := range y {
+			y[i] = labels.Unknown
+		}
+		d, err := dyn.New(n, y, opts)
+		if err != nil {
+			return err
+		}
+		stop := startReaders(d, readers)
+		defer stop()
+		return serveStdin(d, batch)
+	}
+
+	fmt.Fprintf(os.Stderr, "# generating SBM: n=%d k=%d p_in=%g p_out=%g\n", n, k, pIn, pOut)
+	el, yTrue := gen.SBM(workers, n, k, pIn, pOut, seed)
+	if len(el.Edges) == 0 {
+		return fmt.Errorf("empty SBM (raise -p-in/-p-out)")
+	}
+	// Reveal the true block of a random labeled subset — the
+	// semi-supervised seeding GEE consumes.
+	y := make([]int32, n)
+	for i := range y {
+		y[i] = labels.Unknown
+	}
+	r := xrand.New(seed + 1)
+	for i := 0; i < int(labelFrac*float64(n)); i++ {
+		v := r.Intn(n)
+		y[v] = yTrue[v]
+	}
+	d, err := dyn.New(n, y, opts)
+	if err != nil {
+		return err
+	}
+	stop := startReaders(d, readers)
+	defer stop()
+	return serveChurn(d, el, yTrue, batch, rounds, window, relabel, evalEvery, seed)
+}
+
+// startReaders launches query goroutines hammering the published
+// snapshot and returns a stop function reporting their total count.
+func startReaders(d *dyn.DynamicEmbedder, readers int) func() {
+	if readers <= 0 {
+		return func() {}
+	}
+	var queries atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.New(uint64(1000 + id))
+			n := d.N()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if row := d.Query(graph.NodeID(r.Intn(n))); row == nil {
+					panic("geeserve: nil query row")
+				}
+				queries.Add(1)
+			}
+		}(i)
+	}
+	return func() {
+		close(done)
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		fmt.Printf("served %d queries from %d readers (%.0f queries/s)\n",
+			queries.Load(), readers, float64(queries.Load())/secs)
+	}
+}
+
+// serveChurn runs the generated ingest loop.
+func serveChurn(d *dyn.DynamicEmbedder, el *graph.EdgeList, yTrue []int32,
+	batch, rounds, window, relabel, evalEvery int, seed uint64) error {
+	n := d.N()
+	k := d.K()
+	r := xrand.New(seed + 2)
+	pool := el.Edges
+	if batch > len(pool) {
+		fmt.Fprintf(os.Stderr, "# pool has %d edges; clamping -batch from %d\n", len(pool), batch)
+		batch = len(pool)
+	}
+	var live [][]graph.Edge // FIFO of inserted batches
+	off := 0
+	next := func() []graph.Edge {
+		if off+batch > len(pool) {
+			off = 0
+		}
+		b := pool[off : off+batch]
+		off += batch
+		return b
+	}
+	windowStart := time.Now()
+	var windowEdges int64
+	for round := 1; round <= rounds; round++ {
+		var b dyn.Batch
+		b.Insert = next()
+		if len(live) >= window {
+			b.Delete = live[0]
+			live = live[1:]
+		}
+		for i := 0; i < relabel; i++ {
+			v := graph.NodeID(r.Intn(n))
+			// Mostly reveal true labels (quality climbs), sometimes
+			// perturb (exercises the subtract/re-add path).
+			class := yTrue[v]
+			if r.Intn(5) == 0 {
+				class = int32(r.Intn(k))
+			}
+			b.Labels = append(b.Labels, dyn.LabelUpdate{V: v, Class: class})
+		}
+		if err := d.Apply(b); err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		live = append(live, b.Insert)
+		windowEdges += int64(len(b.Insert) + len(b.Delete))
+		if evalEvery > 0 && round%evalEvery == 0 {
+			snap := d.Snapshot()
+			pred := classify(snap)
+			secs := time.Since(windowStart).Seconds()
+			fmt.Printf("round %4d  epoch %4d  live %9d  ingest %10.0f edges/s  ARI %.3f  NMI %.3f\n",
+				round, snap.Epoch, snap.Edges, float64(windowEdges)/secs,
+				cluster.ARI(pred, yTrue), cluster.NMI(pred, yTrue))
+			windowStart = time.Now()
+			windowEdges = 0
+		}
+	}
+	st := d.Stats()
+	fmt.Printf("ingested %d inserts, %d deletes, %d label moves over %d batches (folds: %d sharded, %d atomic, %d serial)\n",
+		st.Inserts, st.Deletes, st.LabelMoves, st.Batches,
+		st.ShardedFolds, st.AtomicFolds, st.SerialFolds)
+	return nil
+}
+
+// classify assigns each vertex its arg-max embedding coordinate (the
+// GEE semi-supervised read-out); all-zero rows stay unlabeled so they
+// are skipped by the metrics.
+func classify(s *dyn.Snapshot) []int32 {
+	pred := make([]int32, s.Z.R)
+	for v := 0; v < s.Z.R; v++ {
+		row := s.Z.Row(v)
+		best, bv := labels.Unknown, 0.0
+		for c, x := range row {
+			if x > bv {
+				best, bv = int32(c), x
+			}
+		}
+		pred[v] = best
+	}
+	return pred
+}
+
+// serveStdin folds line ops into batches.
+func serveStdin(d *dyn.DynamicEmbedder, batch int) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b dyn.Batch
+	ops := 0
+	line := 0
+	flush := func() error {
+		if ops == 0 {
+			return nil
+		}
+		if err := d.Apply(b); err != nil {
+			return err
+		}
+		b = dyn.Batch{}
+		ops = 0
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		f := strings.Fields(sc.Text())
+		if len(f) == 0 || f[0][0] == '#' {
+			continue
+		}
+		switch f[0] {
+		case "a", "d":
+			if len(f) < 3 {
+				return fmt.Errorf("line %d: want '%s u v [w]'", line, f[0])
+			}
+			u, err1 := strconv.ParseUint(f[1], 10, 32)
+			v, err2 := strconv.ParseUint(f[2], 10, 32)
+			w := 1.0
+			var err3 error
+			if len(f) > 3 {
+				w, err3 = strconv.ParseFloat(f[3], 32)
+			}
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("line %d: bad edge op %q", line, sc.Text())
+			}
+			e := graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v), W: float32(w)}
+			if f[0] == "a" {
+				b.Insert = append(b.Insert, e)
+			} else {
+				b.Delete = append(b.Delete, e)
+			}
+		case "l":
+			if len(f) < 3 {
+				return fmt.Errorf("line %d: want 'l v class'", line)
+			}
+			v, err1 := strconv.ParseUint(f[1], 10, 32)
+			c, err2 := strconv.ParseInt(f[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("line %d: bad label op %q", line, sc.Text())
+			}
+			b.Labels = append(b.Labels, dyn.LabelUpdate{V: graph.NodeID(v), Class: int32(c)})
+		default:
+			return fmt.Errorf("line %d: unknown op %q", line, f[0])
+		}
+		ops++
+		if ops >= batch {
+			if err := flush(); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	st := d.Stats()
+	fmt.Printf("epoch %d: %d live edges, %d inserts, %d deletes, %d label moves\n",
+		st.Epoch, st.LiveEdges, st.Inserts, st.Deletes, st.LabelMoves)
+	return nil
+}

@@ -203,6 +203,9 @@ func TestRunFig4Tiny(t *testing.T) {
 		if p.Runtimes[gee.LigraParallel] <= 0 {
 			t.Fatal("parallel curve missing")
 		}
+		if p.Runtimes[gee.ShardedParallel] <= 0 {
+			t.Fatal("sharded curve missing")
+		}
 	}
 	var buf bytes.Buffer
 	RenderFig4(&buf, points)

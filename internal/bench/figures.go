@@ -136,8 +136,11 @@ type Fig4Point struct {
 	Runtimes  map[gee.Impl]time.Duration
 }
 
-// Fig4Impls lists the paper's four Figure 4 curves.
-var Fig4Impls = []gee.Impl{gee.Reference, gee.Optimized, gee.LigraSerial, gee.LigraParallel}
+// Fig4Impls lists the Figure 4 curves: the paper's four plus the
+// repository's contention-free sharded backend, so the sweep shows
+// where destination sharding overtakes atomic writeAdd as edge counts
+// (and hot-row contention) grow.
+var Fig4Impls = []gee.Impl{gee.Reference, gee.Optimized, gee.LigraSerial, gee.LigraParallel, gee.ShardedParallel}
 
 // RunFig4 sweeps Erdős–Rényi graphs of doubling edge counts, timing each
 // implementation (paper: 2^13 .. 2^29 edges, n = m/16). refMaxLog2

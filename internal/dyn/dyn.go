@@ -1,0 +1,464 @@
+// Package dyn is the dynamic embedding service of the GEE reproduction:
+// a DynamicEmbedder maintains a One-Hot Graph Encoder Embedding under
+// edge insertions, edge deletions, and incremental label changes, while
+// serving concurrent readers from epoch-versioned snapshots.
+//
+// The paper's one-pass formulation makes this possible: Z is a sum of
+// independent per-edge contributions, so an inserted edge folds in with
+// the same two half-updates as the batch algorithm and a deleted edge
+// folds the same contribution with negated sign. The subtlety is the
+// 1/n_k projection coefficients — a label change alters class counts,
+// which rescales every contribution of the two affected classes. The
+// embedder therefore accumulates the *unnormalized* per-class sums U
+// (coefficient 1 per labeled endpoint): column c of U only receives
+// mass keyed by class-c endpoints, so the exact embedding is recovered
+// at publish time as Z(·,c) = U(·,c)/n_c, and a label change reduces to
+// sliding the vertex's raw incident-edge mass between two columns
+// (O(degree), via a maintained adjacency) plus a count update. Class
+// counts entering only at publish is what keeps the coefficients exact
+// under any interleaving of operations.
+//
+// Writers are serialized by an internal lock and route edge folds
+// through internal/exec: atomic adds for small batches, the
+// contention-free sharded backend for large ones, bucketing each batch
+// in O(batch) against a shard layout cached across batches. Readers
+// never take the lock: Query and Snapshot read an atomically published
+// immutable version (copy-on-epoch over mat.Dense), so queries stay
+// consistent while ingest continues.
+package dyn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/labels"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// Options configures a DynamicEmbedder. The Laplacian and directed
+// variants are not supported dynamically (degrees change with every
+// batch; the 2K layout is a static transform).
+type Options struct {
+	// K is the number of classes (embedding width). Zero infers
+	// 1 + max(y) from the initial labels.
+	K int
+	// Workers bounds parallelism for folds and publishes; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// ShardedThreshold is the batch size (in folded edges) at which
+	// ingest switches from atomic adds to the contention-free sharded
+	// path (with more than one worker; a single worker always folds
+	// serially). Zero selects a default; negative disables sharding.
+	ShardedThreshold int
+	// ManualPublish suppresses the automatic publish after every Apply;
+	// the caller batches visibility with explicit Publish calls. Ingest
+	// throughput then no longer pays the O(nK) normalization per batch.
+	ManualPublish bool
+}
+
+// defaultShardedThreshold balances the O(batch) bucketing pass against
+// the atomic contention it avoids; below a few thousand edges the
+// bucketing costs more than the atomics.
+const defaultShardedThreshold = 4096
+
+// LabelUpdate reassigns vertex V to Class (labels.Unknown removes the
+// label).
+type LabelUpdate struct {
+	V     graph.NodeID
+	Class int32
+}
+
+// Batch is one atomic unit of ingest, applied in field order: deletions
+// first, then insertions, then label updates. A reader never observes a
+// partially applied batch.
+type Batch struct {
+	Insert []graph.Edge
+	Delete []graph.Edge
+	Labels []LabelUpdate
+}
+
+// Snapshot is one published, immutable version of the embedding.
+// Readers may hold it indefinitely; it is never mutated after publish.
+type Snapshot struct {
+	// Epoch is the version counter (0 = the empty initial version).
+	Epoch uint64
+	// Z is the normalized n×K embedding. Read-only by contract.
+	Z *mat.Dense
+	// Y is the label vector at publish time. Read-only by contract.
+	Y []int32
+	// Edges is the number of live edges folded into Z.
+	Edges int64
+}
+
+// Stats counts what the embedder has done so far.
+type Stats struct {
+	Epoch        uint64
+	LiveEdges    int64
+	Inserts      int64
+	Deletes      int64
+	LabelMoves   int64 // applied label updates (no-op reassignments excluded)
+	Batches      int64
+	AtomicFolds  int64 // batches folded with atomic adds
+	ShardedFolds int64 // batches folded through the sharded edge plan
+	SerialFolds  int64 // batches folded serially (tiny or single-worker)
+}
+
+// halfEdge is one incident arc endpoint: the *other* vertex's row
+// receives this vertex's class contribution, so a label change walks
+// exactly this list.
+type halfEdge struct {
+	v graph.NodeID
+	w float32
+}
+
+// DynamicEmbedder maintains a GEE embedding under churn. All writer
+// methods (Apply and its convenience wrappers, Publish) are safe for
+// concurrent use with each other and with readers; Query and Snapshot
+// never block on writers.
+type DynamicEmbedder struct {
+	n, k    int
+	workers int
+	thresh  int
+	manual  bool
+
+	mu      sync.Mutex // serializes writers over the mutable state below
+	y       []int32
+	counts  []int64
+	adj     [][]halfEdge // incident half-edges of each vertex
+	u       *mat.Dense   // unnormalized per-class sums
+	kern    exec.Kernel[float64]
+	plan    *exec.EdgePlan // lazily built sharded layout, reused per batch
+	edges   int64
+	scratch []graph.Edge // negated-delete + insert fold buffer
+	stats   Stats
+
+	cur atomic.Pointer[Snapshot]
+}
+
+// New prepares an embedder for n vertices with the given initial labels
+// (labels.Unknown for unlabeled vertices) and publishes the empty epoch-0
+// snapshot.
+func New(n int, y []int32, opts Options) (*DynamicEmbedder, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dyn: %d vertices", n)
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("dyn: %d labels for %d vertices", len(y), n)
+	}
+	k := opts.K
+	if k == 0 {
+		for _, v := range y {
+			if int(v)+1 > k {
+				k = int(v) + 1
+			}
+		}
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("dyn: no labeled vertices and K unset")
+	}
+	if err := labels.Validate(y, k); err != nil {
+		return nil, err
+	}
+	workers := parallel.Workers(opts.Workers)
+	thresh := opts.ShardedThreshold
+	if thresh == 0 {
+		thresh = defaultShardedThreshold
+	}
+	yc := append([]int32(nil), y...)
+	d := &DynamicEmbedder{
+		n: n, k: k, workers: workers,
+		thresh: thresh,
+		manual: opts.ManualPublish,
+		y:      yc,
+		counts: parallel.Histogram(workers, n, k, func(i int) int { return int(yc[i]) }),
+		adj:    make([][]halfEdge, n),
+		u:      mat.NewDense(n, k),
+		kern: exec.Kernel[float64]{
+			Width:  k,
+			SrcCol: yc,
+			DstCol: yc,
+			Coeff:  ones(n),
+		},
+	}
+	d.publishLocked()
+	return d, nil
+}
+
+func ones(n int) []float64 {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}
+
+// N returns the vertex count.
+func (d *DynamicEmbedder) N() int { return d.n }
+
+// K returns the embedding width.
+func (d *DynamicEmbedder) K() int { return d.k }
+
+// Epoch returns the currently published version.
+func (d *DynamicEmbedder) Epoch() uint64 { return d.cur.Load().Epoch }
+
+// Stats returns a copy of the operation counters.
+func (d *DynamicEmbedder) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.Epoch = d.cur.Load().Epoch
+	st.LiveEdges = d.edges
+	return st
+}
+
+// Snapshot returns the currently published version. The returned value
+// is immutable and consistent: every batch is either fully reflected or
+// not at all.
+func (d *DynamicEmbedder) Snapshot() *Snapshot { return d.cur.Load() }
+
+// Query returns a copy of vertex v's embedding row in the currently
+// published version, or nil when v is out of range.
+func (d *DynamicEmbedder) Query(v graph.NodeID) []float64 {
+	s := d.cur.Load()
+	if int(v) >= s.Z.R {
+		return nil
+	}
+	out := make([]float64, s.Z.C)
+	copy(out, s.Z.Row(int(v)))
+	return out
+}
+
+// AddEdges inserts a batch of edges.
+func (d *DynamicEmbedder) AddEdges(batch []graph.Edge) error {
+	return d.Apply(Batch{Insert: batch})
+}
+
+// DeleteEdges removes a batch of previously inserted edges. Each edge
+// must match a live edge exactly (same orientation and weight).
+func (d *DynamicEmbedder) DeleteEdges(batch []graph.Edge) error {
+	return d.Apply(Batch{Delete: batch})
+}
+
+// UpdateLabels applies a batch of label reassignments.
+func (d *DynamicEmbedder) UpdateLabels(updates []LabelUpdate) error {
+	return d.Apply(Batch{Labels: updates})
+}
+
+// Apply folds one batch into the embedding: deletions, then insertions,
+// then label updates. On error nothing is applied. Unless the embedder
+// is in manual-publish mode, the new version is published before Apply
+// returns.
+func (d *DynamicEmbedder) Apply(b Batch) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.validate(&b); err != nil {
+		return err
+	}
+	// Deletions detach from the adjacency first — this is also the
+	// existence check — so a missing edge aborts before any fold.
+	if err := d.detachDeletes(b.Delete); err != nil {
+		return err
+	}
+	// Fold deletions (negated) and insertions in one pass under the
+	// current labels; label updates below move any of this mass that
+	// their vertex keys.
+	if err := d.fold(b.Delete, b.Insert); err != nil {
+		return err
+	}
+	for _, e := range b.Insert {
+		d.adj[e.U] = append(d.adj[e.U], halfEdge{v: e.V, w: e.W})
+		d.adj[e.V] = append(d.adj[e.V], halfEdge{v: e.U, w: e.W})
+	}
+	for _, lu := range b.Labels {
+		d.relabel(lu.V, lu.Class)
+	}
+	d.edges += int64(len(b.Insert)) - int64(len(b.Delete))
+	d.stats.Inserts += int64(len(b.Insert))
+	d.stats.Deletes += int64(len(b.Delete))
+	d.stats.Batches++
+	if !d.manual {
+		d.publishLocked()
+	}
+	return nil
+}
+
+// Publish makes all applied batches visible as a new version. Only
+// needed in manual-publish mode; otherwise every Apply publishes.
+func (d *DynamicEmbedder) Publish() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.publishLocked()
+}
+
+// validate checks every operation of the batch before any mutation.
+func (d *DynamicEmbedder) validate(b *Batch) error {
+	if i := graph.FirstInvalidEdge(d.workers, d.n, b.Insert); i >= 0 {
+		e := b.Insert[i]
+		return fmt.Errorf("dyn: insert %d (%d->%d) out of range [0,%d)", i, e.U, e.V, d.n)
+	}
+	if i := graph.FirstInvalidEdge(d.workers, d.n, b.Delete); i >= 0 {
+		e := b.Delete[i]
+		return fmt.Errorf("dyn: delete %d (%d->%d) out of range [0,%d)", i, e.U, e.V, d.n)
+	}
+	for i, lu := range b.Labels {
+		if int(lu.V) >= d.n {
+			return fmt.Errorf("dyn: label update %d: vertex %d out of range [0,%d)", i, lu.V, d.n)
+		}
+		if lu.Class < labels.Unknown || int(lu.Class) >= d.k {
+			return fmt.Errorf("dyn: label update %d: class %d outside [-1,%d)", i, lu.Class, d.k)
+		}
+	}
+	return nil
+}
+
+// detachDeletes removes each deleted edge from the adjacency, rolling
+// back on a miss so a failed batch leaves no trace.
+func (d *DynamicEmbedder) detachDeletes(del []graph.Edge) error {
+	for i, e := range del {
+		if !d.removeHalf(e.U, e.V, e.W) {
+			d.reattach(del[:i])
+			return fmt.Errorf("dyn: delete %d: edge (%d->%d, w=%g) not live", i, e.U, e.V, e.W)
+		}
+		if !d.removeHalf(e.V, e.U, e.W) {
+			// The first half was present, so the reverse half must be:
+			// halves are only ever added and removed in pairs.
+			d.adj[e.U] = append(d.adj[e.U], halfEdge{v: e.V, w: e.W})
+			d.reattach(del[:i])
+			return fmt.Errorf("dyn: delete %d: edge (%d->%d, w=%g) not live", i, e.U, e.V, e.W)
+		}
+	}
+	return nil
+}
+
+// removeHalf swap-deletes one (v, w) entry from adj[u].
+func (d *DynamicEmbedder) removeHalf(u, v graph.NodeID, w float32) bool {
+	list := d.adj[u]
+	for i := range list {
+		if list[i].v == v && list[i].w == w {
+			list[i] = list[len(list)-1]
+			d.adj[u] = list[:len(list)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// reattach restores previously detached edges after a failed batch.
+func (d *DynamicEmbedder) reattach(del []graph.Edge) {
+	for _, e := range del {
+		d.adj[e.U] = append(d.adj[e.U], halfEdge{v: e.V, w: e.W})
+		d.adj[e.V] = append(d.adj[e.V], halfEdge{v: e.U, w: e.W})
+	}
+}
+
+// fold applies the deletions (negated) and insertions to U through the
+// exec layer: serial for tiny batches or one worker, atomic adds for
+// small ones, the contention-free sharded path for large ones.
+func (d *DynamicEmbedder) fold(del, ins []graph.Edge) error {
+	total := len(del) + len(ins)
+	if total == 0 {
+		return nil
+	}
+	if cap(d.scratch) < total {
+		d.scratch = make([]graph.Edge, total)
+	}
+	fold := d.scratch[:0]
+	for _, e := range del {
+		fold = append(fold, graph.Edge{U: e.U, V: e.V, W: -e.W})
+	}
+	fold = append(fold, ins...)
+	d.scratch = fold
+	switch {
+	// An explicit threshold wins: any batch at or above it takes the
+	// sharded path (given parallelism). The serial floor below only
+	// arbitrates between serial and atomic folds under the threshold.
+	case d.workers > 1 && d.thresh >= 0 && total >= d.thresh:
+		if d.plan == nil {
+			parts := d.workers
+			plan, err := exec.NewEdgePlan(d.n, parts)
+			if err != nil {
+				return err
+			}
+			d.plan = plan
+		}
+		d.stats.ShardedFolds++
+		_, err := exec.ShardedEdges(d.kern, fold, d.u.Data, d.plan, d.workers)
+		return err
+	case d.workers <= 1 || total < 1024:
+		d.stats.SerialFolds++
+		_, err := exec.SerialEdges(d.kern, fold, d.n, d.u.Data)
+		return err
+	default:
+		d.stats.AtomicFolds++
+		_, err := exec.AtomicEdges(d.kern, fold, d.n, d.u.Data, d.workers)
+		return err
+	}
+}
+
+// relabel moves vertex v from its current class to class: the raw mass
+// v contributes along its incident edges slides from the old column to
+// the new one in the neighbors' rows, and the class counts shift so the
+// publish-time 1/n_k normalization stays exact.
+func (d *DynamicEmbedder) relabel(v graph.NodeID, class int32) {
+	old := d.y[v]
+	if old == class {
+		return
+	}
+	k := d.k
+	for _, he := range d.adj[v] {
+		row := int(he.v) * k
+		w := float64(he.w)
+		if old >= 0 {
+			d.u.Data[row+int(old)] -= w
+		}
+		if class >= 0 {
+			d.u.Data[row+int(class)] += w
+		}
+	}
+	if old >= 0 {
+		d.counts[old]--
+	}
+	if class >= 0 {
+		d.counts[class]++
+	}
+	d.y[v] = class
+	d.stats.LabelMoves++
+}
+
+// publishLocked normalizes U into a fresh matrix and atomically
+// publishes it as the next epoch. Copy-on-epoch: earlier snapshots stay
+// valid for readers still holding them.
+func (d *DynamicEmbedder) publishLocked() *Snapshot {
+	inv := make([]float64, d.k)
+	for c, n := range d.counts {
+		if n > 0 {
+			inv[c] = 1 / float64(n)
+		}
+	}
+	z := mat.NewDense(d.n, d.k)
+	parallel.ForChunk(d.workers, d.n, 0, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			src := d.u.Row(u)
+			dst := z.Row(u)
+			for c := range src {
+				dst[c] = src[c] * inv[c]
+			}
+		}
+	})
+	var epoch uint64
+	if prev := d.cur.Load(); prev != nil {
+		epoch = prev.Epoch + 1
+	}
+	s := &Snapshot{
+		Epoch: epoch,
+		Z:     z,
+		Y:     append([]int32(nil), d.y...),
+		Edges: d.edges,
+	}
+	d.cur.Store(s)
+	return s
+}

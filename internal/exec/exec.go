@@ -80,6 +80,12 @@ type Stats struct {
 	PlainAdds int64
 	// Shards is the number of destination shards used (ShardedDest only).
 	Shards int
+	// PlanBuilds counts destination plans derived during the run: 1 when
+	// ShardedDest had to bucket the graph's arcs, 0 when a plan cached on
+	// the CSR was reused. Tests assert repeated same-CSR runs report 0.
+	PlanBuilds int
+	// PlanReuses counts runs served entirely by a cached plan.
+	PlanReuses int
 }
 
 // UsesAtomicAdds reports whether a strategy resolves to atomic adds at

@@ -223,6 +223,170 @@ func TestShardedBucketsCoverEveryArc(t *testing.T) {
 	}
 }
 
+// TestShardedPlanCachedAcrossRuns is the acceptance check for the
+// ROADMAP plan-cache item: the first ShardedDest run on a CSR buckets
+// the arcs, every subsequent run at the same worker count reports zero
+// plan builds — including runs with a different kernel, since the plan
+// depends only on graph structure.
+func TestShardedPlanCachedAcrossRuns(t *testing.T) {
+	g := powerLawGraph(t, 11, 50_000, 31)
+	k := testKernel(g.N, 8, false, false)
+	z := make([]float64, g.N*k.Width)
+	first, err := Run(ShardedDest, g, k, z, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PlanBuilds != 1 || first.PlanReuses != 0 {
+		t.Fatalf("first run: builds=%d reuses=%d, want 1/0", first.PlanBuilds, first.PlanReuses)
+	}
+	for trial := 0; trial < 3; trial++ {
+		z2 := make([]float64, len(z))
+		again, err := Run(ShardedDest, g, k, z2, Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.PlanBuilds != 0 || again.PlanReuses != 1 {
+			t.Fatalf("repeat run %d: builds=%d reuses=%d, want 0/1", trial, again.PlanBuilds, again.PlanReuses)
+		}
+		if d := maxAbsDiff(z, z2); d != 0 {
+			t.Fatalf("repeat run %d deviates by %g under a cached plan", trial, d)
+		}
+	}
+	// A different kernel shape reuses the same structural plan.
+	dk := testKernel(g.N, 8, true, true)
+	dz := make([]float64, g.N*dk.Width)
+	st, err := Run(ShardedDest, g, dk, dz, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanBuilds != 0 {
+		t.Fatalf("directed kernel rebuilt the structural plan (builds=%d)", st.PlanBuilds)
+	}
+	// A different worker count is a different shard layout: rebuild.
+	z3 := make([]float64, len(z))
+	st, err = Run(ShardedDest, g, k, z3, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanBuilds != 1 {
+		t.Fatalf("worker-count change did not rebuild (builds=%d)", st.PlanBuilds)
+	}
+	// Invalidation drops the cache.
+	g.InvalidatePlan()
+	st, err = Run(ShardedDest, g, k, z3, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanBuilds != 1 {
+		t.Fatalf("invalidated plan not rebuilt (builds=%d)", st.PlanBuilds)
+	}
+}
+
+func TestShardedEdgesMatchesSerial(t *testing.T) {
+	el := gen.RMAT(4, 11, 60_000, gen.Graph500Params, 37)
+	el.Weighted = true
+	for i := range el.Edges {
+		el.Edges[i].W = float32(i%7 + 1)
+	}
+	for _, shape := range []struct {
+		name             string
+		scaled, directed bool
+	}{{"plain", false, false}, {"scaled", true, false}, {"directed", false, true}} {
+		k := testKernel(el.N, 8, shape.scaled, shape.directed)
+		want := make([]float64, el.N*k.Width)
+		if _, err := SerialEdges(k, el.Edges, el.N, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, parts := range []int{2, 7, 16} {
+			plan, err := NewEdgePlan(el.N, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			z := make([]float64, len(want))
+			st, err := ShardedEdges(k, el.Edges, z, plan, 8)
+			if err != nil {
+				t.Fatalf("%s parts=%d: %v", shape.name, parts, err)
+			}
+			if d := maxAbsDiff(want, z); d > 1e-9 {
+				t.Errorf("%s parts=%d: deviates from serial by %g", shape.name, parts, d)
+			}
+			if st.AtomicAdds != 0 {
+				t.Errorf("%s parts=%d: %d atomic adds, want 0", shape.name, parts, st.AtomicAdds)
+			}
+			if st.Shards != parts {
+				t.Errorf("%s parts=%d: reported %d shards", shape.name, parts, st.Shards)
+			}
+		}
+	}
+}
+
+// TestShardedEdgesScratchReuse folds several batches through one plan —
+// the dynamic-ingest pattern — and checks the accumulated result and
+// the scratch reuse both hold.
+func TestShardedEdgesScratchReuse(t *testing.T) {
+	el := gen.RMAT(4, 10, 30_000, gen.Graph500Params, 41)
+	k := testKernel(el.N, 6, false, false)
+	want := make([]float64, el.N*k.Width)
+	if _, err := SerialEdges(k, el.Edges, el.N, want); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewEdgePlan(el.N, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, len(want))
+	edges := el.Edges
+	for len(edges) > 0 {
+		sz := 1 + len(edges)/3
+		if sz > len(edges) {
+			sz = len(edges)
+		}
+		if _, err := ShardedEdges(k, edges[:sz], z, plan, 8); err != nil {
+			t.Fatal(err)
+		}
+		edges = edges[sz:]
+	}
+	if d := maxAbsDiff(want, z); d > 1e-9 {
+		t.Fatalf("batched sharded folds deviate by %g", d)
+	}
+}
+
+func TestShardedEdgesRaceFree(t *testing.T) {
+	el := gen.RMAT(4, 11, 80_000, gen.Graph500Params, 43)
+	k := testKernel(el.N, 4, false, false)
+	plan, err := NewEdgePlan(el.N, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, el.N*k.Width)
+	for trial := 0; trial < 3; trial++ {
+		if _, err := ShardedEdges(k, el.Edges, z, plan, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEdgePlanValidation(t *testing.T) {
+	if _, err := NewEdgePlan(0, 4); err == nil {
+		t.Fatal("empty vertex range accepted")
+	}
+	plan, err := NewEdgePlan(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards() != 3 {
+		t.Fatalf("plan over 3 vertices has %d shards", plan.Shards())
+	}
+	if plan.N() != 3 {
+		t.Fatalf("plan reports n=%d", plan.N())
+	}
+	bad := testKernel(3, 2, false, false)
+	bad.Coeff = bad.Coeff[:1]
+	if _, err := ShardedEdges(bad, nil, make([]float64, 6), plan, 2); err == nil {
+		t.Fatal("bad kernel accepted")
+	}
+}
+
 func TestRacyUpgradesOrRuns(t *testing.T) {
 	// Racy must execute without error regardless of the race detector
 	// (under -race it silently upgrades to Atomic).

@@ -48,7 +48,7 @@ func runSharded[T Float](g *graph.CSR, k Kernel[T], z []T, workers int) Stats {
 		st.Shards = 1
 		return st
 	}
-	plan := buildDestPlan(g, p, workers)
+	plan, built := destPlanFor(g, p, workers)
 	var adds atomic.Int64
 	parallel.ForStatic(p, p, func(_, lo, hi int) {
 		var local int64
@@ -71,7 +71,37 @@ func runSharded[T Float](g *graph.CSR, k Kernel[T], z []T, workers int) Stats {
 		}
 		adds.Add(local)
 	})
-	return Stats{PlainAdds: adds.Load(), Shards: p}
+	st := Stats{PlainAdds: adds.Load(), Shards: p}
+	if built {
+		st.PlanBuilds = 1
+	} else {
+		st.PlanReuses = 1
+	}
+	return st
+}
+
+// destPlanEntry pairs a cached plan with the shard count it was built
+// for; a run at a different effective worker count rebuilds (and
+// replaces the cache, so alternating counts thrash rather than grow).
+type destPlanEntry struct {
+	parts int
+	plan  *destPlan
+}
+
+// destPlanFor resolves the destination plan for g at the given shard
+// count, consulting the plan slot cached on the CSR (ROADMAP: repeated
+// benchmark and streaming runs on the same graph amortize the O(m)
+// bucketing to zero). The plan depends only on graph structure and
+// parts — not on the kernel — so one cached plan serves every variant
+// (standard, Laplacian, directed, float32) at the same worker count.
+// Returns whether the plan had to be built this call.
+func destPlanFor(g *graph.CSR, parts, workers int) (*destPlan, bool) {
+	if e, ok := g.CachedPlan().(*destPlanEntry); ok && e.parts == parts {
+		return e.plan, false
+	}
+	plan := buildDestPlan(g, parts, workers)
+	g.CachePlan(&destPlanEntry{parts: parts, plan: plan})
+	return plan, true
 }
 
 // buildDestPlan computes degree-balanced shard boundaries and buckets

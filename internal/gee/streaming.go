@@ -46,13 +46,13 @@ func NewStreamingEmbedder(n int, y []int32, opts Options) (*StreamingEmbedder, e
 }
 
 // AddEdges folds a batch of edges into the embedding in parallel with
-// atomic updates. Edges must reference vertices in [0, n).
+// atomic updates. Edges must reference vertices in [0, n); the
+// validation pre-pass is chunked across workers so large batches are
+// not serialized in front of the parallel kernel.
 func (s *StreamingEmbedder) AddEdges(batch []graph.Edge) error {
-	n := uint32(s.n)
-	for i, e := range batch {
-		if e.U >= n || e.V >= n {
-			return fmt.Errorf("gee: batch edge %d (%d->%d) out of range [0,%d)", i, e.U, e.V, s.n)
-		}
+	if i := graph.FirstInvalidEdge(s.workers, s.n, batch); i >= 0 {
+		e := batch[i]
+		return fmt.Errorf("gee: batch edge %d (%d->%d) out of range [0,%d)", i, e.U, e.V, s.n)
 	}
 	if _, err := exec.AtomicEdges(s.kern, batch, s.n, s.z.Data, s.workers); err != nil {
 		return err

@@ -9,6 +9,7 @@ package graph
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 )
@@ -53,6 +54,32 @@ func (el *EdgeList) Validate() error {
 	return nil
 }
 
+// FirstInvalidEdge returns the index of the first edge whose endpoint
+// falls outside [0, n), or -1 when every edge is valid. The scan is
+// chunked across workers, so validating a large ingest batch is not a
+// serial pre-pass in front of a parallel kernel; the reported index is
+// the smallest one, matching the serial scan.
+func FirstInvalidEdge(workers, n int, edges []Edge) int {
+	limit := uint32(n)
+	bad := parallel.Reduce(workers, len(edges), len(edges), func(lo, hi int) int {
+		for i := lo; i < hi; i++ {
+			if edges[i].U >= limit || edges[i].V >= limit {
+				return i
+			}
+		}
+		return len(edges)
+	}, func(a, b int) int {
+		if b < a {
+			return b
+		}
+		return a
+	})
+	if bad == len(edges) {
+		return -1
+	}
+	return bad
+}
+
 // Clone deep-copies the edge list.
 func (el *EdgeList) Clone() *EdgeList {
 	out := &EdgeList{N: el.N, Weighted: el.Weighted, Edges: make([]Edge, len(el.Edges))}
@@ -69,7 +96,37 @@ type CSR struct {
 	Offsets []int64   // len N+1
 	Targets []NodeID  // len M
 	Weights []float32 // len M, nil for unweighted graphs
+
+	// plan caches a derived execution structure on the graph (the
+	// destination-shard plan of internal/exec). A CSR is immutable once
+	// built except for SortAdjacency/planCache itself, so the cache
+	// survives for the graph's lifetime and repeated runs skip the O(m)
+	// derivation. Access is atomic; in-place arc mutations must call
+	// InvalidatePlan.
+	plan atomic.Pointer[planBox]
 }
+
+// planBox wraps the cached plan so heterogeneous plan types can share
+// the one atomic slot.
+type planBox struct{ v any }
+
+// CachePlan stores an opaque derived execution plan on the graph,
+// replacing any previous one. The cached value must be safe for
+// concurrent use by multiple readers.
+func (g *CSR) CachePlan(p any) { g.plan.Store(&planBox{v: p}) }
+
+// CachedPlan returns the plan stored by CachePlan, or nil.
+func (g *CSR) CachedPlan() any {
+	if b := g.plan.Load(); b != nil {
+		return b.v
+	}
+	return nil
+}
+
+// InvalidatePlan drops any cached execution plan. Callers that mutate
+// the arc arrays in place (SortAdjacency, external reorderings) must
+// invalidate so stale arc orderings are not replayed.
+func (g *CSR) InvalidatePlan() { g.plan.Store(nil) }
 
 // NumEdges returns the number of stored arcs.
 func (g *CSR) NumEdges() int64 { return int64(len(g.Targets)) }

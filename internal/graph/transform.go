@@ -85,6 +85,7 @@ func RandomPermutation(n int, seed uint64) []NodeID {
 // target id, giving the CSR a canonical form independent of scatter
 // interleaving.
 func SortAdjacency(workers int, g *CSR) {
+	g.InvalidatePlan() // arc order changes; any cached plan is stale
 	parallel.For(workers, g.N, func(u int) {
 		lo, hi := g.Offsets[u], g.Offsets[u+1]
 		if hi-lo < 2 {

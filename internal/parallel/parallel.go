@@ -142,6 +142,12 @@ func Reduce[T any](workers, n int, identity T, f func(lo, hi int) T, combine fun
 		return combine(identity, f(0, n))
 	}
 	parts := make([]T, w)
+	for i := range parts {
+		// Seed with the identity: ForStatic's chunk rounding can leave
+		// trailing workers without a range, and a zero-value partial is
+		// wrong for non-additive reductions (e.g. a min).
+		parts[i] = identity
+	}
 	ForStatic(w, n, func(g, lo, hi int) {
 		parts[g] = f(lo, hi)
 	})

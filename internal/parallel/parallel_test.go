@@ -125,6 +125,26 @@ func TestReduceMax(t *testing.T) {
 	}
 }
 
+// TestReduceMinIdentityWithSkippedWorkers is a regression test: when n
+// is not divisible by the worker count, ForStatic's chunk rounding can
+// leave trailing workers without a range, and their partials must be
+// the identity — not the zero value, which would poison a min.
+func TestReduceMinIdentityWithSkippedWorkers(t *testing.T) {
+	// n=9, workers=8: chunk=2, workers 5-7 get no range.
+	const n = 9
+	got := Reduce(8, n, n, func(lo, hi int) int {
+		return n // nothing found in any chunk
+	}, func(a, b int) int {
+		if b < a {
+			return b
+		}
+		return a
+	})
+	if got != n {
+		t.Fatalf("min-reduce with skipped workers: got %d want %d", got, n)
+	}
+}
+
 func TestExclusiveSumSmall(t *testing.T) {
 	s := []int64{3, 1, 4, 1, 5}
 	total := ExclusiveSum(4, s)

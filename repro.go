@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"repro/internal/cluster"
+	"repro/internal/dyn"
 	"repro/internal/gcn"
 	"repro/internal/gee"
 	"repro/internal/gen"
@@ -234,11 +235,41 @@ func SpectralEmbed(g *Graph, opts SpectralOptions) (*SpectralResult, error) {
 
 // StreamingEmbedder maintains a GEE embedding under edge insertions and
 // removals (contributions are linear, so batches fold in atomically).
+// Labels are fixed at construction; for label churn, deletions with
+// exact-match semantics, and concurrent serving use DynamicEmbedder.
 type StreamingEmbedder = gee.StreamingEmbedder
 
 // NewStreamingEmbedder prepares an empty embedding with fixed labels.
 func NewStreamingEmbedder(n int, y []int32, opts Options) (*StreamingEmbedder, error) {
 	return gee.NewStreamingEmbedder(n, y, opts)
+}
+
+// Dynamic embedding service (internal/dyn): full churn — edge
+// insertions and deletions plus incremental label changes — with
+// epoch-versioned snapshots serving concurrent readers while writers
+// keep ingesting. cmd/geeserve drives it as a service workload.
+
+type (
+	// DynamicEmbedder maintains a GEE embedding under edge and label
+	// churn and serves lock-free consistent reads.
+	DynamicEmbedder = dyn.DynamicEmbedder
+	// DynamicOptions configures a DynamicEmbedder.
+	DynamicOptions = dyn.Options
+	// DynamicBatch is one atomic unit of dynamic ingest: deletions,
+	// then insertions, then label updates.
+	DynamicBatch = dyn.Batch
+	// DynamicSnapshot is one published, immutable embedding version.
+	DynamicSnapshot = dyn.Snapshot
+	// DynamicStats counts a DynamicEmbedder's operations.
+	DynamicStats = dyn.Stats
+	// LabelUpdate reassigns one vertex's class in a DynamicBatch.
+	LabelUpdate = dyn.LabelUpdate
+)
+
+// NewDynamicEmbedder prepares a dynamic embedding service for n
+// vertices with the given initial labels (Unknown where unlabeled).
+func NewDynamicEmbedder(n int, y []int32, opts DynamicOptions) (*DynamicEmbedder, error) {
+	return dyn.New(n, y, opts)
 }
 
 // Directed variant and structural helpers.
