@@ -1,0 +1,218 @@
+// Command geeload is a closed-loop load generator for the GEE serving
+// API (internal/server): a configurable mix of writer goroutines
+// (batched edge inserts, with optional deletes of their own earlier
+// batches) and reader goroutines (single-row embedding queries) drives
+// a running server — e.g. `geeserve -serve :8080` — for a fixed
+// duration and reports the achieved ingest and query throughput.
+//
+// Closed loop means every worker waits for its previous request's
+// response (for writes: the publish ack) before issuing the next, so
+// the reported rates are acknowledged end-to-end throughput, not an
+// open-loop submission rate. Writers that hit ingest backpressure
+// (HTTP 429) back off briefly and retry; the retry count is reported.
+//
+//	geeload -addr http://127.0.0.1:8080 -duration 5s -writers 4 -readers 4
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/server/client"
+	"repro/internal/xrand"
+)
+
+type config struct {
+	addr       string
+	duration   time.Duration
+	writers    int
+	readers    int
+	batch      int
+	deleteFrac float64
+	labelFrac  float64
+	seed       uint64
+}
+
+// counters aggregates what the load achieved.
+type counters struct {
+	inserts atomic.Int64 // acked insert ops
+	deletes atomic.Int64 // acked delete ops
+	queries atomic.Int64 // completed embedding reads
+	retries atomic.Int64 // 429 backoffs
+	errors  atomic.Int64 // non-backpressure request failures
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "serving API base URL")
+	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "load duration")
+	flag.IntVar(&cfg.writers, "writers", 4, "concurrent writer goroutines")
+	flag.IntVar(&cfg.readers, "readers", 4, "concurrent reader goroutines")
+	flag.IntVar(&cfg.batch, "batch", 64, "edges per insert request")
+	flag.Float64Var(&cfg.deleteFrac, "delete-frac", 0.2, "fraction of writer requests that delete a previously inserted batch")
+	flag.Float64Var(&cfg.labelFrac, "label-frac", 0.2, "fraction of vertices labeled round-robin before the load starts")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.Parse()
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "geeload:", err)
+		os.Exit(1)
+	}
+}
+
+// normalizeBase turns a bare host:port into an http:// base URL.
+func normalizeBase(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// randEdges fills a batch of random edges over [0, n).
+func randEdges(r *xrand.Rand, n, m int) []graph.Edge {
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)),
+			W: float32(r.Intn(4) + 1),
+		}
+	}
+	return edges
+}
+
+// done reports whether an error just means the load window closed.
+func done(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded)
+}
+
+func run(cfg config, out io.Writer) error {
+	c := client.New(normalizeBase(cfg.addr), nil)
+	ctx := context.Background()
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("server not healthy at %s: %w", cfg.addr, err)
+	}
+	n, k := h.N, h.K
+	fmt.Fprintf(out, "# target %s: n=%d k=%d epoch=%d\n", normalizeBase(cfg.addr), n, k, h.Epoch)
+
+	// Seed labels so served embeddings carry mass (an unlabeled graph
+	// embeds to all-zero rows).
+	if cfg.labelFrac > 0 && k > 0 {
+		budget := int(cfg.labelFrac * float64(n))
+		for lo := 0; lo < budget; lo += 4096 {
+			hi := min(lo+4096, budget)
+			ups := make([]dyn.LabelUpdate, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				ups = append(ups, dyn.LabelUpdate{V: graph.NodeID(v), Class: int32(v % k)})
+			}
+			if _, err := c.UpdateLabels(ctx, ups); err != nil {
+				return fmt.Errorf("seeding labels: %w", err)
+			}
+		}
+		fmt.Fprintf(out, "# labeled %d vertices round-robin over %d classes\n", budget, k)
+	}
+
+	lctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+	var cnt counters
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	for w := 0; w < cfg.writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.New(cfg.seed + uint64(1000+id))
+			var backlog [][]graph.Edge // own acked batches, eligible for deletion
+			for lctx.Err() == nil {
+				if len(backlog) > 0 && r.Float64() < cfg.deleteFrac {
+					batch := backlog[0]
+					if _, err := c.DeleteEdges(lctx, batch); err != nil {
+						if done(lctx, err) {
+							return
+						}
+						if errors.Is(err, client.ErrBacklog) {
+							cnt.retries.Add(1)
+							time.Sleep(2 * time.Millisecond)
+							continue
+						}
+						cnt.errors.Add(1)
+						continue
+					}
+					backlog = backlog[1:]
+					cnt.deletes.Add(int64(len(batch)))
+					continue
+				}
+				batch := randEdges(r, n, cfg.batch)
+				if _, err := c.InsertEdges(lctx, batch); err != nil {
+					if done(lctx, err) {
+						return
+					}
+					if errors.Is(err, client.ErrBacklog) {
+						cnt.retries.Add(1)
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					cnt.errors.Add(1)
+					continue
+				}
+				cnt.inserts.Add(int64(len(batch)))
+				backlog = append(backlog, batch)
+			}
+		}(w)
+	}
+	for rd := 0; rd < cfg.readers; rd++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.New(cfg.seed + uint64(2000+id))
+			for lctx.Err() == nil {
+				if _, err := c.Embedding(lctx, graph.NodeID(r.Intn(n))); err != nil {
+					if done(lctx, err) {
+						return
+					}
+					cnt.errors.Add(1)
+					continue
+				}
+				cnt.queries.Add(1)
+			}
+		}(rd)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+
+	ins, del, q := cnt.inserts.Load(), cnt.deletes.Load(), cnt.queries.Load()
+	fmt.Fprintf(out, "ingested %d ops (%d inserts + %d deletes) in %.2fs: %.0f acked ops/s from %d writers\n",
+		ins+del, ins, del, secs, float64(ins+del)/secs, cfg.writers)
+	fmt.Fprintf(out, "queried %d embedding rows: %.0f queries/s from %d readers\n",
+		q, float64(q)/secs, cfg.readers)
+	fmt.Fprintf(out, "backpressure retries %d, request errors %d\n",
+		cnt.retries.Load(), cnt.errors.Load())
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("final stats: %w", err)
+	}
+	co := st.Coalescer
+	ratio := 0.0
+	if co.Flushes > 0 {
+		ratio = float64(co.Requests) / float64(co.Flushes)
+	}
+	fmt.Fprintf(out, "server: epoch %d, %d live edges, %d folds for %d write requests (%.1f requests/fold), %d publishes\n",
+		st.Dyn.Epoch, st.Dyn.LiveEdges, co.Flushes, co.Requests, ratio, st.Dyn.Publishes)
+	if cnt.errors.Load() > 0 {
+		return fmt.Errorf("%d request errors", cnt.errors.Load())
+	}
+	if ins == 0 {
+		return fmt.Errorf("no inserts were acknowledged")
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dyn"
+	"repro/internal/labels"
+	"repro/internal/server"
+	"repro/internal/xrand"
+)
+
+func TestNormalizeBase(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://127.0.0.1:8080": "http://127.0.0.1:8080",
+		"https://gee.example":   "https://gee.example",
+		"127.0.0.1:8080":        "http://127.0.0.1:8080",
+		"localhost:9":           "http://localhost:9",
+	} {
+		if got := normalizeBase(in); got != want {
+			t.Errorf("normalizeBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRandEdges(t *testing.T) {
+	r := xrand.New(7)
+	edges := randEdges(r, 50, 200)
+	if len(edges) != 200 {
+		t.Fatalf("%d edges", len(edges))
+	}
+	for i, e := range edges {
+		if e.U >= 50 || e.V >= 50 {
+			t.Fatalf("edge %d out of range: %+v", i, e)
+		}
+		if e.W < 1 || e.W > 4 {
+			t.Fatalf("edge %d weight %v outside [1,4]", i, e.W)
+		}
+	}
+}
+
+// TestLoadAgainstServer runs the whole closed loop against an
+// in-process serving stack: the run must acknowledge inserts, complete
+// queries, and leave the server with a consistent live-edge count.
+func TestLoadAgainstServer(t *testing.T) {
+	const n, k = 500, 4
+	y := make([]int32, n)
+	for i := range y {
+		y[i] = labels.Unknown
+	}
+	d, err := dyn.New(n, y, dyn.Options{K: k, PublishEvery: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(d, server.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	}()
+
+	var out strings.Builder
+	cfg := config{
+		addr:       ts.URL,
+		duration:   400 * time.Millisecond,
+		writers:    3,
+		readers:    2,
+		batch:      16,
+		deleteFrac: 0.3,
+		labelFrac:  0.5,
+		seed:       42,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("load run failed: %v\noutput:\n%s", err, out.String())
+	}
+	st := d.Stats()
+	if st.Inserts == 0 {
+		t.Fatal("no inserts reached the embedder")
+	}
+	if st.LiveEdges != st.Inserts-st.Deletes {
+		t.Fatalf("live edges %d != %d inserts - %d deletes", st.LiveEdges, st.Inserts, st.Deletes)
+	}
+	for _, want := range []string{"acked ops/s", "queries/s", "requests/fold"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}

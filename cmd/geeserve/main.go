@@ -2,11 +2,17 @@
 // under an ingest+query workload: edge insertions, deletions, and label
 // updates stream into a DynamicEmbedder while concurrent reader
 // goroutines answer embedding queries from its published snapshots.
+// With -serve it additionally exposes the embedder over the HTTP
+// serving API (internal/server) — queries, snapshots, and coalesced
+// writes from the network — until SIGINT/SIGTERM triggers a graceful
+// shutdown.
 //
-// Two modes:
+// Modes:
 //
-//	geeserve                        # generated SBM churn with ground truth
-//	geeserve -stdin -n 1000 -k 10   # ops from stdin, one per line
+//	geeserve                          # generated SBM churn with ground truth
+//	geeserve -stdin -n 1000 -k 10     # ops from stdin, one per line
+//	geeserve -serve :8080 -rounds 0   # HTTP service only (drive with geeload)
+//	geeserve -serve :8080             # HTTP service + local churn ingest
 //
 // In generated mode the workload is a planted-partition graph whose
 // edges churn batch by batch (each round inserts a fresh batch, deletes
@@ -21,18 +27,26 @@
 //	d u v [w]   delete a live edge (exact match)
 //	l v c       relabel vertex v to class c (-1 unlabels)
 //
-// Ops are folded in batches of -batch lines (and at EOF).
+// Blank lines and lines starting with '#' are skipped. A malformed
+// line does not abort the run: it is reported with its line number,
+// counted, and skipped (the count is printed at EOF). Ops are folded
+// in batches of -batch lines (and at EOF).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -40,75 +54,176 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/labels"
+	"repro/internal/server"
 	"repro/internal/xrand"
 )
 
+// config is the parsed flag set.
+type config struct {
+	stdin     bool
+	serveAddr string
+	n, k      int
+	pIn, pOut float64
+	labelFrac float64
+	batch     int
+	rounds    int
+	window    int
+	relabel   int
+	readers   int
+	evalEvery int
+	threshold int
+	workers   int
+	pubEvery  int
+	seed      uint64
+}
+
 func main() {
-	var (
-		stdin     = flag.Bool("stdin", false, "read ops from stdin instead of generating churn")
-		n         = flag.Int("n", 100_000, "vertex count")
-		k         = flag.Int("k", 10, "classes (= SBM blocks in generated mode)")
-		pIn       = flag.Float64("p-in", 8e-4, "SBM within-block edge probability")
-		pOut      = flag.Float64("p-out", 4e-5, "SBM cross-block edge probability")
-		labelFrac = flag.Float64("label-frac", 0.1, "initially labeled fraction (true block labels)")
-		batch     = flag.Int("batch", 20_000, "edges per ingest batch (ops per batch in stdin mode)")
-		rounds    = flag.Int("rounds", 200, "ingest rounds in generated mode")
-		window    = flag.Int("window", 8, "live batches kept before the oldest is deleted")
-		relabel   = flag.Int("relabel", 50, "label updates per round in generated mode")
-		readers   = flag.Int("readers", 4, "concurrent query reader goroutines")
-		evalEvery = flag.Int("eval-every", 25, "rounds between ARI/NMI evaluations (0 disables)")
-		threshold = flag.Int("sharded-threshold", 0, "batch size switching folds to the sharded path (0 default, <0 never)")
-		workers   = flag.Int("workers", 0, "fold parallelism (0 = GOMAXPROCS)")
-		seed      = flag.Uint64("seed", 12345, "workload seed")
-	)
+	var cfg config
+	flag.BoolVar(&cfg.stdin, "stdin", false, "read ops from stdin instead of generating churn")
+	flag.StringVar(&cfg.serveAddr, "serve", "", "expose the HTTP serving API on this address (e.g. :8080) until SIGINT/SIGTERM")
+	flag.IntVar(&cfg.n, "n", 100_000, "vertex count")
+	flag.IntVar(&cfg.k, "k", 10, "classes (= SBM blocks in generated mode)")
+	flag.Float64Var(&cfg.pIn, "p-in", 8e-4, "SBM within-block edge probability")
+	flag.Float64Var(&cfg.pOut, "p-out", 4e-5, "SBM cross-block edge probability")
+	flag.Float64Var(&cfg.labelFrac, "label-frac", 0.1, "initially labeled fraction (true block labels)")
+	flag.IntVar(&cfg.batch, "batch", 20_000, "edges per ingest batch (ops per batch in stdin mode)")
+	flag.IntVar(&cfg.rounds, "rounds", 200, "ingest rounds in generated mode (0 = no local churn)")
+	flag.IntVar(&cfg.window, "window", 8, "live batches kept before the oldest is deleted")
+	flag.IntVar(&cfg.relabel, "relabel", 50, "label updates per round in generated mode")
+	flag.IntVar(&cfg.readers, "readers", 4, "concurrent query reader goroutines during a local workload")
+	flag.IntVar(&cfg.evalEvery, "eval-every", 25, "rounds between ARI/NMI evaluations (0 disables)")
+	flag.IntVar(&cfg.threshold, "sharded-threshold", 0, "batch size switching folds to the sharded path (0 default, <0 never)")
+	flag.IntVar(&cfg.workers, "workers", 0, "fold parallelism (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.pubEvery, "publish-every", 0, "publish after this many applied ops (0 = publish every batch)")
+	flag.Uint64Var(&cfg.seed, "seed", 12345, "workload seed")
 	flag.Parse()
-	if err := run(*stdin, *n, *k, *pIn, *pOut, *labelFrac, *batch, *rounds, *window,
-		*relabel, *readers, *evalEvery, *threshold, *workers, *seed); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "geeserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stdin bool, n, k int, pIn, pOut, labelFrac float64, batch, rounds, window,
-	relabel, readers, evalEvery, threshold, workers int, seed uint64) error {
-	opts := dyn.Options{K: k, Workers: workers, ShardedThreshold: threshold}
-	if stdin {
-		y := make([]int32, n)
-		for i := range y {
-			y[i] = labels.Unknown
-		}
-		d, err := dyn.New(n, y, opts)
-		if err != nil {
-			return err
-		}
-		stop := startReaders(d, readers)
-		defer stop()
-		return serveStdin(d, batch)
+func run(cfg config) error {
+	opts := dyn.Options{
+		K: cfg.k, Workers: cfg.workers,
+		ShardedThreshold: cfg.threshold,
+		PublishEvery:     cfg.pubEvery,
 	}
 
-	fmt.Fprintf(os.Stderr, "# generating SBM: n=%d k=%d p_in=%g p_out=%g\n", n, k, pIn, pOut)
-	el, yTrue := gen.SBM(workers, n, k, pIn, pOut, seed)
-	if len(el.Edges) == 0 {
-		return fmt.Errorf("empty SBM (raise -p-in/-p-out)")
-	}
-	// Reveal the true block of a random labeled subset — the
-	// semi-supervised seeding GEE consumes.
-	y := make([]int32, n)
+	y := make([]int32, cfg.n)
 	for i := range y {
 		y[i] = labels.Unknown
 	}
-	r := xrand.New(seed + 1)
-	for i := 0; i < int(labelFrac*float64(n)); i++ {
-		v := r.Intn(n)
-		y[v] = yTrue[v]
+	var yTrue []int32
+	var el *graph.EdgeList
+	if !cfg.stdin && cfg.rounds > 0 {
+		fmt.Fprintf(os.Stderr, "# generating SBM: n=%d k=%d p_in=%g p_out=%g\n", cfg.n, cfg.k, cfg.pIn, cfg.pOut)
+		el, yTrue = gen.SBM(cfg.workers, cfg.n, cfg.k, cfg.pIn, cfg.pOut, cfg.seed)
+		if len(el.Edges) == 0 {
+			return fmt.Errorf("empty SBM (raise -p-in/-p-out)")
+		}
+		// Reveal the true block of a random labeled subset — the
+		// semi-supervised seeding GEE consumes.
+		r := xrand.New(cfg.seed + 1)
+		for i := 0; i < int(cfg.labelFrac*float64(cfg.n)); i++ {
+			v := r.Intn(cfg.n)
+			y[v] = yTrue[v]
+		}
 	}
-	d, err := dyn.New(n, y, opts)
+	d, err := dyn.New(cfg.n, y, opts)
 	if err != nil {
 		return err
 	}
-	stop := startReaders(d, readers)
-	defer stop()
-	return serveChurn(d, el, yTrue, batch, rounds, window, relabel, evalEvery, seed)
+
+	// Network front-end: serve the embedder while (and after) any local
+	// workload runs. Listening happens synchronously so a bad -serve
+	// address fails before minutes of workload, and the signal context
+	// is installed up front so SIGINT/SIGTERM during the workload stops
+	// it cleanly instead of killing the process mid-drain.
+	var srv *server.Server
+	srvErr := make(chan error, 1)
+	ctx := context.Background()
+	if cfg.serveAddr != "" {
+		ln, err := net.Listen("tcp", cfg.serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# serving HTTP on %s\n", ln.Addr())
+		srv = server.New(d, server.Options{})
+		go func() { srvErr <- srv.Serve(ln) }()
+		var stopSignals context.CancelFunc
+		ctx, stopSignals = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+	}
+
+	// Local workload (if any), with its query readers.
+	var workloadErr error
+	ranWorkload := cfg.stdin || cfg.rounds > 0
+	switch {
+	case cfg.stdin:
+		stop := startReaders(d, cfg.readers)
+		if srv == nil {
+			workloadErr = serveOps(ctx, d, os.Stdin, cfg.batch, os.Stdout, os.Stderr)
+		} else {
+			// A signal must not be held up by a blocked stdin read.
+			// Closing stdin unblocks pollable inputs (the scan loop then
+			// sees the cancelled ctx); a non-pollable blocking fd (e.g. a
+			// quiet fifo) cannot be unblocked from outside, so after a
+			// grace period the reader goroutine is abandoned and process
+			// exit reaps it — shutdown must not hang on silent input.
+			defer context.AfterFunc(ctx, func() { os.Stdin.Close() })()
+			done := make(chan error, 1)
+			go func() { done <- serveOps(ctx, d, os.Stdin, cfg.batch, os.Stdout, os.Stderr) }()
+			select {
+			case workloadErr = <-done:
+			case <-ctx.Done():
+				select {
+				case workloadErr = <-done:
+				case <-time.After(500 * time.Millisecond):
+					fmt.Fprintln(os.Stderr, "geeserve: stdin reader still blocked; abandoning it for shutdown")
+				}
+			}
+		}
+		stop()
+	case cfg.rounds > 0:
+		stop := startReaders(d, cfg.readers)
+		workloadErr = serveChurn(ctx, d, el, yTrue, cfg)
+		stop()
+	}
+	if workloadErr != nil && srv == nil {
+		return workloadErr
+	}
+	if workloadErr != nil {
+		fmt.Fprintln(os.Stderr, "geeserve: workload:", workloadErr)
+	}
+
+	if srv == nil {
+		return nil
+	}
+	// Serve until interrupted, then drain gracefully.
+	select {
+	case <-ctx.Done():
+	case err := <-srvErr:
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "# shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-srvErr; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	// The workload modes print their own summaries; repeating one here
+	// would give scripts two near-identical epoch lines to mis-grep.
+	if !ranWorkload {
+		st := d.Stats()
+		fmt.Printf("epoch %d: %d live edges, %d inserts, %d deletes, %d label moves\n",
+			st.Epoch, st.LiveEdges, st.Inserts, st.Deletes, st.LabelMoves)
+	}
+	fmt.Println("graceful shutdown complete")
+	return workloadErr
 }
 
 // startReaders launches query goroutines hammering the published
@@ -149,12 +264,13 @@ func startReaders(d *dyn.DynamicEmbedder, readers int) func() {
 	}
 }
 
-// serveChurn runs the generated ingest loop.
-func serveChurn(d *dyn.DynamicEmbedder, el *graph.EdgeList, yTrue []int32,
-	batch, rounds, window, relabel, evalEvery int, seed uint64) error {
+// serveChurn runs the generated ingest loop; a cancelled ctx (the
+// -serve signal handler) ends it cleanly between rounds.
+func serveChurn(ctx context.Context, d *dyn.DynamicEmbedder, el *graph.EdgeList, yTrue []int32, cfg config) error {
 	n := d.N()
 	k := d.K()
-	r := xrand.New(seed + 2)
+	batch := cfg.batch
+	r := xrand.New(cfg.seed + 2)
 	pool := el.Edges
 	if batch > len(pool) {
 		fmt.Fprintf(os.Stderr, "# pool has %d edges; clamping -batch from %d\n", len(pool), batch)
@@ -172,14 +288,20 @@ func serveChurn(d *dyn.DynamicEmbedder, el *graph.EdgeList, yTrue []int32,
 	}
 	windowStart := time.Now()
 	var windowEdges int64
-	for round := 1; round <= rounds; round++ {
+	for round := 1; round <= cfg.rounds; round++ {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(os.Stderr, "# workload interrupted at round %d\n", round)
+			return nil
+		default:
+		}
 		var b dyn.Batch
 		b.Insert = next()
-		if len(live) >= window {
+		if len(live) >= cfg.window {
 			b.Delete = live[0]
 			live = live[1:]
 		}
-		for i := 0; i < relabel; i++ {
+		for i := 0; i < cfg.relabel; i++ {
 			v := graph.NodeID(r.Intn(n))
 			// Mostly reveal true labels (quality climbs), sometimes
 			// perturb (exercises the subtract/re-add path).
@@ -194,7 +316,7 @@ func serveChurn(d *dyn.DynamicEmbedder, el *graph.EdgeList, yTrue []int32,
 		}
 		live = append(live, b.Insert)
 		windowEdges += int64(len(b.Insert) + len(b.Delete))
-		if evalEvery > 0 && round%evalEvery == 0 {
+		if cfg.evalEvery > 0 && round%cfg.evalEvery == 0 {
 			snap := d.Snapshot()
 			pred := classify(snap)
 			secs := time.Since(windowStart).Seconds()
@@ -230,13 +352,67 @@ func classify(s *dyn.Snapshot) []int32 {
 	return pred
 }
 
-// serveStdin folds line ops into batches.
-func serveStdin(d *dyn.DynamicEmbedder, batch int) error {
-	sc := bufio.NewScanner(os.Stdin)
+// op is one parsed stdin operation.
+type op struct {
+	kind  byte // 'a' insert, 'd' delete, 'l' label
+	edge  graph.Edge
+	label dyn.LabelUpdate
+}
+
+// parseOpLine parses one stdin line. skip is true for blank and
+// comment lines; a non-nil error describes a malformed line (the
+// caller decides whether that is fatal).
+func parseOpLine(line string) (o op, skip bool, err error) {
+	f := strings.Fields(line)
+	if len(f) == 0 || strings.HasPrefix(f[0], "#") {
+		return op{}, true, nil
+	}
+	switch f[0] {
+	case "a", "d":
+		if len(f) < 3 || len(f) > 4 {
+			return op{}, false, fmt.Errorf("want '%s u v [w]', got %q", f[0], line)
+		}
+		u, err1 := strconv.ParseUint(f[1], 10, 32)
+		v, err2 := strconv.ParseUint(f[2], 10, 32)
+		w := 1.0
+		var err3 error
+		if len(f) == 4 {
+			w, err3 = strconv.ParseFloat(f[3], 32)
+		}
+		if err1 != nil || err2 != nil || err3 != nil {
+			return op{}, false, fmt.Errorf("bad edge op %q", line)
+		}
+		o.kind = f[0][0]
+		o.edge = graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v), W: float32(w)}
+		return o, false, nil
+	case "l":
+		if len(f) != 3 {
+			return op{}, false, fmt.Errorf("want 'l v class', got %q", line)
+		}
+		v, err1 := strconv.ParseUint(f[1], 10, 32)
+		c, err2 := strconv.ParseInt(f[2], 10, 32)
+		if err1 != nil || err2 != nil {
+			return op{}, false, fmt.Errorf("bad label op %q", line)
+		}
+		o.kind = 'l'
+		o.label = dyn.LabelUpdate{V: graph.NodeID(v), Class: int32(c)}
+		return o, false, nil
+	default:
+		return op{}, false, fmt.Errorf("unknown op %q", f[0])
+	}
+}
+
+// serveOps folds line ops from r into batches. Malformed lines are
+// reported to errw with their line number and skipped; only stream and
+// apply errors abort. A cancelled ctx ends the run cleanly at the next
+// line (flushing what was read). The final tallies go to out.
+func serveOps(ctx context.Context, d *dyn.DynamicEmbedder, r io.Reader, batch int, out, errw io.Writer) error {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var b dyn.Batch
 	ops := 0
 	line := 0
+	malformed := 0
 	flush := func() error {
 		if ops == 0 {
 			return nil
@@ -249,44 +425,29 @@ func serveStdin(d *dyn.DynamicEmbedder, batch int) error {
 		return nil
 	}
 	for sc.Scan() {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(errw, "geeserve: interrupted after %d lines\n", line)
+			return flush()
+		default:
+		}
 		line++
-		f := strings.Fields(sc.Text())
-		if len(f) == 0 || f[0][0] == '#' {
+		o, skip, err := parseOpLine(sc.Text())
+		if err != nil {
+			malformed++
+			fmt.Fprintf(errw, "geeserve: line %d: %v (skipped)\n", line, err)
 			continue
 		}
-		switch f[0] {
-		case "a", "d":
-			if len(f) < 3 {
-				return fmt.Errorf("line %d: want '%s u v [w]'", line, f[0])
-			}
-			u, err1 := strconv.ParseUint(f[1], 10, 32)
-			v, err2 := strconv.ParseUint(f[2], 10, 32)
-			w := 1.0
-			var err3 error
-			if len(f) > 3 {
-				w, err3 = strconv.ParseFloat(f[3], 32)
-			}
-			if err1 != nil || err2 != nil || err3 != nil {
-				return fmt.Errorf("line %d: bad edge op %q", line, sc.Text())
-			}
-			e := graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v), W: float32(w)}
-			if f[0] == "a" {
-				b.Insert = append(b.Insert, e)
-			} else {
-				b.Delete = append(b.Delete, e)
-			}
-		case "l":
-			if len(f) < 3 {
-				return fmt.Errorf("line %d: want 'l v class'", line)
-			}
-			v, err1 := strconv.ParseUint(f[1], 10, 32)
-			c, err2 := strconv.ParseInt(f[2], 10, 32)
-			if err1 != nil || err2 != nil {
-				return fmt.Errorf("line %d: bad label op %q", line, sc.Text())
-			}
-			b.Labels = append(b.Labels, dyn.LabelUpdate{V: graph.NodeID(v), Class: int32(c)})
-		default:
-			return fmt.Errorf("line %d: unknown op %q", line, f[0])
+		if skip {
+			continue
+		}
+		switch o.kind {
+		case 'a':
+			b.Insert = append(b.Insert, o.edge)
+		case 'd':
+			b.Delete = append(b.Delete, o.edge)
+		case 'l':
+			b.Labels = append(b.Labels, o.label)
 		}
 		ops++
 		if ops >= batch {
@@ -296,13 +457,23 @@ func serveStdin(d *dyn.DynamicEmbedder, batch int) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		// A cancelled ctx surfaces as a read error when the caller
+		// closed the input to unblock the scan; that's an interrupt,
+		// not a stream failure.
+		if ctx.Err() == nil {
+			return err
+		}
+		fmt.Fprintf(errw, "geeserve: interrupted after %d lines\n", line)
 	}
 	if err := flush(); err != nil {
 		return err
 	}
 	st := d.Stats()
-	fmt.Printf("epoch %d: %d live edges, %d inserts, %d deletes, %d label moves\n",
+	fmt.Fprintf(out, "epoch %d: %d live edges, %d inserts, %d deletes, %d label moves",
 		st.Epoch, st.LiveEdges, st.Inserts, st.Deletes, st.LabelMoves)
+	if malformed > 0 {
+		fmt.Fprintf(out, " (%d malformed lines skipped)", malformed)
+	}
+	fmt.Fprintln(out)
 	return nil
 }

@@ -58,6 +58,13 @@ type Options struct {
 	// the caller batches visibility with explicit Publish calls. Ingest
 	// throughput then no longer pays the O(nK) normalization per batch.
 	ManualPublish bool
+	// PublishEvery > 0 publishes automatically once at least that many
+	// operations (inserts + deletes + applied label moves) have been
+	// folded since the last publish, amortizing the O(nK) normalization
+	// over many small batches while bounding staleness by op count. It
+	// overrides the per-Apply publish and ManualPublish; an explicit
+	// Publish still works at any time (and resets the op counter).
+	PublishEvery int
 }
 
 // defaultShardedThreshold balances the O(batch) bucketing pass against
@@ -105,6 +112,7 @@ type Stats struct {
 	AtomicFolds  int64 // batches folded with atomic adds
 	ShardedFolds int64 // batches folded through the sharded edge plan
 	SerialFolds  int64 // batches folded serially (tiny or single-worker)
+	Publishes    int64 // published versions (excluding the epoch-0 bootstrap)
 }
 
 // halfEdge is one incident arc endpoint: the *other* vertex's row
@@ -120,21 +128,23 @@ type halfEdge struct {
 // concurrent use with each other and with readers; Query and Snapshot
 // never block on writers.
 type DynamicEmbedder struct {
-	n, k    int
-	workers int
-	thresh  int
-	manual  bool
+	n, k     int
+	workers  int
+	thresh   int
+	manual   bool
+	pubEvery int
 
-	mu      sync.Mutex // serializes writers over the mutable state below
-	y       []int32
-	counts  []int64
-	adj     [][]halfEdge // incident half-edges of each vertex
-	u       *mat.Dense   // unnormalized per-class sums
-	kern    exec.Kernel[float64]
-	plan    *exec.EdgePlan // lazily built sharded layout, reused per batch
-	edges   int64
-	scratch []graph.Edge // negated-delete + insert fold buffer
-	stats   Stats
+	mu       sync.Mutex // serializes writers over the mutable state below
+	y        []int32
+	counts   []int64
+	adj      [][]halfEdge // incident half-edges of each vertex
+	u        *mat.Dense   // unnormalized per-class sums
+	kern     exec.Kernel[float64]
+	plan     *exec.EdgePlan // lazily built sharded layout, reused per batch
+	edges    int64
+	scratch  []graph.Edge // negated-delete + insert fold buffer
+	sincePub int64        // ops folded since the last publish (PublishEvery)
+	stats    Stats
 
 	cur atomic.Pointer[Snapshot]
 }
@@ -171,12 +181,13 @@ func New(n int, y []int32, opts Options) (*DynamicEmbedder, error) {
 	yc := append([]int32(nil), y...)
 	d := &DynamicEmbedder{
 		n: n, k: k, workers: workers,
-		thresh: thresh,
-		manual: opts.ManualPublish,
-		y:      yc,
-		counts: parallel.Histogram(workers, n, k, func(i int) int { return int(yc[i]) }),
-		adj:    make([][]halfEdge, n),
-		u:      mat.NewDense(n, k),
+		thresh:   thresh,
+		manual:   opts.ManualPublish,
+		pubEvery: opts.PublishEvery,
+		y:        yc,
+		counts:   parallel.Histogram(workers, n, k, func(i int) int { return int(yc[i]) }),
+		adj:      make([][]halfEdge, n),
+		u:        mat.NewDense(n, k),
 		kern: exec.Kernel[float64]{
 			Width:  k,
 			SrcCol: yc,
@@ -213,6 +224,17 @@ func (d *DynamicEmbedder) Stats() Stats {
 	st.Epoch = d.cur.Load().Epoch
 	st.LiveEdges = d.edges
 	return st
+}
+
+// PendingOps returns the number of operations applied since the last
+// publish: zero means the published snapshot reflects every completed
+// Apply. (Another writer may race new applies against this read; a
+// single-writer caller — like the serving layer's ingest coalescer —
+// gets an exact answer.)
+func (d *DynamicEmbedder) PendingOps() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sincePub
 }
 
 // Snapshot returns the currently published version. The returned value
@@ -273,14 +295,22 @@ func (d *DynamicEmbedder) Apply(b Batch) error {
 		d.adj[e.U] = append(d.adj[e.U], halfEdge{v: e.V, w: e.W})
 		d.adj[e.V] = append(d.adj[e.V], halfEdge{v: e.U, w: e.W})
 	}
+	moved := -d.stats.LabelMoves
 	for _, lu := range b.Labels {
 		d.relabel(lu.V, lu.Class)
 	}
+	moved += d.stats.LabelMoves
 	d.edges += int64(len(b.Insert)) - int64(len(b.Delete))
 	d.stats.Inserts += int64(len(b.Insert))
 	d.stats.Deletes += int64(len(b.Delete))
 	d.stats.Batches++
-	if !d.manual {
+	d.sincePub += int64(len(b.Insert)) + int64(len(b.Delete)) + moved
+	switch {
+	case d.pubEvery > 0:
+		if d.sincePub >= int64(d.pubEvery) {
+			d.publishLocked()
+		}
+	case !d.manual:
 		d.publishLocked()
 	}
 	return nil
@@ -452,7 +482,9 @@ func (d *DynamicEmbedder) publishLocked() *Snapshot {
 	var epoch uint64
 	if prev := d.cur.Load(); prev != nil {
 		epoch = prev.Epoch + 1
+		d.stats.Publishes++
 	}
+	d.sincePub = 0
 	s := &Snapshot{
 		Epoch: epoch,
 		Z:     z,

@@ -250,6 +250,174 @@ func TestDynamicManualPublish(t *testing.T) {
 	}
 }
 
+// TestDynamicPublishEvery covers the op-count auto-publish policy:
+// publishes fire only once PublishEvery ops accumulated, label moves
+// count as ops, and a manual Publish resets the accumulator.
+func TestDynamicPublishEvery(t *testing.T) {
+	y := labels.Full(100, 2, 91)
+	d, err := New(100, y, Options{K: 2, PublishEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(m, seed int) []graph.Edge {
+		r := xrand.New(uint64(seed))
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: graph.NodeID(r.Intn(100)), V: graph.NodeID(r.Intn(100)), W: 1}
+		}
+		return edges
+	}
+	for i := 0; i < 3; i++ { // 90 ops: below threshold, no publish
+		if err := d.AddEdges(mk(30, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := d.Epoch(); e != 0 {
+		t.Fatalf("published at %d ops < PublishEvery: epoch %d", 90, e)
+	}
+	if err := d.AddEdges(mk(30, 3)); err != nil { // 120 >= 100: publish
+		t.Fatal(err)
+	}
+	if e := d.Epoch(); e != 1 {
+		t.Fatalf("no publish after crossing threshold: epoch %d", e)
+	}
+	if s := d.Snapshot(); s.Edges != 120 {
+		t.Fatalf("published snapshot has %d edges, want 120", s.Edges)
+	}
+	// Applied label moves count as ops; no-op reassignments do not.
+	ups := make([]LabelUpdate, 0, 120)
+	for v := 0; v < 100; v++ {
+		ups = append(ups, LabelUpdate{V: graph.NodeID(v), Class: int32(v % 2)}) // no-ops
+	}
+	if err := d.UpdateLabels(ups); err != nil {
+		t.Fatal(err)
+	}
+	if e := d.Epoch(); e != 1 {
+		t.Fatalf("no-op label moves triggered a publish: epoch %d", e)
+	}
+	for i := range ups {
+		ups[i].Class = 1 - ups[i].Class
+	}
+	if err := d.UpdateLabels(ups); err != nil { // 100 real moves: publish
+		t.Fatal(err)
+	}
+	if e := d.Epoch(); e != 2 {
+		t.Fatalf("label moves did not count toward PublishEvery: epoch %d", e)
+	}
+	// Manual Publish still works and resets the accumulator.
+	if err := d.AddEdges(mk(60, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Publish(); s.Epoch != 3 {
+		t.Fatalf("manual publish: epoch %d", s.Epoch)
+	}
+	if err := d.AddEdges(mk(60, 5)); err != nil { // 60 < 100 since reset
+		t.Fatal(err)
+	}
+	if e := d.Epoch(); e != 3 {
+		t.Fatalf("accumulator not reset by manual publish: epoch %d", e)
+	}
+	if st := d.Stats(); st.Publishes != 3 {
+		t.Fatalf("Publishes = %d, want 3", st.Publishes)
+	}
+}
+
+// TestDynamicConcurrentPublish runs Apply and Publish from separate
+// goroutines while readers assert epoch monotonicity and that Query is
+// consistent: when the published epoch did not change around a Query,
+// the returned row must equal that snapshot's row exactly. Run under
+// `go test -race` this is the satellite serving-consistency check.
+func TestDynamicConcurrentPublish(t *testing.T) {
+	const n, k = 200, 3
+	d, err := New(n, labels.Full(n, k, 107), Options{K: k, ManualPublish: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := d.Snapshot()
+	firstRow := append([]float64(nil), first.Z.Row(0)...)
+	done := make(chan struct{})
+	errs := make(chan string, 8)
+	var wg sync.WaitGroup
+	for reader := 0; reader < 3; reader++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.New(uint64(300 + id))
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s1 := d.Snapshot()
+				if s1.Epoch < last {
+					errs <- "epoch went backwards"
+					return
+				}
+				last = s1.Epoch
+				v := graph.NodeID(r.Intn(n))
+				row := d.Query(v)
+				s2 := d.Snapshot()
+				if s2.Epoch < s1.Epoch {
+					errs <- "epoch went backwards across a query"
+					return
+				}
+				if s1.Epoch == s2.Epoch {
+					want := s1.Z.Row(int(v))
+					for c := range row {
+						if row[c] != want[c] {
+							errs <- "query row inconsistent with the stable snapshot"
+							return
+						}
+					}
+				}
+			}
+		}(reader)
+	}
+	wg.Add(1)
+	go func() { // concurrent publisher
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := d.Publish()
+			if s.Epoch <= last {
+				errs <- "publish did not advance the epoch"
+				return
+			}
+			last = s.Epoch
+		}
+	}()
+	r := xrand.New(109)
+	for round := 0; round < 200; round++ {
+		b := Batch{Insert: make([]graph.Edge, 50)}
+		for i := range b.Insert {
+			b.Insert[i] = graph.Edge{U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)), W: 1}
+		}
+		if err := d.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	// Copy-on-epoch: the snapshot held since before the churn is untouched.
+	for c := range firstRow {
+		if first.Z.Row(0)[c] != firstRow[c] {
+			t.Fatal("held snapshot mutated by later publishes")
+		}
+	}
+}
+
 func TestDynamicValidation(t *testing.T) {
 	y := labels.Full(10, 2, 97)
 	if _, err := New(0, nil, Options{K: 2}); err == nil {

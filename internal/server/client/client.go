@@ -1,0 +1,144 @@
+// Package client is the typed Go client for the GEE serving API
+// (internal/server). Every mutation call blocks until the server has
+// published the operations and returns the ack epoch: a successful
+// InsertEdges means any subsequent Embedding or Snapshot read at or
+// after that epoch reflects the inserted edges.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// ErrBacklog reports a 429: the server's ingest queue was full. The
+// request was not applied; retry after a pause.
+var ErrBacklog = errors.New("client: server ingest queue full (429)")
+
+// Client talks to one serving endpoint. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a base URL like "http://127.0.0.1:8080". A
+// nil http.Client selects http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do runs one request and decodes the JSON response into out,
+// translating error statuses.
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return ErrBacklog
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func toWire(edges []graph.Edge) []server.EdgeWire {
+	wire := make([]server.EdgeWire, len(edges))
+	for i, e := range edges {
+		wire[i] = server.EdgeWire{U: e.U, V: e.V, W: e.W}
+	}
+	return wire
+}
+
+// InsertEdges inserts a batch of edges and returns the publish ack.
+func (c *Client) InsertEdges(ctx context.Context, edges []graph.Edge) (server.MutationResponse, error) {
+	var out server.MutationResponse
+	err := c.do(ctx, http.MethodPost, "/v1/edges", server.MutationRequest{Edges: toWire(edges)}, &out)
+	return out, err
+}
+
+// DeleteEdges deletes a batch of live edges (exact match) and returns
+// the publish ack.
+func (c *Client) DeleteEdges(ctx context.Context, edges []graph.Edge) (server.MutationResponse, error) {
+	var out server.MutationResponse
+	err := c.do(ctx, http.MethodDelete, "/v1/edges", server.MutationRequest{Edges: toWire(edges)}, &out)
+	return out, err
+}
+
+// UpdateLabels applies a batch of label reassignments and returns the
+// publish ack.
+func (c *Client) UpdateLabels(ctx context.Context, ups []dyn.LabelUpdate) (server.MutationResponse, error) {
+	wire := make([]server.LabelWire, len(ups))
+	for i, u := range ups {
+		wire[i] = server.LabelWire{V: u.V, Class: u.Class}
+	}
+	var out server.MutationResponse
+	err := c.do(ctx, http.MethodPost, "/v1/labels", server.MutationRequest{Labels: wire}, &out)
+	return out, err
+}
+
+// Embedding fetches vertex v's row of the current published snapshot.
+func (c *Client) Embedding(ctx context.Context, v graph.NodeID) (server.EmbeddingResponse, error) {
+	var out server.EmbeddingResponse
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/embedding/%d", v), nil, &out)
+	return out, err
+}
+
+// Snapshot fetches the whole current published snapshot.
+func (c *Client) Snapshot(ctx context.Context) (server.SnapshotResponse, error) {
+	var out server.SnapshotResponse
+	err := c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &out)
+	return out, err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (server.HealthResponse, error) {
+	var out server.HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Stats fetches /statsz.
+func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	var out server.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/statsz", nil, &out)
+	return out, err
+}

@@ -1,0 +1,294 @@
+// Package server is the network serving layer of the GEE reproduction:
+// it exposes a dyn.DynamicEmbedder over HTTP/JSON. Reads (embedding
+// rows, snapshots, stats) are answered lock-free from the currently
+// published snapshot; writes (edge inserts/deletes, label updates) go
+// through an ingest coalescer that merges concurrent small client
+// requests into micro-batches before they hit the embedder, so the
+// batch-oriented fold paths (atomic / sharded EdgePlan) see batch-sized
+// work even when every client sends one edge at a time.
+//
+// The coalescer is the throughput lever: per-request Apply would pay a
+// serial fold and an O(nK) publish per edge, while a micro-batch pays
+// both once per hundreds or thousands of ops. Its queue is bounded —
+// when clients outrun ingest, Submit fails fast (HTTP 429) instead of
+// buffering without limit. Every accepted write request is acknowledged
+// only after its operations are published, and the ack carries the
+// published epoch, so a client that has its ack can immediately read
+// its own write from any later snapshot.
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dyn"
+)
+
+// ErrBacklog is returned by Submit when the bounded request queue is
+// full; HTTP handlers translate it to 429 Too Many Requests.
+var ErrBacklog = errors.New("server: ingest queue full")
+
+// ErrClosed is returned by Submit after Close; HTTP handlers translate
+// it to 503 Service Unavailable.
+var ErrClosed = errors.New("server: coalescer closed")
+
+// CoalescerOptions bounds the micro-batching.
+type CoalescerOptions struct {
+	// MaxBatch flushes a micro-batch once it holds at least this many
+	// operations (edge ops + label updates). Zero selects 4096.
+	MaxBatch int
+	// MaxDelay flushes a micro-batch this long after its first request
+	// arrived, bounding the latency a lone small write can be held for
+	// the benefit of batching. Zero selects 2ms.
+	MaxDelay time.Duration
+	// QueueCap bounds the request queue; a full queue rejects with
+	// ErrBacklog. Zero selects 1024.
+	QueueCap int
+}
+
+func (o CoalescerOptions) withDefaults() CoalescerOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 1024
+	}
+	return o
+}
+
+// CoalescerStats counts what the coalescer has done. Flushes vs
+// Requests is the coalescing ratio: concurrent single-op clients should
+// see Flushes ≪ Requests.
+type CoalescerStats struct {
+	Requests  int64 // write requests accepted into the queue
+	Ops       int64 // operations across accepted requests
+	Flushes   int64 // merged micro-batches applied to the embedder
+	Coalesced int64 // requests that shared a micro-batch with another
+	Replays   int64 // requests re-applied individually after a merged-batch error
+	Rejected  int64 // requests refused with ErrBacklog
+}
+
+// Ack is the completion notice for one accepted write request. When Err
+// is nil the request's operations are applied and published: every
+// snapshot at or after Epoch reflects them.
+type Ack struct {
+	Epoch uint64
+	Err   error
+}
+
+// request is one queued write with its completion channel (buffered, so
+// the coalescer never blocks on a departed client).
+type request struct {
+	batch dyn.Batch
+	ops   int
+	done  chan Ack
+}
+
+// Coalescer merges concurrent write requests into micro-batches and
+// applies them to the embedder on a single ingest goroutine, which also
+// serializes publishes. Start it before submitting; Close drains.
+type Coalescer struct {
+	d    *dyn.DynamicEmbedder
+	opts CoalescerOptions
+
+	mu     sync.Mutex // guards closed + the send into queue
+	closed bool
+	queue  chan *request
+
+	requests  atomic.Int64
+	ops       atomic.Int64
+	flushes   atomic.Int64
+	coalesced atomic.Int64
+	replays   atomic.Int64
+	rejected  atomic.Int64
+
+	pendingOps int // ops applied but unacked (ingest goroutine only)
+	loopDone   chan struct{}
+}
+
+// NewCoalescer prepares a coalescer over the embedder. The returned
+// coalescer is idle: requests queue up (to QueueCap) but nothing is
+// applied until Start.
+func NewCoalescer(d *dyn.DynamicEmbedder, opts CoalescerOptions) *Coalescer {
+	opts = opts.withDefaults()
+	return &Coalescer{
+		d:        d,
+		opts:     opts,
+		queue:    make(chan *request, opts.QueueCap),
+		loopDone: make(chan struct{}),
+	}
+}
+
+// Start launches the ingest goroutine. Call exactly once.
+func (c *Coalescer) Start() { go c.run() }
+
+// Close stops intake (subsequent Submits fail with ErrClosed), drains
+// and applies everything already queued, publishes, and acknowledges
+// every pending request before returning.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.loopDone
+		return
+	}
+	c.closed = true
+	close(c.queue)
+	c.mu.Unlock()
+	<-c.loopDone
+}
+
+// Stats returns a copy of the counters.
+func (c *Coalescer) Stats() CoalescerStats {
+	return CoalescerStats{
+		Requests:  c.requests.Load(),
+		Ops:       c.ops.Load(),
+		Flushes:   c.flushes.Load(),
+		Coalesced: c.coalesced.Load(),
+		Replays:   c.replays.Load(),
+		Rejected:  c.rejected.Load(),
+	}
+}
+
+// Submit enqueues one write request without blocking. The returned
+// channel delivers exactly one Ack once the request's operations are
+// published (or rejected by validation). A batch with no operations is
+// acknowledged immediately at the current epoch.
+func (c *Coalescer) Submit(b dyn.Batch) (<-chan Ack, error) {
+	ops := len(b.Insert) + len(b.Delete) + len(b.Labels)
+	done := make(chan Ack, 1)
+	if ops == 0 {
+		done <- Ack{Epoch: c.d.Epoch()}
+		return done, nil
+	}
+	req := &request{batch: b, ops: ops, done: done}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case c.queue <- req:
+		c.mu.Unlock()
+		c.requests.Add(1)
+		c.ops.Add(int64(ops))
+		return done, nil
+	default:
+		c.mu.Unlock()
+		c.rejected.Add(1)
+		return nil, ErrBacklog
+	}
+}
+
+// run is the ingest loop: collect a micro-batch (size- and
+// latency-bounded), apply it, and acknowledge once published.
+func (c *Coalescer) run() {
+	defer close(c.loopDone)
+	var pending []*request // applied, awaiting a covering publish
+	for {
+		first, ok := <-c.queue
+		if !ok {
+			c.settle(pending, true)
+			return
+		}
+		reqs := []*request{first}
+		ops := first.ops
+		timer := time.NewTimer(c.opts.MaxDelay)
+	collect:
+		for ops < c.opts.MaxBatch {
+			select {
+			case r, ok := <-c.queue:
+				if !ok {
+					break collect
+				}
+				reqs = append(reqs, r)
+				ops += r.ops
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		pending = c.apply(reqs, pending)
+		pending = c.settle(pending, len(c.queue) == 0)
+	}
+}
+
+// apply folds one micro-batch. The merged fast path applies all
+// requests as a single dyn.Batch; if the merged batch is rejected
+// (e.g. one request deletes an edge another request in the same
+// micro-batch is still inserting — dyn orders deletions first — or a
+// single request carries an invalid op), each request is replayed
+// individually in arrival order so only the offenders fail.
+func (c *Coalescer) apply(reqs []*request, pending []*request) []*request {
+	if len(reqs) == 1 {
+		c.flushes.Add(1)
+		if err := c.d.Apply(reqs[0].batch); err != nil {
+			reqs[0].done <- Ack{Err: err}
+			return pending
+		}
+		c.pendingOps += reqs[0].ops
+		return append(pending, reqs[0])
+	}
+	var merged dyn.Batch
+	for _, r := range reqs {
+		merged.Insert = append(merged.Insert, r.batch.Insert...)
+		merged.Delete = append(merged.Delete, r.batch.Delete...)
+		merged.Labels = append(merged.Labels, r.batch.Labels...)
+	}
+	c.flushes.Add(1)
+	if err := c.d.Apply(merged); err == nil {
+		c.coalesced.Add(int64(len(reqs)))
+		for _, r := range reqs {
+			c.pendingOps += r.ops
+		}
+		return append(pending, reqs...)
+	}
+	for _, r := range reqs {
+		c.replays.Add(1)
+		if err := c.d.Apply(r.batch); err != nil {
+			r.done <- Ack{Err: err}
+			continue
+		}
+		c.pendingOps += r.ops
+		pending = append(pending, r)
+	}
+	return pending
+}
+
+// settle acknowledges applied requests once a publish covers them. If
+// the embedder auto-published during apply (per-batch or PublishEvery
+// policy) the current epoch already covers everything applied; when it
+// did not, a publish is forced once the queue is idle (or the pending
+// ops have grown past MaxBatch), so acks are never deferred behind an
+// arbitrarily long backlog.
+func (c *Coalescer) settle(pending []*request, idle bool) []*request {
+	if len(pending) == 0 {
+		return pending
+	}
+	// PendingOps == 0 means every applied op — ours included — is
+	// covered by some already-published epoch, so any snapshot loaded
+	// *after* that check is at or past it (epochs are monotonic; this
+	// ordering stays sound even when another writer publishes
+	// concurrently). PendingOps > 0 may also be another writer's
+	// unpublished ops; publishing ours along with them is harmless.
+	var snap *dyn.Snapshot
+	if c.d.PendingOps() > 0 {
+		if !idle && c.pendingOps < c.opts.MaxBatch {
+			return pending
+		}
+		snap = c.d.Publish()
+	} else {
+		snap = c.d.Snapshot()
+	}
+	epoch := snap.Epoch
+	for _, r := range pending {
+		r.done <- Ack{Epoch: epoch}
+	}
+	c.pendingOps = 0
+	return pending[:0]
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/labels"
+)
+
+func newEmbedder(t *testing.T, n, k int, opts dyn.Options) *dyn.DynamicEmbedder {
+	t.Helper()
+	if opts.K == 0 {
+		opts.K = k
+	}
+	d, err := dyn.New(n, labels.Full(n, k, 11), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestCoalescerBackpressure fills the bounded queue of an idle
+// coalescer and checks the overflow is rejected, then starts the loop
+// and checks the queued requests drain with published acks.
+func TestCoalescerBackpressure(t *testing.T) {
+	d := newEmbedder(t, 10, 2, dyn.Options{})
+	c := NewCoalescer(d, CoalescerOptions{QueueCap: 2, MaxDelay: time.Millisecond})
+	mk := func(u, v uint32) dyn.Batch {
+		return dyn.Batch{Insert: []graph.Edge{{U: u, V: v, W: 1}}}
+	}
+	ack1, err := c.Submit(mk(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack2, err := c.Submit(mk(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(mk(4, 5)); err != ErrBacklog {
+		t.Fatalf("overflow submit: %v, want ErrBacklog", err)
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Requests != 2 {
+		t.Fatalf("stats before start: %+v", st)
+	}
+	c.Start()
+	for i, ack := range []<-chan Ack{ack1, ack2} {
+		a := <-ack
+		if a.Err != nil {
+			t.Fatalf("ack %d: %v", i, a.Err)
+		}
+		if a.Epoch == 0 {
+			t.Fatalf("ack %d carries the unpublished epoch 0", i)
+		}
+	}
+	if got := d.Snapshot().Edges; got != 2 {
+		t.Fatalf("%d live edges after drain, want 2", got)
+	}
+	c.Close()
+	if _, err := c.Submit(mk(6, 7)); err != ErrClosed {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestCoalescerReplayIsolatesOffenders merges a bad request (deleting
+// an edge that is not live) with good ones; the merged batch fails and
+// the replay must fail only the offender.
+func TestCoalescerReplayIsolatesOffenders(t *testing.T) {
+	d := newEmbedder(t, 10, 2, dyn.Options{})
+	c := NewCoalescer(d, CoalescerOptions{MaxDelay: 50 * time.Millisecond})
+	good1, err := c.Submit(dyn.Batch{Insert: []graph.Edge{{U: 0, V: 1, W: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := c.Submit(dyn.Batch{Delete: []graph.Edge{{U: 8, V: 9, W: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good2, err := c.Submit(dyn.Batch{Insert: []graph.Edge{{U: 2, V: 3, W: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if a := <-good1; a.Err != nil {
+		t.Fatalf("good1 failed: %v", a.Err)
+	}
+	if a := <-bad; a.Err == nil {
+		t.Fatal("bad delete acked")
+	}
+	if a := <-good2; a.Err != nil {
+		t.Fatalf("good2 failed: %v", a.Err)
+	}
+	if st := c.Stats(); st.Replays != 3 {
+		t.Fatalf("replays = %d, want 3", st.Replays)
+	}
+	if got := d.Snapshot().Edges; got != 2 {
+		t.Fatalf("%d live edges, want 2", got)
+	}
+	c.Close()
+}
+
+// TestServerBackpressureHTTP drives the 429 path end to end: with an
+// idle coalescer and QueueCap 1, a second concurrent POST is refused
+// with Too Many Requests and a Retry-After header.
+func TestServerBackpressureHTTP(t *testing.T) {
+	d := newEmbedder(t, 10, 2, dyn.Options{})
+	s := newServer(d, Options{Coalescer: CoalescerOptions{QueueCap: 1}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/edges", "application/json",
+			strings.NewReader(`{"edges":[{"u":0,"v":1}]}`))
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return resp
+	}
+	first := make(chan *http.Response, 1)
+	go func() { first <- post() }()
+	// Wait until the first request occupies the queue slot.
+	for i := 0; ; i++ {
+		if s.co.Stats().Requests == 1 {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("first request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("429 body: %v %+v", err, e)
+	}
+	resp.Body.Close()
+
+	s.co.Start()
+	if resp := <-first; resp != nil {
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("queued POST: status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After shutdown the coalescer refuses: the handler answers 503.
+	resp = post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post after shutdown: status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

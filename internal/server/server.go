@@ -1,0 +1,349 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+)
+
+// Wire types. Edge weights omitted or zero mean 1 (a zero-weight edge
+// contributes nothing, so the shorthand costs no expressiveness).
+
+// EdgeWire is one edge in a mutation request.
+type EdgeWire struct {
+	U uint32  `json:"u"`
+	V uint32  `json:"v"`
+	W float32 `json:"w,omitempty"`
+}
+
+// LabelWire is one label update in a mutation request; class -1 removes
+// the label.
+type LabelWire struct {
+	V     uint32 `json:"v"`
+	Class int32  `json:"class"`
+}
+
+// MutationRequest is the body of POST /v1/edges, DELETE /v1/edges, and
+// POST /v1/labels. Edge endpoints read Edges; the label endpoint reads
+// Labels.
+type MutationRequest struct {
+	Edges  []EdgeWire  `json:"edges,omitempty"`
+	Labels []LabelWire `json:"labels,omitempty"`
+}
+
+// MutationResponse acknowledges an applied mutation: every snapshot at
+// or after Epoch reflects its operations.
+type MutationResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+}
+
+// EmbeddingResponse is the body of GET /v1/embedding/{v}: one vertex's
+// row of the snapshot published at Epoch.
+type EmbeddingResponse struct {
+	Epoch uint64    `json:"epoch"`
+	V     uint32    `json:"v"`
+	Row   []float64 `json:"row"`
+}
+
+// SnapshotResponse is the body of GET /v1/snapshot (streamed on the
+// way out; clients decode it whole).
+type SnapshotResponse struct {
+	Epoch uint64      `json:"epoch"`
+	N     int         `json:"n"`
+	K     int         `json:"k"`
+	Edges int64       `json:"edges"`
+	Y     []int32     `json:"y"`
+	Z     [][]float64 `json:"z"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	N      int    `json:"n"`
+	K      int    `json:"k"`
+}
+
+// StatsResponse is the body of GET /statsz.
+type StatsResponse struct {
+	N         int            `json:"n"`
+	K         int            `json:"k"`
+	Dyn       dyn.Stats      `json:"dyn"`
+	Coalescer CoalescerStats `json:"coalescer"`
+}
+
+// ErrorResponse carries any non-2xx outcome.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds a mutation request body (64 MiB ≈ 5M edges) so a
+// single client cannot balloon server memory.
+const maxBodyBytes = 64 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Coalescer bounds the ingest micro-batching (zero fields select
+	// defaults; see CoalescerOptions).
+	Coalescer CoalescerOptions
+}
+
+// Server serves a DynamicEmbedder over HTTP. Construct with New (which
+// starts the ingest coalescer), expose Handler somewhere (or use
+// ListenAndServe/Serve), and Shutdown to drain.
+type Server struct {
+	d    *dyn.DynamicEmbedder
+	co   *Coalescer
+	mux  *http.ServeMux
+	http *http.Server
+}
+
+// New builds a server over the embedder and starts its coalescer.
+// Other writers may Apply to the embedder directly (dyn serializes
+// writers, and a publish covers every applied op regardless of origin,
+// so acks stay sound); only the coalescer's Flushes/Publishes counters
+// then stop matching the dyn counters exactly.
+func New(d *dyn.DynamicEmbedder, opts Options) *Server {
+	s := newServer(d, opts)
+	s.co.Start()
+	return s
+}
+
+// newServer wires the routes without starting the coalescer (white-box
+// tests exercise the backpressure path against an idle queue).
+func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
+	s := &Server{d: d, co: NewCoalescer(d, opts.Coalescer)}
+	s.mux = http.NewServeMux()
+	// Built here, not in Serve: Shutdown may run concurrently with (or
+	// before) Serve from another goroutine, so the field must be
+	// immutable after construction.
+	s.http = &http.Server{Handler: s.mux}
+	s.mux.HandleFunc("POST /v1/edges", s.handleInsert)
+	s.mux.HandleFunc("DELETE /v1/edges", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/labels", s.handleLabels)
+	s.mux.HandleFunc("GET /v1/embedding/{v}", s.handleEmbedding)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler (for httptest or custom servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Coalescer exposes the ingest coalescer (stats, direct Submit).
+func (s *Server) Coalescer() *Coalescer { return s.co }
+
+// ListenAndServe serves on addr until Shutdown. It reports the bound
+// address through ready (useful with ":0") before blocking.
+func (s *Server) ListenAndServe(addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.http.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: stop accepting connections, wait for
+// in-flight requests (their acks still arrive — the coalescer is
+// stopped only afterwards), then drain and close the coalescer. Safe
+// to call whether or not Serve was used.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.co.Close()
+	return err
+}
+
+// Close is Shutdown with no deadline.
+func (s *Server) Close() error { return s.Shutdown(context.Background()) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeMutation parses a bounded JSON mutation body.
+func decodeMutation(w http.ResponseWriter, r *http.Request) (*MutationRequest, bool) {
+	var req MutationRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad mutation body: %v", err)
+		return nil, false
+	}
+	return &req, true
+}
+
+func toEdges(wire []EdgeWire) []graph.Edge {
+	edges := make([]graph.Edge, len(wire))
+	for i, e := range wire {
+		w := e.W
+		if w == 0 {
+			w = 1
+		}
+		edges[i] = graph.Edge{U: e.U, V: e.V, W: w}
+	}
+	return edges
+}
+
+// submit runs one write batch through the coalescer and replies with
+// the ack. The handler blocks until the batch is published — that is
+// the point: a 200 means read-your-write holds from Epoch on.
+func (s *Server) submit(w http.ResponseWriter, b dyn.Batch, ops int) {
+	ack, err := s.co.Submit(b)
+	switch err {
+	case nil:
+	case ErrBacklog:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest queue full")
+		return
+	case ErrClosed:
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// The ack always arrives (Close drains the queue), so waiting on it
+	// alone is safe; a departed client just discards the response.
+	a := <-ack
+	if a.Err != nil {
+		writeError(w, http.StatusBadRequest, "%v", a.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutationResponse{Epoch: a.Epoch, Applied: ops})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	// Never silently drop operations: a populated wrong-kind field
+	// would be acked without being applied.
+	if len(req.Labels) > 0 {
+		writeError(w, http.StatusBadRequest, "labels not accepted on /v1/edges (use /v1/labels)")
+		return
+	}
+	s.submit(w, dyn.Batch{Insert: toEdges(req.Edges)}, len(req.Edges))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Labels) > 0 {
+		writeError(w, http.StatusBadRequest, "labels not accepted on /v1/edges (use /v1/labels)")
+		return
+	}
+	s.submit(w, dyn.Batch{Delete: toEdges(req.Edges)}, len(req.Edges))
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Edges) > 0 {
+		writeError(w, http.StatusBadRequest, "edges not accepted on /v1/labels (use /v1/edges)")
+		return
+	}
+	ups := make([]dyn.LabelUpdate, len(req.Labels))
+	for i, l := range req.Labels {
+		ups[i] = dyn.LabelUpdate{V: l.V, Class: l.Class}
+	}
+	s.submit(w, dyn.Batch{Labels: ups}, len(ups))
+}
+
+func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.ParseUint(r.PathValue("v"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vertex %q", r.PathValue("v"))
+		return
+	}
+	snap := s.d.Snapshot()
+	if int(v) >= snap.Z.R {
+		writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", v, snap.Z.R)
+		return
+	}
+	row := make([]float64, snap.Z.C)
+	copy(row, snap.Z.Row(int(v)))
+	writeJSON(w, http.StatusOK, EmbeddingResponse{Epoch: snap.Epoch, V: uint32(v), Row: row})
+}
+
+// handleSnapshot streams the whole published snapshot as one JSON
+// object, row by row through a buffered writer — the n×K matrix is
+// never marshaled into a second in-memory copy. Floats are written in
+// shortest round-trip form, so a client re-reading them recovers the
+// exact published values.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.d.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, `{"epoch":%d,"n":%d,"k":%d,"edges":%d,"y":[`,
+		snap.Epoch, snap.Z.R, snap.Z.C, snap.Edges)
+	var scratch []byte
+	for i, c := range snap.Y {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		scratch = strconv.AppendInt(scratch[:0], int64(c), 10)
+		bw.Write(scratch)
+	}
+	bw.WriteString(`],"z":[`)
+	for u := 0; u < snap.Z.R; u++ {
+		if u > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteByte('[')
+		for c, x := range snap.Z.Row(u) {
+			if c > 0 {
+				bw.WriteByte(',')
+			}
+			scratch = strconv.AppendFloat(scratch[:0], x, 'g', -1, 64)
+			bw.Write(scratch)
+		}
+		bw.WriteByte(']')
+	}
+	bw.WriteString(`]}`)
+	bw.Flush()
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok", Epoch: s.d.Epoch(), N: s.d.N(), K: s.d.K(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		N: s.d.N(), K: s.d.K(), Dyn: s.d.Stats(), Coalescer: s.co.Stats(),
+	})
+}

@@ -1,0 +1,292 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dyn"
+	"repro/internal/gee"
+	"repro/internal/graph"
+	"repro/internal/labels"
+	"repro/internal/mat"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/xrand"
+)
+
+// startServer builds an embedder + server + typed client over httptest.
+func startServer(t *testing.T, n int, y []int32, dopts dyn.Options, sopts server.Options) (*server.Server, *client.Client) {
+	t.Helper()
+	d, err := dyn.New(n, y, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(d, sopts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	return s, client.New(ts.URL, ts.Client())
+}
+
+func fullLabels(n, k int) []int32 {
+	y := make([]int32, n)
+	for v := range y {
+		y[v] = int32(v % k)
+	}
+	return y
+}
+
+// TestServerCoalescesConcurrentWrites is the tentpole acceptance check:
+// many concurrent single-edge POSTs must be applied in far fewer folds
+// than requests, and every ack's epoch must be at or after the epoch at
+// which its edge became visible to GET /v1/embedding — checked by
+// reading the edge back immediately after the ack: the read must show
+// the edge and must not be older than the ack.
+func TestServerCoalescesConcurrentWrites(t *testing.T) {
+	const requests, k = 200, 4
+	n := 2 * requests
+	y := fullLabels(n, k)
+	// PublishEvery well above a single op forces the coalescer's settle
+	// path (publish on idle) as well as the embedder's op-count policy.
+	_, c := startServer(t, n, y, dyn.Options{K: k, PublishEvery: 512},
+		server.Options{Coalescer: server.CoalescerOptions{MaxBatch: 1024, MaxDelay: 25 * time.Millisecond}})
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			u, v := graph.NodeID(2*i), graph.NodeID(2*i+1)
+			ack, err := c.InsertEdges(ctx, []graph.Edge{{U: u, V: v, W: 1}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if ack.Epoch == 0 || ack.Applied != 1 {
+				errs <- fmt.Errorf("ack %+v for edge %d", ack, i)
+				return
+			}
+			// Read-your-write: the ack promises visibility at Epoch, so
+			// a read issued after the ack (which always sees an epoch at
+			// or after it) must already contain the edge's contribution.
+			emb, err := c.Embedding(ctx, u)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if emb.Epoch < ack.Epoch {
+				errs <- fmt.Errorf("read epoch %d older than ack epoch %d", emb.Epoch, ack.Epoch)
+				return
+			}
+			if class := y[v]; emb.Row[class] <= 0 {
+				errs <- fmt.Errorf("edge %d invisible after ack at epoch %d: row %v", i, ack.Epoch, emb.Row)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := st.Coalescer
+	if co.Requests != requests || co.Rejected != 0 {
+		t.Fatalf("coalescer requests=%d rejected=%d, want %d/0", co.Requests, co.Rejected, requests)
+	}
+	if co.Flushes*4 > co.Requests {
+		t.Fatalf("coalescing failed: %d flushes for %d requests (want ≤ 1/4)", co.Flushes, co.Requests)
+	}
+	if co.Coalesced == 0 {
+		t.Fatal("no request ever shared a micro-batch")
+	}
+	// The embedder saw micro-batches, not per-request folds; publishes
+	// are amortized the same way.
+	if st.Dyn.Batches != co.Flushes+co.Replays {
+		t.Fatalf("dyn folded %d batches, coalescer flushed %d (+%d replays)",
+			st.Dyn.Batches, co.Flushes, co.Replays)
+	}
+	if st.Dyn.Publishes*4 > int64(requests) {
+		t.Fatalf("publishes not amortized: %d for %d requests", st.Dyn.Publishes, requests)
+	}
+	if st.Dyn.Inserts != requests {
+		t.Fatalf("dyn applied %d inserts, want %d", st.Dyn.Inserts, requests)
+	}
+}
+
+// TestServerIngestMatchesBatchEmbed drives a full ingest — concurrent
+// edge inserts, label updates, then deletions — purely through the
+// typed client and checks the final streamed snapshot equals a
+// from-scratch batch Embed on the same graph within 1e-9.
+func TestServerIngestMatchesBatchEmbed(t *testing.T) {
+	const n, k, m, writers = 250, 5, 3000, 4
+	y0 := labels.SampleSemiSupervised(n, k, 0.4, 31)
+	_, c := startServer(t, n, y0, dyn.Options{K: k, ManualPublish: true},
+		server.Options{Coalescer: server.CoalescerOptions{MaxDelay: time.Millisecond}})
+	ctx := context.Background()
+
+	r := xrand.New(33)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)),
+			W: float32(r.Intn(4) + 1),
+		}
+	}
+	// Concurrent chunked inserts.
+	var wg sync.WaitGroup
+	chunk := (m + writers - 1) / writers
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, m)
+		wg.Add(1)
+		go func(part []graph.Edge) {
+			defer wg.Done()
+			for len(part) > 0 {
+				sz := min(97, len(part))
+				if _, err := c.InsertEdges(ctx, part[:sz]); err != nil {
+					errs <- err
+					return
+				}
+				part = part[sz:]
+			}
+		}(edges[lo:hi])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Label churn: move some vertices, unlabel a few.
+	yFinal := append([]int32(nil), y0...)
+	var ups []dyn.LabelUpdate
+	for v := 0; v < n; v += 3 {
+		class := int32((v + 1) % k)
+		if v%9 == 0 {
+			class = labels.Unknown
+		}
+		ups = append(ups, dyn.LabelUpdate{V: graph.NodeID(v), Class: class})
+		yFinal[v] = class
+	}
+	if _, err := c.UpdateLabels(ctx, ups); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a slice of the live edges through the DELETE endpoint.
+	if _, err := c.DeleteEdges(ctx, edges[:m/5]); err != nil {
+		t.Fatal(err)
+	}
+	live := edges[m/5:]
+
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N != n || snap.K != k || snap.Edges != int64(len(live)) {
+		t.Fatalf("snapshot shape n=%d k=%d edges=%d, want %d/%d/%d",
+			snap.N, snap.K, snap.Edges, n, k, len(live))
+	}
+	for v := range yFinal {
+		if snap.Y[v] != yFinal[v] {
+			t.Fatalf("label of %d drifted: %d vs %d", v, snap.Y[v], yFinal[v])
+		}
+	}
+	want, err := gee.Embed(gee.Reference, &graph.EdgeList{N: n, Edges: live, Weighted: true},
+		yFinal, gee.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mat.FromRows(snap.Z)
+	if !want.Z.EqualTol(got, 1e-9) {
+		t.Fatalf("served snapshot deviates from batch embed by %v", want.Z.MaxAbsDiff(got))
+	}
+}
+
+// TestServerReadsAndErrors covers the small read endpoints and the
+// HTTP error mapping.
+func TestServerReadsAndErrors(t *testing.T) {
+	const n, k = 20, 2
+	_, c := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.N != n || h.K != k {
+		t.Fatalf("health %+v", h)
+	}
+	if _, err := c.InsertEdges(ctx, []graph.Edge{{U: 0, V: 1, W: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	emb, err := c.Embedding(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Row) != k || emb.V != 0 {
+		t.Fatalf("embedding %+v", emb)
+	}
+	// Validation errors surface as 400 with the dyn message.
+	if _, err := c.InsertEdges(ctx, []graph.Edge{{U: 999, V: 0, W: 1}}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range insert: %v", err)
+	}
+	if _, err := c.Embedding(ctx, 999); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("out-of-range embedding: %v", err)
+	}
+	// An empty mutation is acknowledged without entering the queue.
+	ack, err := c.InsertEdges(ctx, nil)
+	if err != nil || ack.Applied != 0 {
+		t.Fatalf("empty insert: %+v %v", ack, err)
+	}
+}
+
+// TestServerMalformedBodies exercises the raw HTTP surface the typed
+// client never produces.
+func TestServerMalformedBodies(t *testing.T) {
+	d, err := dyn.New(10, fullLabels(10, 2), dyn.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(d, server.Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"bad json", http.MethodPost, "/v1/edges", `{"edges":[`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/edges", `{"edgez":[]}`, http.StatusBadRequest},
+		{"bad vertex", http.MethodGet, "/v1/embedding/xyz", "", http.StatusBadRequest},
+		{"wrong method", http.MethodPut, "/v1/edges", `{}`, http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -24,6 +24,7 @@ package repro
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/cluster"
 	"repro/internal/dyn"
@@ -34,6 +35,8 @@ import (
 	"repro/internal/labels"
 	"repro/internal/ligra"
 	"repro/internal/mat"
+	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/spectral"
 	"repro/internal/walks"
 )
@@ -270,6 +273,35 @@ type (
 // vertices with the given initial labels (Unknown where unlabeled).
 func NewDynamicEmbedder(n int, y []int32, opts DynamicOptions) (*DynamicEmbedder, error) {
 	return dyn.New(n, y, opts)
+}
+
+// Network serving layer (internal/server): the HTTP/JSON API over a
+// DynamicEmbedder — lock-free snapshot reads, coalesced writes with
+// publish-epoch acks and bounded-queue backpressure. cmd/geeserve
+// -serve runs it; cmd/geeload load-tests it; internal/server/client is
+// the typed Go client.
+
+type (
+	// EmbeddingServer serves a DynamicEmbedder over HTTP.
+	EmbeddingServer = server.Server
+	// ServerOptions configures an EmbeddingServer.
+	ServerOptions = server.Options
+	// CoalescerOptions bounds the server's ingest micro-batching.
+	CoalescerOptions = server.CoalescerOptions
+	// EmbeddingClient is the typed client for the serving API.
+	EmbeddingClient = client.Client
+)
+
+// NewEmbeddingServer builds a server over the embedder and starts its
+// ingest coalescer.
+func NewEmbeddingServer(d *DynamicEmbedder, opts ServerOptions) *EmbeddingServer {
+	return server.New(d, opts)
+}
+
+// NewEmbeddingClient builds a client for a serving base URL like
+// "http://127.0.0.1:8080" (nil http.Client selects the default).
+func NewEmbeddingClient(base string, hc *http.Client) *EmbeddingClient {
+	return client.New(base, hc)
 }
 
 // Directed variant and structural helpers.

@@ -2,7 +2,9 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 )
@@ -23,6 +25,37 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if !ref.Z.EqualTol(res.Z, 1e-9) {
 		t.Fatal("facade parallel differs from reference")
+	}
+}
+
+// TestFacadeServing drives the serving layer through the facade: a
+// server over a dynamic embedder, a typed client writing through the
+// coalescer and reading a row back at the acked epoch.
+func TestFacadeServing(t *testing.T) {
+	y := []int32{0, 1, 0, 1}
+	d, err := NewDynamicEmbedder(4, y, DynamicOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewEmbeddingServer(d, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+		ts.Close()
+	}()
+	c := NewEmbeddingClient(ts.URL, ts.Client())
+	ack, err := c.InsertEdges(context.Background(), []Edge{{U: 0, V: 1, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := c.Embedding(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Epoch < ack.Epoch || emb.Row[1] <= 0 {
+		t.Fatalf("insert not visible at acked epoch: ack %+v, emb %+v", ack, emb)
 	}
 }
 

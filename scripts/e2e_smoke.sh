@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke: build geeserve + geeload, start the HTTP
+# serving stack on a free port, drive a short closed-loop load, assert
+# non-zero applied ops, and check a clean graceful shutdown on SIGTERM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)
+log=$(mktemp -d)
+go build -o "$bin/geeserve" ./cmd/geeserve
+go build -o "$bin/geeload" ./cmd/geeload
+
+"$bin/geeserve" -serve 127.0.0.1:0 -n 2000 -k 5 -rounds 0 -readers 0 \
+  >"$log/serve.out" 2>"$log/serve.err" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# The server prints its bound address once listening (":0" = free port).
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^# serving HTTP on //p' "$log/serve.err" | head -1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "FAIL: server never reported its address" >&2
+  cat "$log/serve.err" >&2
+  exit 1
+fi
+echo "server up on $addr"
+
+curl -fsS "http://$addr/healthz"
+echo
+
+"$bin/geeload" -addr "http://$addr" -duration 2s -writers 3 -readers 3 -batch 32 \
+  | tee "$log/load.out"
+
+if ! grep -Eq 'ingested [1-9][0-9]* ops' "$log/load.out"; then
+  echo "FAIL: geeload acknowledged no ops" >&2
+  exit 1
+fi
+if ! curl -fsS "http://$addr/statsz" | grep -Eq '"Inserts":[1-9][0-9]*'; then
+  echo "FAIL: server reports zero applied inserts" >&2
+  exit 1
+fi
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: server exited with status $status" >&2
+  cat "$log/serve.err" >&2
+  exit 1
+fi
+if ! grep -q 'graceful shutdown complete' "$log/serve.out"; then
+  echo "FAIL: no graceful-shutdown marker" >&2
+  cat "$log/serve.out" >&2
+  exit 1
+fi
+echo "e2e smoke OK"
