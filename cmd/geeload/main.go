@@ -1,9 +1,11 @@
 // Command geeload is a closed-loop load generator for the GEE serving
 // API (internal/server): a configurable mix of writer goroutines
 // (batched edge inserts, with optional deletes of their own earlier
-// batches) and reader goroutines (single-row embedding queries) drives
-// a running server — e.g. `geeserve -serve :8080` — for a fixed
-// duration and reports the achieved ingest and query throughput.
+// batches) and read-side goroutines — single-row embedding queries,
+// batched multi-vertex reads, top-k neighbor searches, and replica
+// followers syncing over /v1/delta — drives a running server, e.g.
+// `geeserve -serve :8080`, for a fixed duration and reports the
+// achieved per-endpoint throughput.
 //
 // Closed loop means every worker waits for its previous request's
 // response (for writes: the publish ack) before issuing the next, so
@@ -11,7 +13,14 @@
 // open-loop submission rate. Writers that hit ingest backpressure
 // (HTTP 429) back off briefly and retry; the retry count is reported.
 //
+// With -replica-verify, after the load window closes each replica is
+// synced to the primary's published epoch and compared row by row
+// against /v1/snapshot — every float must be bit-identical, or the run
+// fails. This is the end-to-end check that delta streaming loses
+// nothing.
+//
 //	geeload -addr http://127.0.0.1:8080 -duration 5s -writers 4 -readers 4
+//	geeload -addr ... -batch-readers 2 -neighbor-readers 2 -replicas 2 -replica-verify
 package main
 
 import (
@@ -28,28 +37,40 @@ import (
 
 	"repro/internal/dyn"
 	"repro/internal/graph"
+	"repro/internal/rate"
 	"repro/internal/server/client"
 	"repro/internal/xrand"
 )
 
 type config struct {
-	addr       string
-	duration   time.Duration
-	writers    int
-	readers    int
-	batch      int
-	deleteFrac float64
-	labelFrac  float64
-	seed       uint64
+	addr          string
+	duration      time.Duration
+	writers       int
+	readers       int
+	batchReaders  int
+	readBatch     int
+	nbrReaders    int
+	nbrK          int
+	nbrMetric     string
+	replicas      int
+	replicaSync   time.Duration
+	replicaVerify bool
+	batch         int
+	deleteFrac    float64
+	labelFrac     float64
+	seed          uint64
 }
 
 // counters aggregates what the load achieved.
 type counters struct {
-	inserts atomic.Int64 // acked insert ops
-	deletes atomic.Int64 // acked delete ops
-	queries atomic.Int64 // completed embedding reads
-	retries atomic.Int64 // 429 backoffs
-	errors  atomic.Int64 // non-backpressure request failures
+	inserts    atomic.Int64 // acked insert ops
+	deletes    atomic.Int64 // acked delete ops
+	queries    atomic.Int64 // completed embedding reads
+	batchReads atomic.Int64 // completed batched multi-vertex reads
+	batchRows  atomic.Int64 // rows returned by batched reads
+	neighbors  atomic.Int64 // completed top-k neighbor queries
+	retries    atomic.Int64 // 429 backoffs
+	errors     atomic.Int64 // non-backpressure request failures
 }
 
 func main() {
@@ -57,7 +78,15 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "serving API base URL")
 	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "load duration")
 	flag.IntVar(&cfg.writers, "writers", 4, "concurrent writer goroutines")
-	flag.IntVar(&cfg.readers, "readers", 4, "concurrent reader goroutines")
+	flag.IntVar(&cfg.readers, "readers", 4, "concurrent single-row reader goroutines")
+	flag.IntVar(&cfg.batchReaders, "batch-readers", 0, "concurrent batched-read goroutines (POST /v1/embeddings)")
+	flag.IntVar(&cfg.readBatch, "read-batch", 64, "vertices per batched read")
+	flag.IntVar(&cfg.nbrReaders, "neighbor-readers", 0, "concurrent top-k neighbor query goroutines (POST /v1/neighbors)")
+	flag.IntVar(&cfg.nbrK, "neighbor-k", 10, "k for neighbor queries")
+	flag.StringVar(&cfg.nbrMetric, "neighbor-metric", "l2", "neighbor metric: l2 or cosine")
+	flag.IntVar(&cfg.replicas, "replicas", 0, "replica followers syncing over GET /v1/delta")
+	flag.DurationVar(&cfg.replicaSync, "replica-sync", 25*time.Millisecond, "pause between replica sync rounds")
+	flag.BoolVar(&cfg.replicaVerify, "replica-verify", false, "after the load, verify each replica is bit-identical to /v1/snapshot")
 	flag.IntVar(&cfg.batch, "batch", 64, "edges per insert request")
 	flag.Float64Var(&cfg.deleteFrac, "delete-frac", 0.2, "fraction of writer requests that delete a previously inserted batch")
 	flag.Float64Var(&cfg.labelFrac, "label-frac", 0.2, "fraction of vertices labeled round-robin before the load starts")
@@ -187,14 +216,92 @@ func run(cfg config, out io.Writer) error {
 			}
 		}(rd)
 	}
+	for br := 0; br < cfg.batchReaders; br++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.New(cfg.seed + uint64(3000+id))
+			vs := make([]graph.NodeID, max(cfg.readBatch, 1))
+			for lctx.Err() == nil {
+				for i := range vs {
+					vs[i] = graph.NodeID(r.Intn(n))
+				}
+				resp, err := c.Embeddings(lctx, vs)
+				if err != nil {
+					if done(lctx, err) {
+						return
+					}
+					cnt.errors.Add(1)
+					continue
+				}
+				cnt.batchReads.Add(1)
+				cnt.batchRows.Add(int64(len(resp.Rows)))
+			}
+		}(br)
+	}
+	for nr := 0; nr < cfg.nbrReaders; nr++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.New(cfg.seed + uint64(4000+id))
+			for lctx.Err() == nil {
+				if _, err := c.Neighbors(lctx, graph.NodeID(r.Intn(n)), cfg.nbrK, cfg.nbrMetric); err != nil {
+					if done(lctx, err) {
+						return
+					}
+					cnt.errors.Add(1)
+					continue
+				}
+				cnt.neighbors.Add(1)
+			}
+		}(nr)
+	}
+	// Replica followers: bootstrap from /v1/snapshot, then live off
+	// /v1/delta on a polling cadence — the fan-out read pattern.
+	reps := make([]*client.Replica, cfg.replicas)
+	for i := range reps {
+		reps[i] = client.NewReplica(c)
+		wg.Add(1)
+		go func(rep *client.Replica) {
+			defer wg.Done()
+			for lctx.Err() == nil {
+				if _, err := rep.Sync(lctx); err != nil {
+					if done(lctx, err) {
+						return
+					}
+					cnt.errors.Add(1)
+				}
+				select {
+				case <-lctx.Done():
+					return
+				case <-time.After(cfg.replicaSync):
+				}
+			}
+		}(reps[i])
+	}
 	wg.Wait()
 	secs := time.Since(start).Seconds()
 
 	ins, del, q := cnt.inserts.Load(), cnt.deletes.Load(), cnt.queries.Load()
 	fmt.Fprintf(out, "ingested %d ops (%d inserts + %d deletes) in %.2fs: %.0f acked ops/s from %d writers\n",
-		ins+del, ins, del, secs, float64(ins+del)/secs, cfg.writers)
+		ins+del, ins, del, secs, rate.PerSec(ins+del, secs), cfg.writers)
 	fmt.Fprintf(out, "queried %d embedding rows: %.0f queries/s from %d readers\n",
-		q, float64(q)/secs, cfg.readers)
+		q, rate.PerSec(q, secs), cfg.readers)
+	if cfg.batchReaders > 0 {
+		fmt.Fprintf(out, "batched reads: %d requests / %d rows from %d readers (%.0f reads/s, %.0f rows/s)\n",
+			cnt.batchReads.Load(), cnt.batchRows.Load(), cfg.batchReaders,
+			rate.PerSec(cnt.batchReads.Load(), secs), rate.PerSec(cnt.batchRows.Load(), secs))
+	}
+	if cfg.nbrReaders > 0 {
+		fmt.Fprintf(out, "neighbor queries: %d top-%d by %s from %d readers (%.0f queries/s)\n",
+			cnt.neighbors.Load(), cfg.nbrK, cfg.nbrMetric, cfg.nbrReaders,
+			rate.PerSec(cnt.neighbors.Load(), secs))
+	}
+	for i, rep := range reps {
+		rs := rep.Stats()
+		fmt.Fprintf(out, "replica %d: epoch %d, %d syncs (%d resyncs), %d delta rows applied, %d delta bytes vs %d snapshot bytes\n",
+			i, rs.Epoch, rs.Syncs, rs.Resyncs, rs.RowsApplied, rs.DeltaBytes, rs.SnapshotBytes)
+	}
 	fmt.Fprintf(out, "backpressure retries %d, request errors %d\n",
 		cnt.retries.Load(), cnt.errors.Load())
 	st, err := c.Stats(ctx)
@@ -208,11 +315,74 @@ func run(cfg config, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "server: epoch %d, %d live edges, %d folds for %d write requests (%.1f requests/fold), %d publishes\n",
 		st.Dyn.Epoch, st.Dyn.LiveEdges, co.Flushes, co.Requests, ratio, st.Dyn.Publishes)
+	if cfg.replicaVerify && len(reps) > 0 {
+		if err := verifyReplicas(ctx, c, reps, out); err != nil {
+			return err
+		}
+	}
 	if cnt.errors.Load() > 0 {
 		return fmt.Errorf("%d request errors", cnt.errors.Load())
 	}
-	if ins == 0 {
+	if ins == 0 && cfg.writers > 0 {
 		return fmt.Errorf("no inserts were acknowledged")
 	}
+	return nil
+}
+
+// verifyReplicas syncs each replica to the primary's published epoch
+// (the writers are done, so the server is quiescent) and compares it
+// row by row against /v1/snapshot: every float must be bit-identical —
+// the delta path reconstructs the snapshot stream's exact bytes, not
+// an approximation of them.
+func verifyReplicas(ctx context.Context, c *client.Client, reps []*client.Replica, out io.Writer) error {
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("replica verify: %w", err)
+	}
+	for i, rep := range reps {
+		for tries := 0; ; tries++ {
+			s := rep.Snapshot()
+			if s != nil && s.Epoch == snap.Epoch {
+				break
+			}
+			if s != nil && s.Epoch > snap.Epoch {
+				// The primary published after our snapshot fetch (a
+				// straggling ack): re-anchor on the newer epoch.
+				if snap, err = c.Snapshot(ctx); err != nil {
+					return fmt.Errorf("replica verify: %w", err)
+				}
+				continue
+			}
+			if tries > 100 {
+				epoch := "none"
+				if s != nil {
+					epoch = fmt.Sprint(s.Epoch)
+				}
+				return fmt.Errorf("replica %d stuck at epoch %s, primary at %d", i, epoch, snap.Epoch)
+			}
+			if _, err := rep.Sync(ctx); err != nil {
+				return fmt.Errorf("replica %d verify sync: %w", i, err)
+			}
+		}
+		s := rep.Snapshot()
+		if s.Edges != snap.Edges || s.Z.R != snap.N || s.Z.C != snap.K {
+			return fmt.Errorf("replica %d shape/edges mismatch: %d edges %dx%d vs %d edges %dx%d",
+				i, s.Edges, s.Z.R, s.Z.C, snap.Edges, snap.N, snap.K)
+		}
+		for v := 0; v < snap.N; v++ {
+			if s.Y[v] != snap.Y[v] {
+				return fmt.Errorf("replica %d: label of %d is %d, primary %d", i, v, s.Y[v], snap.Y[v])
+			}
+			row := s.Z.Row(v)
+			for col := range row {
+				if row[col] != snap.Z[v][col] {
+					return fmt.Errorf("replica %d: Z[%d][%d] = %v, primary %v (not bit-identical)",
+						i, v, col, row[col], snap.Z[v][col])
+				}
+			}
+		}
+	}
+	fmt.Fprintf(out, "replica verify OK: %d replica(s), %d rows bit-identical to the primary snapshot at epoch %d\n",
+		len(reps), snap.N, snap.Epoch)
 	return nil
 }

@@ -65,14 +65,22 @@ func TestLoadAgainstServer(t *testing.T) {
 
 	var out strings.Builder
 	cfg := config{
-		addr:       ts.URL,
-		duration:   400 * time.Millisecond,
-		writers:    3,
-		readers:    2,
-		batch:      16,
-		deleteFrac: 0.3,
-		labelFrac:  0.5,
-		seed:       42,
+		addr:          ts.URL,
+		duration:      400 * time.Millisecond,
+		writers:       3,
+		readers:       2,
+		batchReaders:  1,
+		readBatch:     8,
+		nbrReaders:    1,
+		nbrK:          5,
+		nbrMetric:     "l2",
+		replicas:      1,
+		replicaSync:   10 * time.Millisecond,
+		replicaVerify: true,
+		batch:         16,
+		deleteFrac:    0.3,
+		labelFrac:     0.5,
+		seed:          42,
 	}
 	if err := run(cfg, &out); err != nil {
 		t.Fatalf("load run failed: %v\noutput:\n%s", err, out.String())
@@ -84,7 +92,10 @@ func TestLoadAgainstServer(t *testing.T) {
 	if st.LiveEdges != st.Inserts-st.Deletes {
 		t.Fatalf("live edges %d != %d inserts - %d deletes", st.LiveEdges, st.Inserts, st.Deletes)
 	}
-	for _, want := range []string{"acked ops/s", "queries/s", "requests/fold"} {
+	for _, want := range []string{
+		"acked ops/s", "queries/s", "requests/fold",
+		"batched reads:", "neighbor queries:", "replica 0:", "replica verify OK",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("report missing %q:\n%s", want, out.String())
 		}

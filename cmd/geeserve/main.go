@@ -54,6 +54,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/labels"
+	"repro/internal/rate"
 	"repro/internal/server"
 	"repro/internal/xrand"
 )
@@ -260,7 +261,7 @@ func startReaders(d *dyn.DynamicEmbedder, readers int) func() {
 		wg.Wait()
 		secs := time.Since(start).Seconds()
 		fmt.Printf("served %d queries from %d readers (%.0f queries/s)\n",
-			queries.Load(), readers, float64(queries.Load())/secs)
+			queries.Load(), readers, rate.PerSec(queries.Load(), secs))
 	}
 }
 
@@ -321,7 +322,7 @@ func serveChurn(ctx context.Context, d *dyn.DynamicEmbedder, el *graph.EdgeList,
 			pred := classify(snap)
 			secs := time.Since(windowStart).Seconds()
 			fmt.Printf("round %4d  epoch %4d  live %9d  ingest %10.0f edges/s  ARI %.3f  NMI %.3f\n",
-				round, snap.Epoch, snap.Edges, float64(windowEdges)/secs,
+				round, snap.Epoch, snap.Edges, rate.PerSec(windowEdges, secs),
 				cluster.ARI(pred, yTrue), cluster.NMI(pred, yTrue))
 			windowStart = time.Now()
 			windowEdges = 0

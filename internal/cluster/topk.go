@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// Metric selects the distance for TopK.
+type Metric int
+
+const (
+	// L2 is the Euclidean distance between embedding rows.
+	L2 Metric = iota
+	// Cosine is the cosine distance 1 − cos(a, b) ∈ [0, 2]. A zero row
+	// has no direction; its distance to anything is defined as 1
+	// (indifferent), so unembedded vertices neither attract nor repel.
+	Cosine
+)
+
+// Neighbor is one TopK result: a row index and its distance to the
+// query under the requested metric.
+type Neighbor struct {
+	V    int
+	Dist float64
+}
+
+// TopK returns the k rows of X nearest to query under the metric,
+// sorted by ascending distance (ties by ascending row id), excluding
+// row `exclude` (pass a negative value to keep every row). Brute force
+// in parallel: the rows are split across workers, each maintains a
+// k-bounded max-heap (partial selection — no worker sorts its whole
+// range), and the per-worker survivors are merged at the end. This is
+// the serving layer's nearest-neighbor read: exact, index-free, and
+// O(nK/workers + k log k) per query against an immutable snapshot.
+func TopK(workers int, X *mat.Dense, query []float64, k int, m Metric, exclude int) []Neighbor {
+	n := X.R
+	if len(query) != X.C {
+		panic("cluster: query width mismatch")
+	}
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	// Normalize up front so an out-of-range Metric value behaves as the
+	// documented default (L2) everywhere — including the final sqrt —
+	// instead of silently returning squared distances.
+	if m != Cosine {
+		m = L2
+	}
+	// Cosine needs the query norm once; a zero query is indifferent to
+	// everything (all distances 1), which the per-row code handles by
+	// construction.
+	var qNorm float64
+	if m == Cosine {
+		for _, v := range query {
+			qNorm += v * v
+		}
+		qNorm = math.Sqrt(qNorm)
+	}
+	w := parallel.Workers(workers)
+	if w > n {
+		w = n
+	}
+	locals := make([][]Neighbor, w)
+	parallel.ForStatic(w, n, func(worker, lo, hi int) {
+		h := make([]Neighbor, 0, k)
+		for v := lo; v < hi; v++ {
+			if v == exclude {
+				continue
+			}
+			var d float64
+			row := X.Row(v)
+			switch m {
+			case Cosine:
+				var dot, norm float64
+				for c, x := range row {
+					dot += x * query[c]
+					norm += x * x
+				}
+				if denom := math.Sqrt(norm) * qNorm; denom > 0 {
+					d = 1 - dot/denom
+				} else {
+					d = 1
+				}
+			default:
+				for c, x := range row {
+					diff := x - query[c]
+					d += diff * diff
+				}
+			}
+			if len(h) < k {
+				h = append(h, Neighbor{V: v, Dist: d})
+				siftUp(h, len(h)-1)
+			} else if worse(h[0], Neighbor{V: v, Dist: d}) {
+				h[0] = Neighbor{V: v, Dist: d}
+				siftDown(h, 0)
+			}
+		}
+		locals[worker] = h
+	})
+	var all []Neighbor
+	for _, h := range locals {
+		all = append(all, h...)
+	}
+	sort.Slice(all, func(i, j int) bool { return worse(all[j], all[i]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	if m == L2 {
+		// The heap ran on squared distances (one sqrt per survivor
+		// beats one per row).
+		for i := range all {
+			all[i].Dist = math.Sqrt(all[i].Dist)
+		}
+	}
+	return all
+}
+
+// worse reports whether a ranks strictly after b: farther, or equally
+// far with a higher id. It is both the heap order (root = worst kept)
+// and, negated, the output order.
+func worse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.V > b.V
+}
+
+// siftUp/siftDown maintain a worst-at-root heap of Neighbors — inlined
+// rather than container/heap so the hot per-row replacement does not
+// box a value per candidate.
+func siftUp(h []Neighbor, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDown(h []Neighbor, i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && worse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && worse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/xrand"
+)
+
+// bruteTopK is the oracle: compute every distance, full sort, take k.
+func bruteTopK(X *mat.Dense, query []float64, k int, m Metric, exclude int) []Neighbor {
+	var qNorm float64
+	for _, v := range query {
+		qNorm += v * v
+	}
+	qNorm = math.Sqrt(qNorm)
+	var all []Neighbor
+	for v := 0; v < X.R; v++ {
+		if v == exclude {
+			continue
+		}
+		row := X.Row(v)
+		var d float64
+		if m == Cosine {
+			var dot, norm float64
+			for c, x := range row {
+				dot += x * query[c]
+				norm += x * x
+			}
+			if denom := math.Sqrt(norm) * qNorm; denom > 0 {
+				d = 1 - dot/denom
+			} else {
+				d = 1
+			}
+		} else {
+			for c, x := range row {
+				diff := x - query[c]
+				d += diff * diff
+			}
+			d = math.Sqrt(d)
+		}
+		all = append(all, Neighbor{V: v, Dist: d})
+	}
+	sort.Slice(all, func(i, j int) bool { return worse(all[j], all[i]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// TestTopKMatchesBruteForce checks the parallel partial-selection
+// result equals a full sort for both metrics across worker counts, k
+// values, and with/without self-exclusion.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	const n, dim = 300, 6
+	r := xrand.New(41)
+	X := mat.NewDense(n, dim)
+	for i := range X.Data {
+		X.Data[i] = r.Float64()*2 - 1
+	}
+	// A few duplicate and zero rows to exercise ties and the zero-norm
+	// cosine convention.
+	copy(X.Row(10), X.Row(20))
+	for c := range X.Row(30) {
+		X.Row(30)[c] = 0
+	}
+	for _, m := range []Metric{L2, Cosine} {
+		for _, workers := range []int{1, 3, 8} {
+			for _, k := range []int{1, 7, n, n + 5} {
+				for _, exclude := range []int{-1, 17} {
+					query := X.Row(17)
+					got := TopK(workers, X, query, k, m, exclude)
+					want := bruteTopK(X, query, k, m, exclude)
+					if len(got) != len(want) {
+						t.Fatalf("m=%d w=%d k=%d excl=%d: %d results, want %d",
+							m, workers, k, exclude, len(got), len(want))
+					}
+					for i := range want {
+						if got[i].V != want[i].V || math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+							t.Fatalf("m=%d w=%d k=%d excl=%d: result %d = %+v, want %+v",
+								m, workers, k, exclude, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKBasics pins the contract details: ascending order, self
+// exclusion, exact-match neighbor first under both metrics, k=0 and
+// empty input.
+func TestTopKBasics(t *testing.T) {
+	X := mat.FromRows([][]float64{
+		{0, 0}, {1, 0}, {2, 0}, {0, 3}, {1, 0},
+	})
+	got := TopK(2, X, X.Row(1), 3, L2, 1)
+	// Row 4 duplicates row 1: distance 0 first; then row 0 and row 2 at
+	// distance 1, tie broken by id.
+	if len(got) != 3 || got[0].V != 4 || got[0].Dist != 0 || got[1].V != 0 || got[2].V != 2 {
+		t.Fatalf("L2 neighbors of row 1: %+v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if worse(got[i-1], got[i]) {
+			t.Fatalf("results not ascending: %+v", got)
+		}
+	}
+	// Cosine: rows 1, 2, 4 are colinear (distance 0); excluding the
+	// query row keeps the other two, ordered by id.
+	got = TopK(2, X, X.Row(1), 2, Cosine, 1)
+	if len(got) != 2 || got[0].V != 2 || got[1].V != 4 || got[0].Dist != 0 {
+		t.Fatalf("cosine neighbors of row 1: %+v", got)
+	}
+	if TopK(2, X, X.Row(0), 0, L2, -1) != nil {
+		t.Fatal("k=0 returned results")
+	}
+	if TopK(2, mat.NewDense(0, 2), []float64{0, 0}, 3, L2, -1) != nil {
+		t.Fatal("empty matrix returned results")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -65,12 +66,25 @@ type Options struct {
 	// overrides the per-Apply publish and ManualPublish; an explicit
 	// Publish still works at any time (and resets the op counter).
 	PublishEvery int
+	// DeltaHistory bounds the ring of per-epoch deltas kept for
+	// Delta(fromEpoch): the embedder remembers which rows each of the
+	// last DeltaHistory publishes changed, so a follower at most that
+	// many epochs behind can catch up with changed rows instead of a
+	// full snapshot. Zero selects 64; negative disables the ring
+	// entirely (Delta always answers "resync").
+	DeltaHistory int
 }
 
 // defaultShardedThreshold balances the O(batch) bucketing pass against
 // the atomic contention it avoids; below a few thousand edges the
 // bucketing costs more than the atomics.
 const defaultShardedThreshold = 4096
+
+// defaultDeltaHistory is the number of per-epoch deltas retained for
+// Delta when Options.DeltaHistory is zero: deep enough that a follower
+// polling every few publishes never falls off the ring, shallow enough
+// that the retained row lists stay a footnote next to U itself.
+const defaultDeltaHistory = 64
 
 // LabelUpdate reassigns vertex V to Class (labels.Unknown removes the
 // label).
@@ -93,6 +107,11 @@ type Batch struct {
 type Snapshot struct {
 	// Epoch is the version counter (0 = the empty initial version).
 	Epoch uint64
+	// Instance identifies the embedder lifetime that produced this
+	// snapshot: epochs are only comparable within one instance, so a
+	// follower that sees the instance change must resync rather than
+	// apply deltas across the restart.
+	Instance uint64
 	// Z is the normalized n×K embedding. Read-only by contract.
 	Z *mat.Dense
 	// Y is the label vector at publish time. Read-only by contract.
@@ -133,6 +152,7 @@ type DynamicEmbedder struct {
 	thresh   int
 	manual   bool
 	pubEvery int
+	instance uint64
 
 	mu       sync.Mutex // serializes writers over the mutable state below
 	y        []int32
@@ -145,6 +165,20 @@ type DynamicEmbedder struct {
 	scratch  []graph.Edge // negated-delete + insert fold buffer
 	sincePub int64        // ops folded since the last publish (PublishEvery)
 	stats    Stats
+
+	// Delta tracking (all under mu; inert when deltaHist == 0).
+	deltaHist int
+	dirtyMark []uint64       // dirtyMark[v] == dirtyGen ⇔ row v already recorded
+	dirtyGen  uint64         // bumped per publish so marks clear in O(1)
+	dirtyRows []graph.NodeID // rows whose Z changed since the last publish
+	dirtyFull bool           // too many dirty rows: this epoch will be full
+	relabeled []graph.NodeID // vertices whose label changed since the last publish
+	pubCounts []int64        // class counts at the last publish
+	ring      []epochDelta   // last deltaHist publishes, oldest first
+
+	// foldHook, when non-nil, replaces the exec fold — tests inject
+	// failures to exercise Apply's nothing-is-applied contract.
+	foldHook func(del, ins []graph.Edge) error
 
 	cur atomic.Pointer[Snapshot]
 }
@@ -178,22 +212,36 @@ func New(n int, y []int32, opts Options) (*DynamicEmbedder, error) {
 	if thresh == 0 {
 		thresh = defaultShardedThreshold
 	}
+	hist := opts.DeltaHistory
+	switch {
+	case hist == 0:
+		hist = defaultDeltaHistory
+	case hist < 0:
+		hist = 0
+	}
 	yc := append([]int32(nil), y...)
 	d := &DynamicEmbedder{
 		n: n, k: k, workers: workers,
-		thresh:   thresh,
-		manual:   opts.ManualPublish,
-		pubEvery: opts.PublishEvery,
-		y:        yc,
-		counts:   parallel.Histogram(workers, n, k, func(i int) int { return int(yc[i]) }),
-		adj:      make([][]halfEdge, n),
-		u:        mat.NewDense(n, k),
+		instance:  newInstanceID(),
+		thresh:    thresh,
+		manual:    opts.ManualPublish,
+		pubEvery:  opts.PublishEvery,
+		deltaHist: hist,
+		y:         yc,
+		counts:    parallel.Histogram(workers, n, k, func(i int) int { return int(yc[i]) }),
+		adj:       make([][]halfEdge, n),
+		u:         mat.NewDense(n, k),
 		kern: exec.Kernel[float64]{
 			Width:  k,
 			SrcCol: yc,
 			DstCol: yc,
 			Coeff:  ones(n),
 		},
+	}
+	if hist > 0 {
+		d.dirtyMark = make([]uint64, n)
+		d.dirtyGen = 1
+		d.pubCounts = make([]int64, k)
 	}
 	d.publishLocked()
 	return d, nil
@@ -206,6 +254,22 @@ func ones(n int) []float64 {
 	}
 	return c
 }
+
+// instanceCounter distinguishes embedders created within the same
+// nanosecond of one process.
+var instanceCounter atomic.Uint64
+
+// newInstanceID tags one embedder lifetime. It only needs to differ
+// across restarts and coexisting embedders — wall-clock nanoseconds
+// salted with a process-local counter — so a follower never mistakes a
+// fresh history's epochs for its own.
+func newInstanceID() uint64 {
+	return uint64(time.Now().UnixNano()) ^ (instanceCounter.Add(1) << 48)
+}
+
+// Instance returns the embedder's lifetime identity (see
+// Snapshot.Instance).
+func (d *DynamicEmbedder) Instance() uint64 { return d.instance }
 
 // N returns the vertex count.
 func (d *DynamicEmbedder) N() int { return d.n }
@@ -289,11 +353,26 @@ func (d *DynamicEmbedder) Apply(b Batch) error {
 	// current labels; label updates below move any of this mass that
 	// their vertex keys.
 	if err := d.fold(b.Delete, b.Insert); err != nil {
+		// The deletions were already detached above; without putting
+		// them back, a failed fold would leave the adjacency missing
+		// edges whose mass is still in U — "on error nothing is
+		// applied" demands the reattach.
+		d.reattach(b.Delete)
 		return err
 	}
 	for _, e := range b.Insert {
 		d.adj[e.U] = append(d.adj[e.U], halfEdge{v: e.V, w: e.W})
 		d.adj[e.V] = append(d.adj[e.V], halfEdge{v: e.U, w: e.W})
+	}
+	if d.deltaHist > 0 {
+		for _, e := range b.Delete {
+			d.markDirty(e.U)
+			d.markDirty(e.V)
+		}
+		for _, e := range b.Insert {
+			d.markDirty(e.U)
+			d.markDirty(e.V)
+		}
 	}
 	moved := -d.stats.LabelMoves
 	for _, lu := range b.Labels {
@@ -389,6 +468,9 @@ func (d *DynamicEmbedder) reattach(del []graph.Edge) {
 // exec layer: serial for tiny batches or one worker, atomic adds for
 // small ones, the contention-free sharded path for large ones.
 func (d *DynamicEmbedder) fold(del, ins []graph.Edge) error {
+	if d.foldHook != nil {
+		return d.foldHook(del, ins)
+	}
 	total := len(del) + len(ins)
 	if total == 0 {
 		return nil
@@ -449,6 +531,17 @@ func (d *DynamicEmbedder) relabel(v graph.NodeID, class int32) {
 			d.u.Data[row+int(class)] += w
 		}
 	}
+	if d.deltaHist > 0 {
+		// Every neighbor's row slid mass between columns (v's own row
+		// is keyed by its neighbors' classes and does not move). The
+		// count shift below rescales two whole columns at publish, so
+		// this epoch's delta is promoted to full there; the row marks
+		// still matter when a later move restores the counts exactly.
+		for _, he := range d.adj[v] {
+			d.markDirty(he.v)
+		}
+		d.relabeled = append(d.relabeled, v)
+	}
 	if old >= 0 {
 		d.counts[old]--
 	}
@@ -486,10 +579,14 @@ func (d *DynamicEmbedder) publishLocked() *Snapshot {
 	}
 	d.sincePub = 0
 	s := &Snapshot{
-		Epoch: epoch,
-		Z:     z,
-		Y:     append([]int32(nil), d.y...),
-		Edges: d.edges,
+		Epoch:    epoch,
+		Instance: d.instance,
+		Z:        z,
+		Y:        append([]int32(nil), d.y...),
+		Edges:    d.edges,
+	}
+	if d.deltaHist > 0 {
+		d.recordDeltaLocked(epoch)
 	}
 	d.cur.Store(s)
 	return s

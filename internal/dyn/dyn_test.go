@@ -1,6 +1,7 @@
 package dyn
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -184,6 +185,49 @@ func TestDynamicDeleteRollback(t *testing.T) {
 	}
 	if err := d.DeleteEdges([]graph.Edge{{U: 0, V: 1, W: 2}}); err == nil {
 		t.Fatal("weight-mismatched delete accepted")
+	}
+}
+
+// TestDynamicFoldErrorRollback is the regression test for the Apply
+// rollback bug: when the fold fails *after* detachDeletes succeeded,
+// the detached adjacency halves must be reattached — before the fix
+// they silently vanished, corrupting the adjacency/U invariant (the
+// deleted edges' mass stayed in U with no half-edges to account for
+// it, and later exact-match deletes of those edges failed).
+func TestDynamicFoldErrorRollback(t *testing.T) {
+	y := labels.Full(10, 2, 131)
+	d, err := New(10, y, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}, {U: 3, V: 4, W: 2}}
+	if err := d.AddEdges(base); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Snapshot()
+	boom := errors.New("injected fold failure")
+	d.foldHook = func(del, ins []graph.Edge) error { return boom }
+	err = d.Apply(Batch{Delete: base[:2], Insert: []graph.Edge{{U: 5, V: 6, W: 1}}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected failure not surfaced: %v", err)
+	}
+	d.foldHook = nil
+	if got := d.Snapshot(); got.Epoch != before.Epoch || got.Edges != before.Edges {
+		t.Fatalf("failed batch mutated state: %d/%d vs %d/%d",
+			got.Epoch, got.Edges, before.Epoch, before.Edges)
+	}
+	// The failed batch's insert must not have been applied.
+	if err := d.DeleteEdges([]graph.Edge{{U: 5, V: 6, W: 1}}); err == nil {
+		t.Fatal("insert from the failed batch is live")
+	}
+	// The failed batch's deletes must still be live — exact-match
+	// deleting the full base set only works if the rollback reattached
+	// both halves of each detached edge.
+	if err := d.DeleteEdges(base); err != nil {
+		t.Fatalf("fold failure corrupted the adjacency: %v", err)
+	}
+	if got := d.Snapshot().Edges; got != 0 {
+		t.Fatalf("%d live edges after deleting everything", got)
 	}
 }
 

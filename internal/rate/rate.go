@@ -1,0 +1,13 @@
+// Package rate holds the one formatting rule every throughput report
+// in this repository shares.
+package rate
+
+// PerSec converts a count over an elapsed wall time into a rate,
+// reporting 0 for degenerate (zero or negative) durations instead of
+// +Inf/NaN — a zero-duration window measured nothing.
+func PerSec(count int64, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	return float64(count) / secs
+}

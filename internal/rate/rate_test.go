@@ -1,0 +1,34 @@
+package rate
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPerSec pins the throughput-report clamp: a degenerate (zero or
+// negative) duration reports 0 instead of +Inf or NaN.
+func TestPerSec(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		count int64
+		secs  float64
+		want  float64
+	}{
+		{"normal", 100, 2, 50},
+		{"zero count", 0, 2, 0},
+		{"zero duration", 100, 0, 0},
+		{"negative duration", 100, -1, 0},
+		{"zero over zero", 0, 0, 0},
+		{"tiny duration", 3, 0.5, 6},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PerSec(tc.count, tc.secs)
+			if got != tc.want {
+				t.Fatalf("PerSec(%d, %v) = %v, want %v", tc.count, tc.secs, got, tc.want)
+			}
+			if math.IsInf(got, 0) || math.IsNaN(got) {
+				t.Fatalf("PerSec(%d, %v) = %v (not finite)", tc.count, tc.secs, got)
+			}
+		})
+	}
+}

@@ -39,45 +39,64 @@ func New(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
+// countingReader counts bytes as they are consumed — the replica's
+// delta-vs-snapshot payload accounting.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
 // do runs one request and decodes the JSON response into out,
-// translating error statuses.
-func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+// translating error statuses. It returns the number of response-body
+// bytes consumed (0 for error statuses), so callers that care about
+// wire cost — the Replica — can account for it.
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) (int64, error) {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rd = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusTooManyRequests {
 		io.Copy(io.Discard, resp.Body)
-		return ErrBacklog
+		return 0, ErrBacklog
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e server.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+			return 0, fmt.Errorf("client: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+		return 0, fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
 	}
+	cr := &countingReader{r: resp.Body}
 	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil
+		io.Copy(io.Discard, cr)
+		return cr.n, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(cr).Decode(out); err != nil {
+		return cr.n, err
+	}
+	return cr.n, nil
 }
 
 func toWire(edges []graph.Edge) []server.EdgeWire {
@@ -91,7 +110,7 @@ func toWire(edges []graph.Edge) []server.EdgeWire {
 // InsertEdges inserts a batch of edges and returns the publish ack.
 func (c *Client) InsertEdges(ctx context.Context, edges []graph.Edge) (server.MutationResponse, error) {
 	var out server.MutationResponse
-	err := c.do(ctx, http.MethodPost, "/v1/edges", server.MutationRequest{Edges: toWire(edges)}, &out)
+	_, err := c.do(ctx, http.MethodPost, "/v1/edges", server.MutationRequest{Edges: toWire(edges)}, &out)
 	return out, err
 }
 
@@ -99,7 +118,7 @@ func (c *Client) InsertEdges(ctx context.Context, edges []graph.Edge) (server.Mu
 // the publish ack.
 func (c *Client) DeleteEdges(ctx context.Context, edges []graph.Edge) (server.MutationResponse, error) {
 	var out server.MutationResponse
-	err := c.do(ctx, http.MethodDelete, "/v1/edges", server.MutationRequest{Edges: toWire(edges)}, &out)
+	_, err := c.do(ctx, http.MethodDelete, "/v1/edges", server.MutationRequest{Edges: toWire(edges)}, &out)
 	return out, err
 }
 
@@ -111,34 +130,63 @@ func (c *Client) UpdateLabels(ctx context.Context, ups []dyn.LabelUpdate) (serve
 		wire[i] = server.LabelWire{V: u.V, Class: u.Class}
 	}
 	var out server.MutationResponse
-	err := c.do(ctx, http.MethodPost, "/v1/labels", server.MutationRequest{Labels: wire}, &out)
+	_, err := c.do(ctx, http.MethodPost, "/v1/labels", server.MutationRequest{Labels: wire}, &out)
 	return out, err
 }
 
 // Embedding fetches vertex v's row of the current published snapshot.
 func (c *Client) Embedding(ctx context.Context, v graph.NodeID) (server.EmbeddingResponse, error) {
 	var out server.EmbeddingResponse
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/embedding/%d", v), nil, &out)
+	_, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/embedding/%d", v), nil, &out)
+	return out, err
+}
+
+// Embeddings fetches the rows of several vertices in one request; all
+// rows come from the same published snapshot (per-vertex Embedding
+// calls can straddle a publish). Rows[i] belongs to vs[i].
+func (c *Client) Embeddings(ctx context.Context, vs []graph.NodeID) (server.BatchEmbeddingResponse, error) {
+	var out server.BatchEmbeddingResponse
+	// graph.NodeID is an alias of uint32, so the slice is the wire type.
+	_, err := c.do(ctx, http.MethodPost, "/v1/embeddings", server.BatchEmbeddingRequest{Vs: vs}, &out)
+	return out, err
+}
+
+// Neighbors fetches the top-k vertices nearest to v in the published
+// embedding under metric ("" selects "l2"; "cosine" is the other
+// choice), ascending by distance.
+func (c *Client) Neighbors(ctx context.Context, v graph.NodeID, k int, metric string) (server.NeighborsResponse, error) {
+	var out server.NeighborsResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/neighbors",
+		server.NeighborsRequest{V: v, K: k, Metric: metric}, &out)
+	return out, err
+}
+
+// Delta fetches the epoch delta from `from` to the currently published
+// epoch. A response with Resync set means the caller must refetch the
+// full Snapshot instead (see server.DeltaResponse).
+func (c *Client) Delta(ctx context.Context, from uint64) (server.DeltaResponse, error) {
+	var out server.DeltaResponse
+	_, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/delta?from=%d", from), nil, &out)
 	return out, err
 }
 
 // Snapshot fetches the whole current published snapshot.
 func (c *Client) Snapshot(ctx context.Context) (server.SnapshotResponse, error) {
 	var out server.SnapshotResponse
-	err := c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &out)
+	_, err := c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &out)
 	return out, err
 }
 
 // Health fetches /healthz.
 func (c *Client) Health(ctx context.Context) (server.HealthResponse, error) {
 	var out server.HealthResponse
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
 	return out, err
 }
 
 // Stats fetches /statsz.
 func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
 	var out server.StatsResponse
-	err := c.do(ctx, http.MethodGet, "/statsz", nil, &out)
+	_, err := c.do(ctx, http.MethodGet, "/statsz", nil, &out)
 	return out, err
 }

@@ -1,0 +1,197 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/server"
+)
+
+// Replica is a read-only follower of one serving endpoint: it
+// bootstraps a full copy of the embedding from /v1/snapshot and then
+// keeps it current by applying /v1/delta responses — changed rows
+// instead of O(nK) re-streams — falling back to a fresh snapshot
+// whenever the server answers "resync". This is the read fan-out
+// story: any number of replicas serve local, lock-free reads (the
+// same copy-on-epoch discipline as the primary's own snapshot reads)
+// while the primary pays each publish's delta once per replica, not
+// each read once per network round trip.
+//
+// Reads (Snapshot, Embedding) never block and are safe for any
+// concurrency; Bootstrap and Sync are serialized internally, so one
+// background goroutine calling Sync on a ticker is the intended use.
+type Replica struct {
+	c *Client
+
+	mu  sync.Mutex // serializes Bootstrap/Sync (the only writers)
+	cur atomic.Pointer[ReplicaSnapshot]
+
+	syncs         atomic.Int64
+	resyncs       atomic.Int64
+	rowsApplied   atomic.Int64
+	deltaBytes    atomic.Int64
+	snapshotBytes atomic.Int64
+}
+
+// ReplicaSnapshot is one immutable local version of the embedding.
+// Identical contract to dyn.Snapshot: readers may hold it forever.
+type ReplicaSnapshot struct {
+	Epoch uint64
+	// Instance is the server-side embedder lifetime the epoch belongs
+	// to; Sync discards local state and bootstraps afresh when the
+	// server's instance changes (a restart resets the epoch counter,
+	// so cross-instance deltas would silently corrupt the copy).
+	Instance uint64
+	Z        *mat.Dense
+	Y        []int32
+	Edges    int64
+}
+
+// ReplicaStats counts what the replica has done and paid.
+type ReplicaStats struct {
+	Epoch         uint64 // current local epoch
+	Syncs         int64  // Sync calls that completed successfully
+	Resyncs       int64  // syncs that fell back to a full snapshot
+	RowsApplied   int64  // rows patched in via deltas
+	DeltaBytes    int64  // response-body bytes spent on /v1/delta
+	SnapshotBytes int64  // response-body bytes spent on /v1/snapshot
+}
+
+// NewReplica prepares a follower over the client. Call Bootstrap (or
+// the first Sync, which bootstraps implicitly) before reading.
+func NewReplica(c *Client) *Replica { return &Replica{c: c} }
+
+// Snapshot returns the current local version, or nil before the first
+// successful Bootstrap/Sync. The returned value is immutable.
+func (r *Replica) Snapshot() *ReplicaSnapshot { return r.cur.Load() }
+
+// Embedding returns a copy of vertex v's local row, or nil when the
+// replica is not bootstrapped or v is out of range. Never blocks, even
+// during a concurrent Sync.
+func (r *Replica) Embedding(v graph.NodeID) []float64 {
+	s := r.cur.Load()
+	if s == nil || int(v) >= s.Z.R {
+		return nil
+	}
+	out := make([]float64, s.Z.C)
+	copy(out, s.Z.Row(int(v)))
+	return out
+}
+
+// Stats returns a copy of the counters.
+func (r *Replica) Stats() ReplicaStats {
+	var epoch uint64
+	if s := r.cur.Load(); s != nil {
+		epoch = s.Epoch
+	}
+	return ReplicaStats{
+		Epoch:         epoch,
+		Syncs:         r.syncs.Load(),
+		Resyncs:       r.resyncs.Load(),
+		RowsApplied:   r.rowsApplied.Load(),
+		DeltaBytes:    r.deltaBytes.Load(),
+		SnapshotBytes: r.snapshotBytes.Load(),
+	}
+}
+
+// Bootstrap (re)initializes the local copy from a full snapshot.
+func (r *Replica) Bootstrap(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bootstrapLocked(ctx)
+}
+
+func (r *Replica) bootstrapLocked(ctx context.Context) error {
+	var snap server.SnapshotResponse
+	n, err := r.c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &snap)
+	r.snapshotBytes.Add(n)
+	if err != nil {
+		return err
+	}
+	// Validate the decoded shape like Sync validates deltas: a
+	// malformed or truncated response must surface as an error, not as
+	// an out-of-bounds panic here or a short Y that explodes later.
+	if snap.N < 0 || snap.K < 0 || len(snap.Z) != snap.N || len(snap.Y) != snap.N {
+		return fmt.Errorf("client: snapshot shape n=%d k=%d with %d rows / %d labels",
+			snap.N, snap.K, len(snap.Z), len(snap.Y))
+	}
+	z := mat.NewDense(snap.N, snap.K)
+	for u, row := range snap.Z {
+		if len(row) != snap.K {
+			return fmt.Errorf("client: snapshot row %d has width %d, want %d", u, len(row), snap.K)
+		}
+		copy(z.Row(u), row)
+	}
+	r.cur.Store(&ReplicaSnapshot{
+		Epoch: snap.Epoch, Instance: snap.Instance, Z: z, Y: snap.Y, Edges: snap.Edges,
+	})
+	return nil
+}
+
+// Sync advances the local copy to the server's published epoch: one
+// /v1/delta round trip, or a full bootstrap when the replica has no
+// state yet or the server demands a resync. Returns whether a full
+// snapshot transfer happened. Copy-on-epoch: readers holding the
+// previous ReplicaSnapshot are unaffected.
+func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	if cur == nil {
+		if err := r.bootstrapLocked(ctx); err != nil {
+			return false, err
+		}
+		r.syncs.Add(1)
+		r.resyncs.Add(1)
+		return true, nil
+	}
+	var dl server.DeltaResponse
+	n, err := r.c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/delta?from=%d", cur.Epoch), nil, &dl)
+	r.deltaBytes.Add(n)
+	if err != nil {
+		return false, err
+	}
+	// A changed instance means the server restarted (or was replaced):
+	// its epochs belong to a different history, so even a well-formed
+	// row delta would patch an unrelated base. Discard and bootstrap.
+	if dl.Resync || dl.Instance != cur.Instance {
+		if err := r.bootstrapLocked(ctx); err != nil {
+			return false, err
+		}
+		r.syncs.Add(1)
+		r.resyncs.Add(1)
+		return true, nil
+	}
+	if dl.Epoch == cur.Epoch {
+		r.syncs.Add(1)
+		return false, nil // already current
+	}
+	if len(dl.Z) != len(dl.Rows) {
+		return false, fmt.Errorf("client: delta carries %d rows but %d value rows", len(dl.Rows), len(dl.Z))
+	}
+	z := cur.Z.Clone()
+	for i, v := range dl.Rows {
+		if int(v) >= z.R || len(dl.Z[i]) != z.C {
+			return false, fmt.Errorf("client: delta row %d (vertex %d) malformed", i, v)
+		}
+		copy(z.Row(int(v)), dl.Z[i])
+	}
+	y := append([]int32(nil), cur.Y...)
+	for _, l := range dl.Labels {
+		if int(l.V) >= len(y) {
+			return false, fmt.Errorf("client: delta label vertex %d out of range", l.V)
+		}
+		y[l.V] = l.Class
+	}
+	r.cur.Store(&ReplicaSnapshot{
+		Epoch: dl.Epoch, Instance: cur.Instance, Z: z, Y: y, Edges: dl.Edges,
+	})
+	r.syncs.Add(1)
+	r.rowsApplied.Add(int64(len(dl.Rows)))
+	return false, nil
+}

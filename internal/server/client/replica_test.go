@@ -1,0 +1,273 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/labels"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/xrand"
+)
+
+// startPrimary builds an embedder + server and returns the embedder
+// (for direct state comparison) and a typed client.
+func startPrimary(t *testing.T, n, k int, opts dyn.Options) (*dyn.DynamicEmbedder, *client.Client) {
+	t.Helper()
+	opts.K = k
+	d, err := dyn.New(n, labels.SampleSemiSupervised(n, k, 0.5, 61), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(d, server.Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	return d, client.New(ts.URL, ts.Client())
+}
+
+// mustMatchPrimary asserts the replica state equals the primary's
+// published snapshot exactly — the same float bits, labels, epoch, and
+// edge count. This is the acceptance bar: a follower fed only deltas
+// (resyncing when told to) is indistinguishable from the primary.
+func mustMatchPrimary(t *testing.T, rep *client.Replica, d *dyn.DynamicEmbedder) {
+	t.Helper()
+	got := rep.Snapshot()
+	want := d.Snapshot()
+	if got == nil {
+		t.Fatal("replica has no state")
+	}
+	if got.Epoch != want.Epoch || got.Instance != want.Instance || got.Edges != want.Edges {
+		t.Fatalf("replica at epoch %d/instance %d/%d edges, primary at %d/%d/%d",
+			got.Epoch, got.Instance, got.Edges, want.Epoch, want.Instance, want.Edges)
+	}
+	if got.Z.R != want.Z.R || got.Z.C != want.Z.C {
+		t.Fatalf("replica shape %dx%d, primary %dx%d", got.Z.R, got.Z.C, want.Z.R, want.Z.C)
+	}
+	for i, v := range want.Z.Data {
+		if got.Z.Data[i] != v {
+			t.Fatalf("replica Z[%d] = %v, primary %v (not bit-identical)", i, got.Z.Data[i], v)
+		}
+	}
+	for v := range want.Y {
+		if got.Y[v] != want.Y[v] {
+			t.Fatalf("replica label of %d is %d, primary %d", v, got.Y[v], want.Y[v])
+		}
+	}
+}
+
+// TestReplicaFollowsPrimaryExactly is the tentpole acceptance test: a
+// replica bootstrapped from /v1/snapshot and then fed only /v1/delta
+// responses equals the primary's published Z exactly (same floats)
+// after a mixed insert/delete/relabel workload over HTTP — including
+// counts-changing relabels that force full-resync epochs. Along the
+// way it must actually use both paths: row-wise deltas for the
+// edge-only windows, resyncs for the relabel ones.
+func TestReplicaFollowsPrimaryExactly(t *testing.T) {
+	// n well above the per-round churn, so row deltas stay a small
+	// fraction of the matrix and the byte-asymmetry assertion below is
+	// about the mechanism, not workload luck.
+	const n, k, rounds = 1500, 4, 40
+	d, c := startPrimary(t, n, k, dyn.Options{DeltaHistory: 16})
+	ctx := context.Background()
+	rep := client.NewReplica(c)
+	if err := rep.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchPrimary(t, rep, d)
+
+	// Concurrent local reads must never block or tear while syncs
+	// replace the state underneath them (run with -race).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := xrand.New(67)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if row := rep.Embedding(graph.NodeID(r.Intn(n))); len(row) != k {
+				panic("short replica row")
+			}
+		}
+	}()
+
+	r := xrand.New(71)
+	var live []graph.Edge
+	for round := 0; round < rounds; round++ {
+		batch := make([]graph.Edge, 15)
+		for i := range batch {
+			batch[i] = graph.Edge{
+				U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)),
+				W: float32(r.Intn(3) + 1),
+			}
+		}
+		if _, err := c.InsertEdges(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, batch...)
+		if len(live) > 300 {
+			if _, err := c.DeleteEdges(ctx, live[:30]); err != nil {
+				t.Fatal(err)
+			}
+			live = live[30:]
+		}
+		if round%8 == 7 {
+			// A counts-changing relabel: the next delta spanning this
+			// epoch must be a resync.
+			if _, err := c.UpdateLabels(ctx, []dyn.LabelUpdate{
+				{V: graph.NodeID(r.Intn(n)), Class: int32(r.Intn(k))},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Sync every other round so deltas span multiple epochs too.
+		if round%2 == 1 {
+			if _, err := rep.Sync(ctx); err != nil {
+				t.Fatal(err)
+			}
+			mustMatchPrimary(t, rep, d)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := rep.Stats()
+	if st.Resyncs == 0 {
+		t.Fatal("counts-changing relabels never forced a resync")
+	}
+	if st.RowsApplied == 0 || st.Syncs <= st.Resyncs {
+		t.Fatalf("no row-wise syncs happened: %+v", st)
+	}
+	if st.DeltaBytes == 0 || st.SnapshotBytes == 0 {
+		t.Fatalf("byte accounting missing: %+v", st)
+	}
+	// Per-transfer, a row delta must be far cheaper than a snapshot:
+	// that asymmetry is the reason the endpoint exists.
+	rowSyncs := st.Syncs - st.Resyncs
+	if st.DeltaBytes/rowSyncs*4 >= st.SnapshotBytes/(st.Resyncs+1) {
+		t.Fatalf("mean delta not ≪ mean snapshot: %+v", st)
+	}
+	t.Logf("replica: %d syncs (%d resyncs), %d rows applied, %d delta bytes vs %d snapshot bytes",
+		st.Syncs, st.Resyncs, st.RowsApplied, st.DeltaBytes, st.SnapshotBytes)
+
+	// An idle primary yields an empty delta, not a transfer.
+	before := rep.Stats().RowsApplied
+	if resynced, err := rep.Sync(ctx); err != nil || resynced {
+		t.Fatalf("idle sync: resynced=%v err=%v", resynced, err)
+	}
+	if _, err := rep.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats().RowsApplied != before {
+		t.Fatal("idle syncs applied rows")
+	}
+	mustMatchPrimary(t, rep, d)
+}
+
+// TestReplicaDetectsServerRestart covers the instance check: a
+// restarted server restarts its epoch counter, so a replica whose
+// local epoch is "covered" by the new history must still discard its
+// state and bootstrap — applying the new instance's row deltas onto
+// the old instance's base would silently corrupt every untouched row.
+func TestReplicaDetectsServerRestart(t *testing.T) {
+	const n, k = 80, 3
+	ctx := context.Background()
+	mkStack := func(seed uint64) (*dyn.DynamicEmbedder, http.Handler) {
+		d, err := dyn.New(n, labels.Full(n, k, 79), dyn.Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := server.New(d, server.Options{})
+		t.Cleanup(func() { s.Close() })
+		r := xrand.New(seed)
+		edges := make([]graph.Edge, 120)
+		for i := range edges {
+			edges[i] = graph.Edge{U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)), W: 1}
+		}
+		// Several single-edge batches so both instances sit at an epoch
+		// comfortably inside their delta rings.
+		for lo := 0; lo < len(edges); lo += 10 {
+			if err := d.AddEdges(edges[lo : lo+10]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d, s.Handler()
+	}
+	d1, h1 := mkStack(83)
+	d2, h2 := mkStack(89) // different data, same shape, fresh epochs
+	var current atomic.Pointer[http.Handler]
+	current.Store(&h1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*current.Load()).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	rep := client.NewReplica(client.New(ts.URL, ts.Client()))
+	if err := rep.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchPrimary(t, rep, d1)
+
+	// "Restart": the same address now serves instance 2. Advance it a
+	// little so the replica's epoch is strictly behind (the lag path a
+	// naive epoch-only protocol would mis-serve as a row delta).
+	if err := d2.AddEdges([]graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Epoch() <= rep.Snapshot().Epoch {
+		t.Fatalf("test setup: new instance epoch %d not ahead of replica %d", d2.Epoch(), rep.Snapshot().Epoch)
+	}
+	current.Store(&h2)
+	resynced, err := rep.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resynced {
+		t.Fatal("replica applied a cross-instance delta instead of resyncing")
+	}
+	mustMatchPrimary(t, rep, d2)
+}
+
+// TestReplicaLagBeyondRing checks the eviction path: a replica left
+// behind for more rounds than the ring retains is told to resync and
+// still converges exactly.
+func TestReplicaLagBeyondRing(t *testing.T) {
+	const n, k = 100, 3
+	d, c := startPrimary(t, n, k, dyn.Options{DeltaHistory: 4})
+	ctx := context.Background()
+	rep := client.NewReplica(c)
+	if _, err := rep.Sync(ctx); err != nil { // first Sync bootstraps
+		t.Fatal(err)
+	}
+	r := xrand.New(73)
+	for round := 0; round < 10; round++ { // 10 epochs ≫ 4 retained
+		if _, err := c.InsertEdges(ctx, []graph.Edge{
+			{U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)), W: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resynced, err := rep.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resynced {
+		t.Fatal("lagging replica was not resynced")
+	}
+	mustMatchPrimary(t, rep, d)
+}

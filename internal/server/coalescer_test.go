@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -102,6 +104,152 @@ func TestCoalescerReplayIsolatesOffenders(t *testing.T) {
 		t.Fatalf("%d live edges, want 2", got)
 	}
 	c.Close()
+}
+
+// TestCoalescerAllReplaysFail covers the settle path when an entire
+// merged micro-batch is invalid: every replay fails, every requester
+// gets an error ack (nobody hangs waiting for a publish that will
+// never cover them), and the coalescer keeps serving afterwards.
+func TestCoalescerAllReplaysFail(t *testing.T) {
+	d := newEmbedder(t, 10, 2, dyn.Options{})
+	c := NewCoalescer(d, CoalescerOptions{MaxDelay: 50 * time.Millisecond})
+	// Three deletes of never-inserted edges, queued while idle so they
+	// merge into one batch.
+	var acks []<-chan Ack
+	for i := uint32(0); i < 3; i++ {
+		ack, err := c.Submit(dyn.Batch{Delete: []graph.Edge{{U: 2 * i, V: 2*i + 1, W: 1}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, ack)
+	}
+	c.Start()
+	for i, ack := range acks {
+		if a := <-ack; a.Err == nil {
+			t.Fatalf("bad delete %d acked without error", i)
+		}
+	}
+	if st := c.Stats(); st.Replays != 3 || st.Flushes != 1 {
+		t.Fatalf("stats after all-fail batch: %+v", st)
+	}
+	if got := d.Snapshot().Edges; got != 0 {
+		t.Fatalf("failed batch left %d live edges", got)
+	}
+	// The loop is healthy: a good request still lands and acks.
+	ack, err := c.Submit(dyn.Batch{Insert: []graph.Edge{{U: 0, V: 1, W: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := <-ack; a.Err != nil || a.Epoch == 0 {
+		t.Fatalf("good request after all-fail batch: %+v", a)
+	}
+	c.Close()
+}
+
+// TestCoalescerSubmitCloseRace races concurrent Submits against Close
+// (run with -race): every accepted request must receive exactly one
+// ack — Close drains the queue, never strands a caller — and Submits
+// losing the race fail with ErrClosed, not a panic on a closed
+// channel.
+func TestCoalescerSubmitCloseRace(t *testing.T) {
+	d := newEmbedder(t, 100, 2, dyn.Options{PublishEvery: 32})
+	c := NewCoalescer(d, CoalescerOptions{MaxDelay: time.Millisecond, QueueCap: 64})
+	c.Start()
+	const writers = 8
+	var accepted, acked, refused atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				u := uint32((id*200 + i) % 99)
+				ack, err := c.Submit(dyn.Batch{Insert: []graph.Edge{{U: u, V: u + 1, W: 1}}})
+				switch err {
+				case nil:
+					accepted.Add(1)
+					if a := <-ack; a.Err != nil {
+						t.Errorf("accepted insert failed: %v", a.Err)
+					}
+					acked.Add(1)
+				case ErrClosed, ErrBacklog:
+					refused.Add(1)
+				default:
+					t.Errorf("submit: %v", err)
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond)
+	c.Close()
+	wg.Wait()
+	if accepted.Load() != acked.Load() {
+		t.Fatalf("%d accepted but %d acked: Close stranded callers", accepted.Load(), acked.Load())
+	}
+	if accepted.Load() != d.Stats().Inserts {
+		t.Fatalf("%d accepted inserts but embedder applied %d", accepted.Load(), d.Stats().Inserts)
+	}
+	if _, err := c.Submit(dyn.Batch{Insert: []graph.Edge{{U: 0, V: 1, W: 1}}}); err != ErrClosed {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	t.Logf("accepted %d, refused %d", accepted.Load(), refused.Load())
+}
+
+// TestCoalescerAckEpochMonotonic locks in the invariant the delta ring
+// (and every replica riding on ack epochs) depends on: across
+// sequential requests, ack epochs never go backwards, are never the
+// unpublished epoch 0, and the final published epoch covers the last
+// ack — under both the PublishEvery op-count policy (publishes from
+// inside Apply) and the settle-on-idle policy (publishes from the
+// coalescer).
+func TestCoalescerAckEpochMonotonic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts dyn.Options
+	}{
+		{"publish-every-16", dyn.Options{PublishEvery: 16}},
+		{"settle-only", dyn.Options{PublishEvery: 1 << 30}},
+		{"publish-per-batch", dyn.Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newEmbedder(t, 200, 2, tc.opts)
+			c := NewCoalescer(d, CoalescerOptions{MaxDelay: time.Millisecond})
+			c.Start()
+			defer c.Close()
+			var last uint64
+			for i := 0; i < 60; i++ {
+				u := uint32(i % 99)
+				ack, err := c.Submit(dyn.Batch{Insert: []graph.Edge{{U: 2 * u, V: 2*u + 1, W: 1}}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := <-ack
+				if a.Err != nil {
+					t.Fatal(a.Err)
+				}
+				if a.Epoch == 0 {
+					t.Fatalf("request %d acked at the unpublished epoch 0", i)
+				}
+				if a.Epoch < last {
+					t.Fatalf("ack epoch went backwards: %d after %d", a.Epoch, last)
+				}
+				// Read-your-writes: the published snapshot at or after
+				// the ack epoch reflects the insert (edge count grows
+				// monotonically in this workload).
+				if snap := d.Snapshot(); snap.Epoch < a.Epoch || snap.Edges < int64(i+1) {
+					t.Fatalf("request %d: ack epoch %d not covered by snapshot (%d, %d edges)",
+						i, a.Epoch, snap.Epoch, snap.Edges)
+				}
+				last = a.Epoch
+			}
+			if d.Epoch() < last {
+				t.Fatalf("final epoch %d below last ack %d", d.Epoch(), last)
+			}
+		})
+	}
 }
 
 // TestServerBackpressureHTTP drives the 429 path end to end: with an

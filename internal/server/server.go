@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/cluster"
 	"repro/internal/dyn"
 	"repro/internal/graph"
 )
@@ -56,12 +56,75 @@ type EmbeddingResponse struct {
 // SnapshotResponse is the body of GET /v1/snapshot (streamed on the
 // way out; clients decode it whole).
 type SnapshotResponse struct {
+	Epoch uint64 `json:"epoch"`
+	// Instance identifies the embedder lifetime; epochs from different
+	// instances are not comparable (a follower must resync across a
+	// server restart).
+	Instance uint64      `json:"instance"`
+	N        int         `json:"n"`
+	K        int         `json:"k"`
+	Edges    int64       `json:"edges"`
+	Y        []int32     `json:"y"`
+	Z        [][]float64 `json:"z"`
+}
+
+// BatchEmbeddingRequest is the body of POST /v1/embeddings: a batched
+// multi-vertex read answered from one snapshot load.
+type BatchEmbeddingRequest struct {
+	Vs []uint32 `json:"vs"`
+}
+
+// BatchEmbeddingResponse is the body of POST /v1/embeddings: Rows[i]
+// is vertex Vs[i]'s row of the snapshot published at Epoch — all rows
+// from the same version, which per-vertex GETs cannot promise.
+type BatchEmbeddingResponse struct {
 	Epoch uint64      `json:"epoch"`
-	N     int         `json:"n"`
-	K     int         `json:"k"`
-	Edges int64       `json:"edges"`
-	Y     []int32     `json:"y"`
-	Z     [][]float64 `json:"z"`
+	Rows  [][]float64 `json:"rows"`
+}
+
+// NeighborsRequest is the body of POST /v1/neighbors: the top K
+// vertices nearest to V in the published embedding under Metric
+// ("l2", the default, or "cosine").
+type NeighborsRequest struct {
+	V      uint32 `json:"v"`
+	K      int    `json:"k"`
+	Metric string `json:"metric,omitempty"`
+}
+
+// NeighborWire is one neighbor: a vertex and its distance to the query
+// vertex.
+type NeighborWire struct {
+	V    uint32  `json:"v"`
+	Dist float64 `json:"dist"`
+}
+
+// NeighborsResponse is the body of POST /v1/neighbors, neighbors in
+// ascending distance order (the query vertex itself excluded).
+type NeighborsResponse struct {
+	Epoch     uint64         `json:"epoch"`
+	V         uint32         `json:"v"`
+	Metric    string         `json:"metric"`
+	Neighbors []NeighborWire `json:"neighbors"`
+}
+
+// DeltaResponse is the body of GET /v1/delta?from=E (streamed on the
+// way out). When Resync is false, overwriting rows Rows[i] with Z[i]
+// and applying Labels turns an epoch-From copy into the epoch-Epoch
+// snapshot exactly; when Resync is true the follower must refetch
+// /v1/snapshot (the ring evicted From, or an epoch in the span changed
+// class counts and rescaled whole columns).
+type DeltaResponse struct {
+	From  uint64 `json:"from"`
+	Epoch uint64 `json:"epoch"`
+	// Instance is the embedder lifetime the epochs belong to; a
+	// follower holding state from a different instance must discard it
+	// and bootstrap from /v1/snapshot even on a non-resync response.
+	Instance uint64      `json:"instance"`
+	Resync   bool        `json:"resync"`
+	Edges    int64       `json:"edges,omitempty"`
+	Labels   []LabelWire `json:"labels,omitempty"`
+	Rows     []uint32    `json:"rows,omitempty"`
+	Z        [][]float64 `json:"z,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -94,16 +157,20 @@ type Options struct {
 	// Coalescer bounds the ingest micro-batching (zero fields select
 	// defaults; see CoalescerOptions).
 	Coalescer CoalescerOptions
+	// SearchWorkers bounds the parallelism of one /v1/neighbors
+	// brute-force scan; <= 0 selects GOMAXPROCS.
+	SearchWorkers int
 }
 
 // Server serves a DynamicEmbedder over HTTP. Construct with New (which
 // starts the ingest coalescer), expose Handler somewhere (or use
 // ListenAndServe/Serve), and Shutdown to drain.
 type Server struct {
-	d    *dyn.DynamicEmbedder
-	co   *Coalescer
-	mux  *http.ServeMux
-	http *http.Server
+	d      *dyn.DynamicEmbedder
+	co     *Coalescer
+	mux    *http.ServeMux
+	http   *http.Server
+	search int
 }
 
 // New builds a server over the embedder and starts its coalescer.
@@ -120,7 +187,7 @@ func New(d *dyn.DynamicEmbedder, opts Options) *Server {
 // newServer wires the routes without starting the coalescer (white-box
 // tests exercise the backpressure path against an idle queue).
 func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
-	s := &Server{d: d, co: NewCoalescer(d, opts.Coalescer)}
+	s := &Server{d: d, co: NewCoalescer(d, opts.Coalescer), search: opts.SearchWorkers}
 	s.mux = http.NewServeMux()
 	// Built here, not in Serve: Shutdown may run concurrently with (or
 	// before) Serve from another goroutine, so the field must be
@@ -130,7 +197,10 @@ func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/edges", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/labels", s.handleLabels)
 	s.mux.HandleFunc("GET /v1/embedding/{v}", s.handleEmbedding)
+	s.mux.HandleFunc("POST /v1/embeddings", s.handleEmbeddings)
+	s.mux.HandleFunc("POST /v1/neighbors", s.handleNeighbors)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
 	return s
@@ -188,16 +258,21 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeMutation parses a bounded JSON mutation body.
-func decodeMutation(w http.ResponseWriter, r *http.Request) (*MutationRequest, bool) {
-	var req MutationRequest
+// decodeBody parses a bounded JSON request body into T.
+func decodeBody[T any](w http.ResponseWriter, r *http.Request) (*T, bool) {
+	var req T
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad mutation body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return nil, false
 	}
 	return &req, true
+}
+
+// decodeMutation parses a bounded JSON mutation body.
+func decodeMutation(w http.ResponseWriter, r *http.Request) (*MutationRequest, bool) {
+	return decodeBody[MutationRequest](w, r)
 }
 
 func toEdges(wire []EdgeWire) []graph.Edge {
@@ -298,42 +373,105 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, EmbeddingResponse{Epoch: snap.Epoch, V: uint32(v), Row: row})
 }
 
+// handleEmbeddings answers a batched multi-vertex read from a single
+// snapshot load: all returned rows come from the same published
+// version. Any out-of-range vertex fails the whole request (a partial
+// answer would silently drop reads).
+func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[BatchEmbeddingRequest](w, r)
+	if !ok {
+		return
+	}
+	snap := s.d.Snapshot()
+	for _, v := range req.Vs {
+		if int(v) >= snap.Z.R {
+			writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", v, snap.Z.R)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	st := newStreamer(w, r.Context())
+	fmt.Fprintf(st.bw, `{"epoch":%d,"rows":`, snap.Epoch)
+	if st.floatRows(len(req.Vs), func(i int) []float64 {
+		return snap.Z.Row(int(req.Vs[i]))
+	}) == len(req.Vs) {
+		st.rawByte('}')
+	}
+	st.flush()
+}
+
+// handleNeighbors answers a top-k nearest-neighbor query over the
+// published snapshot: an exact parallel brute-force scan (partial
+// selection per worker), lock-free against ingest because the matrix
+// scanned is an immutable version.
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[NeighborsRequest](w, r)
+	if !ok {
+		return
+	}
+	var metric cluster.Metric
+	name := req.Metric
+	switch name {
+	case "", "l2":
+		metric, name = cluster.L2, "l2"
+	case "cosine":
+		metric = cluster.Cosine
+	default:
+		writeError(w, http.StatusBadRequest, "unknown metric %q (want l2 or cosine)", req.Metric)
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
+		return
+	}
+	snap := s.d.Snapshot()
+	if int(req.V) >= snap.Z.R {
+		writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", req.V, snap.Z.R)
+		return
+	}
+	// Clamp k to the row count before TopK sizes its per-worker heaps
+	// by it — an attacker-sized k must not become an allocation.
+	k := req.K
+	if k > snap.Z.R {
+		k = snap.Z.R
+	}
+	nbrs := cluster.TopK(s.search, snap.Z, snap.Z.Row(int(req.V)), k, metric, int(req.V))
+	wire := make([]NeighborWire, len(nbrs))
+	for i, nb := range nbrs {
+		wire[i] = NeighborWire{V: uint32(nb.V), Dist: nb.Dist}
+	}
+	writeJSON(w, http.StatusOK, NeighborsResponse{
+		Epoch: snap.Epoch, V: req.V, Metric: name, Neighbors: wire,
+	})
+}
+
 // handleSnapshot streams the whole published snapshot as one JSON
 // object, row by row through a buffered writer — the n×K matrix is
 // never marshaled into a second in-memory copy. Floats are written in
 // shortest round-trip form, so a client re-reading them recovers the
-// exact published values.
+// exact published values. The stream aborts between row chunks when
+// the client disconnects (write error or context cancellation), so a
+// departed reader does not pay for the full O(nK) serialization.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap := s.d.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
-	bw := bufio.NewWriterSize(w, 1<<16)
-	fmt.Fprintf(bw, `{"epoch":%d,"n":%d,"k":%d,"edges":%d,"y":[`,
-		snap.Epoch, snap.Z.R, snap.Z.C, snap.Edges)
-	var scratch []byte
-	for i, c := range snap.Y {
-		if i > 0 {
-			bw.WriteByte(',')
-		}
-		scratch = strconv.AppendInt(scratch[:0], int64(c), 10)
-		bw.Write(scratch)
+	streamSnapshot(newStreamer(w, r.Context()), snap)
+}
+
+// handleDelta streams the epoch delta from ?from=E to the published
+// epoch, the replica fan-out read: changed rows instead of the full
+// matrix, or a resync signal when the span is not row-reconstructible
+// (see dyn.Delta).
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	fromStr := r.URL.Query().Get("from")
+	from, err := strconv.ParseUint(fromStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad from epoch %q", fromStr)
+		return
 	}
-	bw.WriteString(`],"z":[`)
-	for u := 0; u < snap.Z.R; u++ {
-		if u > 0 {
-			bw.WriteByte(',')
-		}
-		bw.WriteByte('[')
-		for c, x := range snap.Z.Row(u) {
-			if c > 0 {
-				bw.WriteByte(',')
-			}
-			scratch = strconv.AppendFloat(scratch[:0], x, 'g', -1, 64)
-			bw.Write(scratch)
-		}
-		bw.WriteByte(']')
-	}
-	bw.WriteString(`]}`)
-	bw.Flush()
+	dl := s.d.Delta(from)
+	w.Header().Set("Content-Type", "application/json")
+	streamDelta(newStreamer(w, r.Context()), dl, s.d.K())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dyn"
 	"repro/internal/gee"
 	"repro/internal/graph"
@@ -20,8 +22,9 @@ import (
 	"repro/internal/xrand"
 )
 
-// startServer builds an embedder + server + typed client over httptest.
-func startServer(t *testing.T, n int, y []int32, dopts dyn.Options, sopts server.Options) (*server.Server, *client.Client) {
+// startServer builds an embedder + server + typed client over httptest
+// and reports the base URL for raw HTTP access.
+func startServer(t *testing.T, n int, y []int32, dopts dyn.Options, sopts server.Options) (*server.Server, *client.Client, string) {
 	t.Helper()
 	d, err := dyn.New(n, y, dopts)
 	if err != nil {
@@ -35,7 +38,7 @@ func startServer(t *testing.T, n int, y []int32, dopts dyn.Options, sopts server
 		}
 		ts.Close()
 	})
-	return s, client.New(ts.URL, ts.Client())
+	return s, client.New(ts.URL, ts.Client()), ts.URL
 }
 
 func fullLabels(n, k int) []int32 {
@@ -58,7 +61,7 @@ func TestServerCoalescesConcurrentWrites(t *testing.T) {
 	y := fullLabels(n, k)
 	// PublishEvery well above a single op forces the coalescer's settle
 	// path (publish on idle) as well as the embedder's op-count policy.
-	_, c := startServer(t, n, y, dyn.Options{K: k, PublishEvery: 512},
+	_, c, _ := startServer(t, n, y, dyn.Options{K: k, PublishEvery: 512},
 		server.Options{Coalescer: server.CoalescerOptions{MaxBatch: 1024, MaxDelay: 25 * time.Millisecond}})
 
 	ctx := context.Background()
@@ -136,7 +139,7 @@ func TestServerCoalescesConcurrentWrites(t *testing.T) {
 func TestServerIngestMatchesBatchEmbed(t *testing.T) {
 	const n, k, m, writers = 250, 5, 3000, 4
 	y0 := labels.SampleSemiSupervised(n, k, 0.4, 31)
-	_, c := startServer(t, n, y0, dyn.Options{K: k, ManualPublish: true},
+	_, c, _ := startServer(t, n, y0, dyn.Options{K: k, ManualPublish: true},
 		server.Options{Coalescer: server.CoalescerOptions{MaxDelay: time.Millisecond}})
 	ctx := context.Background()
 
@@ -220,7 +223,7 @@ func TestServerIngestMatchesBatchEmbed(t *testing.T) {
 // HTTP error mapping.
 func TestServerReadsAndErrors(t *testing.T) {
 	const n, k = 20, 2
-	_, c := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
+	_, c, _ := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
 	ctx := context.Background()
 
 	h, err := c.Health(ctx)
@@ -252,6 +255,236 @@ func TestServerReadsAndErrors(t *testing.T) {
 	ack, err := c.InsertEdges(ctx, nil)
 	if err != nil || ack.Applied != 0 {
 		t.Fatalf("empty insert: %+v %v", ack, err)
+	}
+}
+
+// TestServerBatchedEmbeddings checks POST /v1/embeddings: all rows
+// come from one snapshot, order (and duplicates) follow the request,
+// and any out-of-range vertex fails the whole read.
+func TestServerBatchedEmbeddings(t *testing.T) {
+	const n, k = 60, 3
+	_, c, _ := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
+	ctx := context.Background()
+	if _, err := c.InsertEdges(ctx, []graph.Edge{{U: 3, V: 4, W: 2}, {U: 59, V: 0, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	vs := []graph.NodeID{3, 0, 59, 3}
+	out, err := c.Embeddings(ctx, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != len(vs) {
+		t.Fatalf("%d rows for %d vertices", len(out.Rows), len(vs))
+	}
+	for i, v := range vs {
+		single, err := c.Embedding(ctx, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Epoch != out.Epoch {
+			t.Fatalf("epoch drifted between reads on an idle server: %d vs %d", single.Epoch, out.Epoch)
+		}
+		for col := range single.Row {
+			if out.Rows[i][col] != single.Row[col] {
+				t.Fatalf("batched row for %d differs from single read: %v vs %v", v, out.Rows[i], single.Row)
+			}
+		}
+	}
+	if out.Rows[0][fullLabels(n, k)[4]] <= 0 {
+		t.Fatalf("row of vertex 3 missing the inserted edge: %v", out.Rows[0])
+	}
+	// Whole-request failure on any bad vertex.
+	if _, err := c.Embeddings(ctx, []graph.NodeID{1, 999}); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("out-of-range batched read: %v", err)
+	}
+	// Empty batch: the epoch alone.
+	out, err = c.Embeddings(ctx, nil)
+	if err != nil || len(out.Rows) != 0 || out.Epoch == 0 {
+		t.Fatalf("empty batched read: %+v %v", out, err)
+	}
+}
+
+// TestServerNeighbors checks POST /v1/neighbors against a local TopK
+// over the fetched snapshot for both metrics, plus the error mapping.
+func TestServerNeighbors(t *testing.T) {
+	const n, k, m, topk = 80, 4, 600, 7
+	_, c, _ := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
+	ctx := context.Background()
+	r := xrand.New(53)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)),
+			W: float32(r.Intn(3) + 1),
+		}
+	}
+	if _, err := c.InsertEdges(ctx, edges); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Z := mat.FromRows(snap.Z)
+	for _, metric := range []string{"", "l2", "cosine"} {
+		res, err := c.Neighbors(ctx, 5, topk, metric)
+		if err != nil {
+			t.Fatalf("metric %q: %v", metric, err)
+		}
+		wantName := metric
+		if wantName == "" {
+			wantName = "l2"
+		}
+		if res.Metric != wantName || res.V != 5 || res.Epoch != snap.Epoch {
+			t.Fatalf("metric %q response header: %+v", metric, res)
+		}
+		cm := cluster.L2
+		if wantName == "cosine" {
+			cm = cluster.Cosine
+		}
+		want := cluster.TopK(0, Z, Z.Row(5), topk, cm, 5)
+		if len(res.Neighbors) != len(want) {
+			t.Fatalf("metric %q: %d neighbors, want %d", metric, len(res.Neighbors), len(want))
+		}
+		for i, nb := range res.Neighbors {
+			if int(nb.V) == 5 {
+				t.Fatalf("metric %q: query vertex in its own neighbors", metric)
+			}
+			if int(nb.V) != want[i].V || nb.Dist != want[i].Dist {
+				t.Fatalf("metric %q neighbor %d: got (%d, %v), want (%d, %v)",
+					metric, i, nb.V, nb.Dist, want[i].V, want[i].Dist)
+			}
+			if i > 0 && nb.Dist < res.Neighbors[i-1].Dist {
+				t.Fatalf("metric %q: distances not ascending: %+v", metric, res.Neighbors)
+			}
+		}
+	}
+	if _, err := c.Neighbors(ctx, 5, 0, ""); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("k=0 accepted: %v", err)
+	}
+	// An attacker-sized k is clamped to the row count, not allocated.
+	if res, err := c.Neighbors(ctx, 5, 1<<40, ""); err != nil || len(res.Neighbors) != n-1 {
+		t.Fatalf("huge k: %d neighbors, err %v (want %d, nil)", len(res.Neighbors), err, n-1)
+	}
+	if _, err := c.Neighbors(ctx, 5, 3, "manhattan"); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown metric accepted: %v", err)
+	}
+	if _, err := c.Neighbors(ctx, 999, 3, ""); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("out-of-range vertex accepted: %v", err)
+	}
+}
+
+// fetchBytes GETs a URL and returns the body size in bytes.
+func fetchBytes(t *testing.T, url string) int64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestServerDeltaEndpoint checks GET /v1/delta end to end: a churn
+// window without relabels is served as a row delta whose payload is an
+// order of magnitude smaller than the full snapshot, applying it to a
+// held copy reproduces the new snapshot bit-for-bit, and a
+// counts-changing relabel flips the response to the resync signal.
+func TestServerDeltaEndpoint(t *testing.T) {
+	const n, k = 4000, 8
+	_, c, base := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
+	ctx := context.Background()
+
+	// Seed a bulk graph, then hold its snapshot as the follower state.
+	r := xrand.New(59)
+	bulk := make([]graph.Edge, 3*n)
+	for i := range bulk {
+		bulk[i] = graph.Edge{U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)), W: 1}
+	}
+	if _, err := c.InsertEdges(ctx, bulk); err != nil {
+		t.Fatal(err)
+	}
+	held, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small churn window: insert + delete, no relabels.
+	if _, err := c.InsertEdges(ctx, []graph.Edge{{U: 1, V: 2, W: 1}, {U: 7, V: 9, W: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeleteEdges(ctx, bulk[:10]); err != nil {
+		t.Fatal(err)
+	}
+	dl, err := c.Delta(ctx, held.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Resync {
+		t.Fatal("no-relabel churn window answered with resync")
+	}
+	if dl.From != held.Epoch || len(dl.Rows) == 0 || len(dl.Z) != len(dl.Rows) {
+		t.Fatalf("delta shape: %+v", dl)
+	}
+	// Apply to the held copy and compare with the served snapshot.
+	for i, v := range dl.Rows {
+		held.Z[v] = dl.Z[i]
+	}
+	for _, l := range dl.Labels {
+		held.Y[l.V] = l.Class
+	}
+	now, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now.Epoch != dl.Epoch || now.Edges != dl.Edges {
+		t.Fatalf("delta epoch/edges %d/%d vs snapshot %d/%d", dl.Epoch, dl.Edges, now.Epoch, now.Edges)
+	}
+	for v := 0; v < n; v++ {
+		for col := 0; col < k; col++ {
+			if held.Z[v][col] != now.Z[v][col] {
+				t.Fatalf("delta-advanced copy differs at (%d,%d): %v vs %v",
+					v, col, held.Z[v][col], now.Z[v][col])
+			}
+		}
+	}
+
+	// The whole point: the delta payload is far smaller than the
+	// snapshot payload it replaces.
+	deltaBytes := fetchBytes(t, fmt.Sprintf("%s/v1/delta?from=%d", base, held.Epoch))
+	snapBytes := fetchBytes(t, base+"/v1/snapshot")
+	if deltaBytes*10 >= snapBytes {
+		t.Fatalf("delta payload not ≪ snapshot: %d vs %d bytes", deltaBytes, snapBytes)
+	}
+	t.Logf("delta %d bytes vs snapshot %d bytes (%.1f×)", deltaBytes, snapBytes, float64(snapBytes)/float64(deltaBytes))
+
+	// A counts-changing relabel cannot be row-served: resync.
+	if _, err := c.UpdateLabels(ctx, []dyn.LabelUpdate{{V: 0, Class: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	dl, err = c.Delta(ctx, now.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dl.Resync {
+		t.Fatal("counts-changing relabel served as a row delta")
+	}
+	// Malformed from parameter → 400.
+	resp, err := http.Get(base + "/v1/delta?from=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from param: status %d", resp.StatusCode)
 	}
 }
 

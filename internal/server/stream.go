@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/dyn"
+)
+
+// Large read responses (snapshots, deltas, batched rows) are streamed
+// through a streamer rather than marshaled whole: the n×K matrix never
+// gets a second in-memory copy, floats go out in shortest round-trip
+// form (a client re-reading them recovers the exact published bits),
+// and — the part handleSnapshot originally got wrong — the stream
+// aborts as soon as the client is gone. Without the abort a
+// disconnected reader still cost the full O(nK) serialization:
+// bufio's sticky error made the bytes vanish quietly while the loop
+// kept formatting every remaining row.
+
+// abortCheckEvery is how many rows are emitted between client-liveness
+// checks: frequent enough that a vanished reader wastes at most a few
+// hundred rows of formatting, rare enough that the context poll stays
+// invisible next to the float formatting itself.
+const abortCheckEvery = 256
+
+// errTracker records the first error of the underlying writer so the
+// streamer can observe it (bufio.Writer keeps its sticky error
+// private).
+type errTracker struct {
+	w   io.Writer
+	err error
+}
+
+func (t *errTracker) Write(p []byte) (int, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	n, err := t.w.Write(p)
+	if err != nil {
+		t.err = err
+	}
+	return n, err
+}
+
+// streamer incrementally writes one large JSON response.
+type streamer struct {
+	t       errTracker
+	bw      *bufio.Writer
+	ctx     context.Context
+	scratch []byte
+}
+
+func newStreamer(w io.Writer, ctx context.Context) *streamer {
+	s := &streamer{ctx: ctx}
+	s.t.w = w
+	s.bw = bufio.NewWriterSize(&s.t, 1<<16)
+	return s
+}
+
+// aborted reports whether further output is pointless: the writer
+// failed (client disconnected mid-flush) or the request context was
+// cancelled (client disconnected while we were still formatting).
+func (s *streamer) aborted() bool {
+	return s.t.err != nil || s.ctx.Err() != nil
+}
+
+func (s *streamer) raw(v string)   { s.bw.WriteString(v) }
+func (s *streamer) rawByte(c byte) { s.bw.WriteByte(c) }
+func (s *streamer) flush() error   { return s.bw.Flush() }
+
+// The numeric writers format into one buffer reused across the whole
+// stream (the write-back keeps the grown capacity), so a snapshot's
+// n×K floats cost zero allocations, not one each.
+func (s *streamer) uintv(v uint64) {
+	s.scratch = strconv.AppendUint(s.scratch[:0], v, 10)
+	s.bw.Write(s.scratch)
+}
+
+func (s *streamer) intv(v int64) {
+	s.scratch = strconv.AppendInt(s.scratch[:0], v, 10)
+	s.bw.Write(s.scratch)
+}
+
+func (s *streamer) floatv(x float64) {
+	s.scratch = strconv.AppendFloat(s.scratch[:0], x, 'g', -1, 64)
+	s.bw.Write(s.scratch)
+}
+
+// intArray emits a JSON array of int32s with periodic abort checks.
+// Reports whether it ran to completion.
+func (s *streamer) intArray(vals []int32) bool {
+	s.rawByte('[')
+	for i, v := range vals {
+		if i%(8*abortCheckEvery) == 0 && s.aborted() {
+			return false
+		}
+		if i > 0 {
+			s.rawByte(',')
+		}
+		s.intv(int64(v))
+	}
+	s.rawByte(']')
+	return true
+}
+
+// floatRows emits a JSON array of n row arrays, checking for a
+// departed client every abortCheckEvery rows. Returns the number of
+// rows emitted — n when the stream completed, less when it aborted
+// (the truncated output only ever reaches a reader that already left).
+func (s *streamer) floatRows(n int, row func(i int) []float64) int {
+	s.rawByte('[')
+	for i := 0; i < n; i++ {
+		if i%abortCheckEvery == 0 && s.aborted() {
+			return i
+		}
+		if i > 0 {
+			s.rawByte(',')
+		}
+		s.rawByte('[')
+		for c, x := range row(i) {
+			if c > 0 {
+				s.rawByte(',')
+			}
+			s.floatv(x)
+		}
+		s.rawByte(']')
+	}
+	s.rawByte(']')
+	return n
+}
+
+// streamSnapshot writes one published snapshot as SnapshotResponse
+// JSON. Returns the number of Z rows emitted; a short count means the
+// client went away and the stream was cut. Split from the handler so
+// tests can drive it with a failing writer or cancelled context.
+func streamSnapshot(s *streamer, snap *dyn.Snapshot) int {
+	fmt.Fprintf(s.bw, `{"epoch":%d,"instance":%d,"n":%d,"k":%d,"edges":%d,"y":`,
+		snap.Epoch, snap.Instance, snap.Z.R, snap.Z.C, snap.Edges)
+	rows := 0
+	if s.intArray(snap.Y) {
+		s.raw(`,"z":`)
+		rows = s.floatRows(snap.Z.R, snap.Z.Row)
+		if rows == snap.Z.R {
+			s.rawByte('}')
+		}
+	}
+	s.flush()
+	return rows
+}
+
+// streamDelta writes one dyn.Delta as DeltaResponse JSON; k is the
+// embedding width. Returns the number of changed rows emitted.
+func streamDelta(s *streamer, dl *dyn.Delta, k int) int {
+	if dl.Resync {
+		fmt.Fprintf(s.bw, `{"from":%d,"epoch":%d,"instance":%d,"resync":true}`,
+			dl.FromEpoch, dl.Epoch, dl.Instance)
+		s.flush()
+		return 0
+	}
+	fmt.Fprintf(s.bw, `{"from":%d,"epoch":%d,"instance":%d,"resync":false,"edges":%d,"labels":[`,
+		dl.FromEpoch, dl.Epoch, dl.Instance, dl.Edges)
+	for i, lu := range dl.Labels {
+		if i > 0 {
+			s.rawByte(',')
+		}
+		fmt.Fprintf(s.bw, `{"v":%d,"class":%d}`, lu.V, lu.Class)
+	}
+	s.raw(`],"rows":[`)
+	for i, v := range dl.Rows {
+		if i%(8*abortCheckEvery) == 0 && s.aborted() {
+			s.flush()
+			return 0
+		}
+		if i > 0 {
+			s.rawByte(',')
+		}
+		s.uintv(uint64(v))
+	}
+	s.raw(`],"z":`)
+	rows := s.floatRows(len(dl.Rows), func(i int) []float64 {
+		return dl.Values[i*k : (i+1)*k]
+	})
+	if rows == len(dl.Rows) {
+		s.rawByte('}')
+	}
+	s.flush()
+	return rows
+}

@@ -304,6 +304,48 @@ func NewEmbeddingClient(base string, hc *http.Client) *EmbeddingClient {
 	return client.New(base, hc)
 }
 
+// Read-path scale-out: epoch deltas for replica fan-out, replica
+// followers serving local lock-free reads, and exact nearest-neighbor
+// search over a published embedding.
+
+type (
+	// EmbeddingDelta describes how to advance a copy of the embedding
+	// between epochs (changed rows + label moves), or demands a resync
+	// when the span is not row-reconstructible.
+	EmbeddingDelta = dyn.Delta
+	// EmbeddingReplica is a read-only follower of a serving endpoint:
+	// it bootstraps from /v1/snapshot and stays current via /v1/delta.
+	EmbeddingReplica = client.Replica
+	// ReplicaSnapshot is one immutable local version held by a replica.
+	ReplicaSnapshot = client.ReplicaSnapshot
+	// ReplicaStats counts a replica's syncs, resyncs, and wire bytes.
+	ReplicaStats = client.ReplicaStats
+	// NeighborMetric selects the NearestNeighbors distance.
+	NeighborMetric = cluster.Metric
+	// Neighbor is one nearest-neighbor result: row id and distance.
+	Neighbor = cluster.Neighbor
+)
+
+// Metrics for NearestNeighbors (and the /v1/neighbors endpoint).
+const (
+	L2Metric     = cluster.L2
+	CosineMetric = cluster.Cosine
+)
+
+// NewEmbeddingReplica builds a replica follower over a serving client.
+// The first Sync bootstraps from a full snapshot; later Syncs apply
+// epoch deltas and fall back to a snapshot only when told to resync.
+func NewEmbeddingReplica(c *EmbeddingClient) *EmbeddingReplica {
+	return client.NewReplica(c)
+}
+
+// NearestNeighbors returns the k rows of X nearest to query under the
+// metric, ascending by distance. Pass a row id as exclude to skip it
+// (the row the query came from), or a negative value to keep all rows.
+func NearestNeighbors(workers int, X *Dense, query []float64, k int, m NeighborMetric, exclude int) []Neighbor {
+	return cluster.TopK(workers, X, query, k, m, exclude)
+}
+
 // Directed variant and structural helpers.
 
 // EmbedDirected produces the 2K-wide directed embedding (separate out-

@@ -59,6 +59,60 @@ func TestFacadeServing(t *testing.T) {
 	}
 }
 
+// TestFacadeReplicaAndNeighbors drives the read-path scale-out facade:
+// batched reads and neighbor queries against the serving API, and a
+// replica that follows the primary through deltas.
+func TestFacadeReplicaAndNeighbors(t *testing.T) {
+	const n, k = 50, 2
+	y := make([]int32, n)
+	for i := range y {
+		y[i] = int32(i % k)
+	}
+	d, err := NewDynamicEmbedder(n, y, DynamicOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewEmbeddingServer(d, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+		ts.Close()
+	}()
+	c := NewEmbeddingClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	rep := NewEmbeddingReplica(c)
+	if err := rep.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InsertEdges(ctx, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if resynced, err := rep.Sync(ctx); err != nil || resynced {
+		t.Fatalf("delta sync: resynced=%v err=%v", resynced, err)
+	}
+	snap := d.Snapshot()
+	local := rep.Snapshot()
+	if local.Epoch != snap.Epoch || local.Z.MaxAbsDiff(snap.Z) != 0 {
+		t.Fatalf("replica not identical to primary at epoch %d", snap.Epoch)
+	}
+	batch, err := c.Embeddings(ctx, []uint32{0, 1, 2})
+	if err != nil || len(batch.Rows) != 3 {
+		t.Fatalf("batched read: %+v %v", batch, err)
+	}
+	res, err := c.Neighbors(ctx, 0, 3, "l2")
+	if err != nil || len(res.Neighbors) != 3 {
+		t.Fatalf("neighbor query: %+v %v", res, err)
+	}
+	want := NearestNeighbors(2, snap.Z, snap.Z.Row(0), 3, L2Metric, 0)
+	for i := range want {
+		if int(res.Neighbors[i].V) != want[i].V || res.Neighbors[i].Dist != want[i].Dist {
+			t.Fatalf("served neighbors %+v differ from local TopK %+v", res.Neighbors, want)
+		}
+	}
+}
+
 func TestFacadeGraphPath(t *testing.T) {
 	el := NewErdosRenyi(4, 500, 8000, 3)
 	g := BuildGraph(4, el)

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end serving smoke: build geeserve + geeload, start the HTTP
-# serving stack on a free port, drive a short closed-loop load, assert
-# non-zero applied ops, and check a clean graceful shutdown on SIGTERM.
+# serving stack on a free port, drive a short closed-loop load — the
+# writer/reader mix plus batched reads, neighbor queries, and a replica
+# follower living off /v1/delta — assert non-zero applied ops and that
+# the replica ends bit-identical to the primary's /v1/snapshot after
+# churn, and check a clean graceful shutdown on SIGTERM.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,10 +37,30 @@ curl -fsS "http://$addr/healthz"
 echo
 
 "$bin/geeload" -addr "http://$addr" -duration 2s -writers 3 -readers 3 -batch 32 \
+  -batch-readers 1 -read-batch 16 -neighbor-readers 1 -neighbor-k 5 \
+  -replicas 1 -replica-sync 20ms -replica-verify \
   | tee "$log/load.out"
 
 if ! grep -Eq 'ingested [1-9][0-9]* ops' "$log/load.out"; then
   echo "FAIL: geeload acknowledged no ops" >&2
+  exit 1
+fi
+if ! grep -Eq 'batched reads: [1-9][0-9]* requests' "$log/load.out"; then
+  echo "FAIL: no batched reads completed" >&2
+  exit 1
+fi
+if ! grep -Eq 'neighbor queries: [1-9][0-9]* top-5' "$log/load.out"; then
+  echo "FAIL: no neighbor queries completed" >&2
+  exit 1
+fi
+if ! grep -Eq 'replica 0: epoch [1-9][0-9]*, [1-9][0-9]* syncs' "$log/load.out"; then
+  echo "FAIL: the replica never synced" >&2
+  exit 1
+fi
+# The teeth: after churn, the delta-fed replica must match the
+# primary's snapshot float for float (geeload exits non-zero otherwise).
+if ! grep -q 'replica verify OK' "$log/load.out"; then
+  echo "FAIL: replica not bit-identical to the primary snapshot" >&2
   exit 1
 fi
 if ! curl -fsS "http://$addr/statsz" | grep -Eq '"Inserts":[1-9][0-9]*'; then
