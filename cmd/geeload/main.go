@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/rate"
+	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/xrand"
 )
@@ -52,10 +54,14 @@ type config struct {
 	nbrReaders    int
 	nbrK          int
 	nbrMetric     string
+	nbrMode       string
+	nbrNProbe     int
+	recallQueries int
 	replicas      int
 	replicaSync   time.Duration
 	replicaVerify bool
 	batch         int
+	blockFrac     float64
 	deleteFrac    float64
 	labelFrac     float64
 	seed          uint64
@@ -84,6 +90,10 @@ func main() {
 	flag.IntVar(&cfg.nbrReaders, "neighbor-readers", 0, "concurrent top-k neighbor query goroutines (POST /v1/neighbors)")
 	flag.IntVar(&cfg.nbrK, "neighbor-k", 10, "k for neighbor queries")
 	flag.StringVar(&cfg.nbrMetric, "neighbor-metric", "l2", "neighbor metric: l2 or cosine")
+	flag.StringVar(&cfg.nbrMode, "neighbor-mode", "exact", "neighbor mode: exact (brute-force scan) or approx (IVF index)")
+	flag.IntVar(&cfg.nbrNProbe, "neighbor-nprobe", 0, "inverted lists probed per approx query (0 = server default)")
+	flag.IntVar(&cfg.recallQueries, "recall-queries", 64, "post-load recall@k sample size when -neighbor-mode approx (0 disables)")
+	flag.Float64Var(&cfg.blockFrac, "edge-block", 0, "fraction of writer edges kept within a planted block (u ≡ v mod k) so the embedding clusters")
 	flag.IntVar(&cfg.replicas, "replicas", 0, "replica followers syncing over GET /v1/delta")
 	flag.DurationVar(&cfg.replicaSync, "replica-sync", 25*time.Millisecond, "pause between replica sync rounds")
 	flag.BoolVar(&cfg.replicaVerify, "replica-verify", false, "after the load, verify each replica is bit-identical to /v1/snapshot")
@@ -106,16 +116,37 @@ func normalizeBase(addr string) string {
 	return "http://" + addr
 }
 
-// randEdges fills a batch of random edges over [0, n).
-func randEdges(r *xrand.Rand, n, m int) []graph.Edge {
+// randEdges fills a batch of random edges over [0, n). With blockFrac
+// > 0, that fraction of edges stays inside a planted block (u ≡ v mod
+// k, matching the round-robin label seeding), so the served embedding
+// develops the clustered structure an approximate-NN index — and a
+// meaningful recall measurement — needs; uniform random edges collapse
+// every row toward the same class mixture.
+func randEdges(r *xrand.Rand, n, k, m int, blockFrac float64) []graph.Edge {
 	edges := make([]graph.Edge, m)
 	for i := range edges {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if k > 0 && r.Float64() < blockFrac {
+			v = u%k + k*r.Intn((n-1-u%k)/k+1) // same residue class as u
+		}
 		edges[i] = graph.Edge{
-			U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)),
+			U: graph.NodeID(u), V: graph.NodeID(v),
 			W: float32(r.Intn(4) + 1),
 		}
 	}
 	return edges
+}
+
+// percentile returns the p-quantile (0..1) of a sample, or 0 when
+// empty. Sorts in place.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	i := int(p * float64(len(xs)-1))
+	return xs[i]
 }
 
 // done reports whether an error just means the load window closed.
@@ -124,6 +155,9 @@ func done(ctx context.Context, err error) bool {
 }
 
 func run(cfg config, out io.Writer) error {
+	if cfg.nbrMode != "exact" && cfg.nbrMode != "approx" {
+		return fmt.Errorf("-neighbor-mode must be exact or approx, got %q", cfg.nbrMode)
+	}
 	c := client.New(normalizeBase(cfg.addr), nil)
 	ctx := context.Background()
 	h, err := c.Health(ctx)
@@ -181,7 +215,7 @@ func run(cfg config, out io.Writer) error {
 					cnt.deletes.Add(int64(len(batch)))
 					continue
 				}
-				batch := randEdges(r, n, cfg.batch)
+				batch := randEdges(r, n, k, cfg.batch, cfg.blockFrac)
 				if _, err := c.InsertEdges(lctx, batch); err != nil {
 					if done(lctx, err) {
 						return
@@ -239,19 +273,26 @@ func run(cfg config, out io.Writer) error {
 			}
 		}(br)
 	}
+	nbrLats := make([][]float64, cfg.nbrReaders) // per-query ms, merged for p50
 	for nr := 0; nr < cfg.nbrReaders; nr++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			r := xrand.New(cfg.seed + uint64(4000+id))
 			for lctx.Err() == nil {
-				if _, err := c.Neighbors(lctx, graph.NodeID(r.Intn(n)), cfg.nbrK, cfg.nbrMetric); err != nil {
+				req := server.NeighborsRequest{
+					V: graph.NodeID(r.Intn(n)), K: cfg.nbrK, Metric: cfg.nbrMetric,
+					Mode: cfg.nbrMode, NProbe: cfg.nbrNProbe,
+				}
+				t0 := time.Now()
+				if _, err := c.Neighbors(lctx, req); err != nil {
 					if done(lctx, err) {
 						return
 					}
 					cnt.errors.Add(1)
 					continue
 				}
+				nbrLats[id] = append(nbrLats[id], float64(time.Since(t0).Microseconds())/1000)
 				cnt.neighbors.Add(1)
 			}
 		}(nr)
@@ -293,9 +334,13 @@ func run(cfg config, out io.Writer) error {
 			rate.PerSec(cnt.batchReads.Load(), secs), rate.PerSec(cnt.batchRows.Load(), secs))
 	}
 	if cfg.nbrReaders > 0 {
-		fmt.Fprintf(out, "neighbor queries: %d top-%d by %s from %d readers (%.0f queries/s)\n",
-			cnt.neighbors.Load(), cfg.nbrK, cfg.nbrMetric, cfg.nbrReaders,
-			rate.PerSec(cnt.neighbors.Load(), secs))
+		var lats []float64
+		for _, l := range nbrLats {
+			lats = append(lats, l...)
+		}
+		fmt.Fprintf(out, "neighbor queries: %d top-%d by %s (%s) from %d readers (%.0f queries/s, p50 %.2f ms)\n",
+			cnt.neighbors.Load(), cfg.nbrK, cfg.nbrMetric, cfg.nbrMode, cfg.nbrReaders,
+			rate.PerSec(cnt.neighbors.Load(), secs), percentile(lats, 0.5))
 	}
 	for i, rep := range reps {
 		rs := rep.Stats()
@@ -315,6 +360,11 @@ func run(cfg config, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "server: epoch %d, %d live edges, %d folds for %d write requests (%.1f requests/fold), %d publishes\n",
 		st.Dyn.Epoch, st.Dyn.LiveEdges, co.Flushes, co.Requests, ratio, st.Dyn.Publishes)
+	if cfg.nbrMode == "approx" && cfg.recallQueries > 0 {
+		if err := measureRecall(ctx, c, n, cfg, out); err != nil {
+			return fmt.Errorf("recall measurement: %w", err)
+		}
+	}
 	if cfg.replicaVerify && len(reps) > 0 {
 		if err := verifyReplicas(ctx, c, reps, out); err != nil {
 			return err
@@ -326,6 +376,123 @@ func run(cfg config, out io.Writer) error {
 	if ins == 0 && cfg.writers > 0 {
 		return fmt.Errorf("no inserts were acknowledged")
 	}
+	return nil
+}
+
+// measureRecall runs the post-load recall check: the load window is
+// closed and the writers are drained, so once a warmup lets the
+// asynchronous index rebuild catch up to the published epoch, each
+// approx answer and its exact oracle are computed against the same
+// data. Recall counts an approx neighbor as a hit when it is at least
+// as near as the oracle's k-th survivor (tie-tolerant: embedding rows
+// carry exact duplicates, and id-set comparison would punish
+// legitimate tie-breaking).
+func measureRecall(ctx context.Context, c *client.Client, n int, cfg config, out io.Writer) error {
+	r := xrand.New(cfg.seed + uint64(9000))
+	approxReq := func(v graph.NodeID) server.NeighborsRequest {
+		return server.NeighborsRequest{
+			V: v, K: cfg.nbrK, Metric: cfg.nbrMetric,
+			Mode: "approx", NProbe: cfg.nbrNProbe,
+		}
+	}
+	// Warm: each stale or cold approx query kicks the async rebuild;
+	// poll until the index answers at the published epoch. Reports
+	// indexed=false only when the server says it will never index
+	// (n below its exact threshold, where recall is 1 by
+	// construction) — a cold index above the threshold also answers
+	// "exact" while its first build is in flight, and treating that as
+	// below-threshold would fabricate a recall figure.
+	warm := func() (indexed bool, err error) {
+		for tries := 0; ; tries++ {
+			resp, err := c.Neighbors(ctx, approxReq(graph.NodeID(r.Intn(n))))
+			if err != nil {
+				return false, err
+			}
+			if resp.Mode == "approx" && resp.IndexEpoch == resp.Epoch {
+				return true, nil
+			}
+			if resp.Mode == "exact" {
+				st, err := c.Stats(ctx)
+				if err != nil {
+					return false, err
+				}
+				if !st.Index.Indexing {
+					return false, nil
+				}
+			}
+			if tries >= 300 {
+				return false, fmt.Errorf("index never caught up to the published epoch (%d vs %d)",
+					resp.IndexEpoch, resp.Epoch)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	indexed, err := warm()
+	if err != nil {
+		return err
+	}
+	if !indexed {
+		fmt.Fprintf(out, "approx neighbor recall@%d: 1.000 (served exact: n=%d below the index threshold)\n",
+			cfg.nbrK, n)
+		return nil
+	}
+	var recall float64
+	var indexEpoch uint64
+	rewarms := 0
+	for q := 0; q < cfg.recallQueries; q++ {
+		v := graph.NodeID(r.Intn(n))
+		ap, err := c.Neighbors(ctx, approxReq(v))
+		if err != nil {
+			return err
+		}
+		ex, err := c.Neighbors(ctx, server.NeighborsRequest{
+			V: v, K: cfg.nbrK, Metric: cfg.nbrMetric, Mode: "exact",
+		})
+		if err != nil {
+			return err
+		}
+		if ap.IndexEpoch != ex.Epoch {
+			// A straggler publish landed mid-phase (a write whose client
+			// departed at the load deadline is still applied and
+			// published). Stragglers are bounded by the writers'
+			// in-flight requests, so re-warm and retry the sample; only
+			// an epoch that *keeps* moving means a live writer.
+			rewarms++
+			if rewarms > 20 {
+				return fmt.Errorf("epoch kept moving during the recall phase (%d vs %d): is a writer still running?",
+					ap.IndexEpoch, ex.Epoch)
+			}
+			if _, err := warm(); err != nil {
+				return err
+			}
+			q--
+			continue
+		}
+		indexEpoch = ap.IndexEpoch
+		if len(ex.Neighbors) == 0 {
+			recall++
+			continue
+		}
+		kth := ex.Neighbors[len(ex.Neighbors)-1].Dist
+		eps := 1e-12 + 1e-12*kth
+		hits := 0
+		for _, nb := range ap.Neighbors {
+			if nb.Dist <= kth+eps {
+				hits++
+			}
+		}
+		if hits > len(ex.Neighbors) {
+			hits = len(ex.Neighbors)
+		}
+		recall += float64(hits) / float64(len(ex.Neighbors))
+	}
+	recall /= float64(cfg.recallQueries)
+	nprobe := "default"
+	if cfg.nbrNProbe > 0 {
+		nprobe = fmt.Sprint(cfg.nbrNProbe)
+	}
+	fmt.Fprintf(out, "approx neighbor recall@%d: %.3f over %d queries (%s, nprobe %s, index epoch %d)\n",
+		cfg.nbrK, recall, cfg.recallQueries, cfg.nbrMetric, nprobe, indexEpoch)
 	return nil
 }
 

@@ -27,7 +27,7 @@ func TestNormalizeBase(t *testing.T) {
 
 func TestRandEdges(t *testing.T) {
 	r := xrand.New(7)
-	edges := randEdges(r, 50, 200)
+	edges := randEdges(r, 50, 4, 200, 0)
 	if len(edges) != 200 {
 		t.Fatalf("%d edges", len(edges))
 	}
@@ -37,6 +37,13 @@ func TestRandEdges(t *testing.T) {
 		}
 		if e.W < 1 || e.W > 4 {
 			t.Fatalf("edge %d weight %v outside [1,4]", i, e.W)
+		}
+	}
+	// blockFrac 1: every edge stays within its planted block (u ≡ v
+	// mod k), the structure the recall workload relies on.
+	for i, e := range randEdges(r, 50, 4, 200, 1) {
+		if e.U >= 50 || e.V >= 50 || e.U%4 != e.V%4 {
+			t.Fatalf("block edge %d escapes its block: %+v", i, e)
 		}
 	}
 }
@@ -74,6 +81,8 @@ func TestLoadAgainstServer(t *testing.T) {
 		nbrReaders:    1,
 		nbrK:          5,
 		nbrMetric:     "l2",
+		nbrMode:       "approx",
+		recallQueries: 4,
 		replicas:      1,
 		replicaSync:   10 * time.Millisecond,
 		replicaVerify: true,
@@ -95,6 +104,9 @@ func TestLoadAgainstServer(t *testing.T) {
 	for _, want := range []string{
 		"acked ops/s", "queries/s", "requests/fold",
 		"batched reads:", "neighbor queries:", "replica 0:", "replica verify OK",
+		// n=500 sits below the index threshold, so the recall phase
+		// reports the served-exact degenerate form.
+		"approx neighbor recall@5: 1.000 (served exact",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("report missing %q:\n%s", want, out.String())

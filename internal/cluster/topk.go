@@ -49,16 +49,7 @@ func TopK(workers int, X *mat.Dense, query []float64, k int, m Metric, exclude i
 	if m != Cosine {
 		m = L2
 	}
-	// Cosine needs the query norm once; a zero query is indifferent to
-	// everything (all distances 1), which the per-row code handles by
-	// construction.
-	var qNorm float64
-	if m == Cosine {
-		for _, v := range query {
-			qNorm += v * v
-		}
-		qNorm = math.Sqrt(qNorm)
-	}
+	qNorm := queryNorm(query, m)
 	w := parallel.Workers(workers)
 	if w > n {
 		w = n
@@ -70,33 +61,7 @@ func TopK(workers int, X *mat.Dense, query []float64, k int, m Metric, exclude i
 			if v == exclude {
 				continue
 			}
-			var d float64
-			row := X.Row(v)
-			switch m {
-			case Cosine:
-				var dot, norm float64
-				for c, x := range row {
-					dot += x * query[c]
-					norm += x * x
-				}
-				if denom := math.Sqrt(norm) * qNorm; denom > 0 {
-					d = 1 - dot/denom
-				} else {
-					d = 1
-				}
-			default:
-				for c, x := range row {
-					diff := x - query[c]
-					d += diff * diff
-				}
-			}
-			if len(h) < k {
-				h = append(h, Neighbor{V: v, Dist: d})
-				siftUp(h, len(h)-1)
-			} else if worse(h[0], Neighbor{V: v, Dist: d}) {
-				h[0] = Neighbor{V: v, Dist: d}
-				siftDown(h, 0)
-			}
+			h = pushNeighbor(h, k, Neighbor{V: v, Dist: rowDist(X.Row(v), query, m, qNorm)})
 		}
 		locals[worker] = h
 	})
@@ -104,13 +69,70 @@ func TopK(workers int, X *mat.Dense, query []float64, k int, m Metric, exclude i
 	for _, h := range locals {
 		all = append(all, h...)
 	}
+	return finalizeNeighbors(all, k, m)
+}
+
+// queryNorm precomputes the query's norm for Cosine (a zero query is
+// indifferent to everything — all distances 1 — which rowDist handles
+// by construction); L2 needs nothing.
+func queryNorm(query []float64, m Metric) float64 {
+	if m != Cosine {
+		return 0
+	}
+	var s float64
+	for _, v := range query {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// rowDist is the per-candidate distance both the exact scan and the
+// IVF list probes rank by: *squared* L2 (the sqrt is deferred to
+// finalizeNeighbors — one per survivor beats one per row) or the
+// cosine distance 1 − cos.
+func rowDist(row, query []float64, m Metric, qNorm float64) float64 {
+	if m == Cosine {
+		var dot, norm float64
+		for c, x := range row {
+			dot += x * query[c]
+			norm += x * x
+		}
+		if denom := math.Sqrt(norm) * qNorm; denom > 0 {
+			return 1 - dot/denom
+		}
+		return 1
+	}
+	var d float64
+	for c, x := range row {
+		diff := x - query[c]
+		d += diff * diff
+	}
+	return d
+}
+
+// pushNeighbor keeps h a k-bounded worst-at-root heap of the nearest
+// candidates seen so far (partial selection — nothing is ever sorted
+// until the k survivors are merged).
+func pushNeighbor(h []Neighbor, k int, nb Neighbor) []Neighbor {
+	if len(h) < k {
+		h = append(h, nb)
+		siftUp(h, len(h)-1)
+	} else if worse(h[0], nb) {
+		h[0] = nb
+		siftDown(h, 0)
+	}
+	return h
+}
+
+// finalizeNeighbors merges per-worker survivors into the final result:
+// ascending sort, truncate to k, and the deferred sqrt for L2 (the
+// heaps ran on squared distances).
+func finalizeNeighbors(all []Neighbor, k int, m Metric) []Neighbor {
 	sort.Slice(all, func(i, j int) bool { return worse(all[j], all[i]) })
 	if len(all) > k {
 		all = all[:k]
 	}
 	if m == L2 {
-		// The heap ran on squared distances (one sqrt per survivor
-		// beats one per row).
 		for i := range all {
 			all[i].Dist = math.Sqrt(all[i].Dist)
 		}

@@ -102,7 +102,11 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 func toWire(edges []graph.Edge) []server.EdgeWire {
 	wire := make([]server.EdgeWire, len(edges))
 	for i, e := range edges {
-		wire[i] = server.EdgeWire{U: e.U, V: e.V, W: e.W}
+		w := e.W
+		// The weight goes on the wire explicitly (the server treats only
+		// an *omitted* weight as 1 and rejects explicit zeros, so the
+		// client must not hide what the caller passed).
+		wire[i] = server.EdgeWire{U: e.U, V: e.V, W: &w}
 	}
 	return wire
 }
@@ -151,13 +155,16 @@ func (c *Client) Embeddings(ctx context.Context, vs []graph.NodeID) (server.Batc
 	return out, err
 }
 
-// Neighbors fetches the top-k vertices nearest to v in the published
-// embedding under metric ("" selects "l2"; "cosine" is the other
-// choice), ascending by distance.
-func (c *Client) Neighbors(ctx context.Context, v graph.NodeID, k int, metric string) (server.NeighborsResponse, error) {
+// Neighbors fetches the top-k vertices nearest to req.V in the
+// published embedding, ascending by distance. Zero-value request
+// fields select the server defaults ("l2", mode "exact"); set Mode to
+// "approx" (optionally with NProbe) for the IVF index — the response's
+// Mode and IndexEpoch report what actually answered, since an approx
+// request is served exactly while the index is cold and from a
+// slightly stale epoch while it rebuilds.
+func (c *Client) Neighbors(ctx context.Context, req server.NeighborsRequest) (server.NeighborsResponse, error) {
 	var out server.NeighborsResponse
-	_, err := c.do(ctx, http.MethodPost, "/v1/neighbors",
-		server.NeighborsRequest{V: v, K: k, Metric: metric}, &out)
+	_, err := c.do(ctx, http.MethodPost, "/v1/neighbors", req, &out)
 	return out, err
 }
 

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/dyn"
+)
+
+// The approximate-neighbor read path. An IVF index is built over one
+// published snapshot and answers `mode: "approx"` /v1/neighbors queries
+// from it. Publishes outpace index builds by design (a build clusters
+// the whole matrix; a publish is one copy-on-epoch), so the cache is
+// deliberately stale-tolerant: a query observing a newer published
+// epoch kicks exactly one asynchronous rebuild and is answered from the
+// previous index meanwhile — the response carries the epoch actually
+// searched. While no index exists yet (cold start, or the matrix is
+// below the exact threshold where a scan is cheaper than probing), the
+// query falls back to the exact scan over the live snapshot.
+
+// IndexOptions configures the /v1/neighbors approximate index.
+type IndexOptions struct {
+	// Lists and NProbe pass through to cluster.IVFOptions (0 selects
+	// the cluster defaults: ~sqrt(n) lists, max(4, lists/8) probes).
+	Lists  int
+	NProbe int
+	// ExactRows is the row count under which no index is built and
+	// approx requests are answered exactly from the live snapshot.
+	// 0 selects cluster.DefaultIVFExactRows; negative always indexes.
+	ExactRows int
+	// Seed drives the k-means partition (rebuilds are deterministic
+	// per snapshot for a given seed).
+	Seed uint64
+}
+
+// IndexStats reports the approximate index's state in /statsz.
+type IndexStats struct {
+	// Indexing reports whether this server maintains an index at all
+	// (n is at or above the exact threshold). False means every
+	// approx request is served by the exact scan, permanently — which
+	// a client measuring recall must distinguish from a cold index
+	// whose first build is merely still in flight.
+	Indexing bool
+	// Builds counts completed index builds this server lifetime.
+	Builds int64
+	// Epoch is the snapshot epoch the current index was built from
+	// (0 when no index has been built yet).
+	Epoch uint64
+	// Lists is the current index's inverted-list count.
+	Lists int
+	// Stale reports whether the published epoch has moved past the
+	// current index (a rebuild is pending or in flight).
+	Stale bool
+}
+
+// builtIndex pins one IVF index to the snapshot it answers from: query
+// rows must come from the same epoch the lists were built on.
+type builtIndex struct {
+	snap *dyn.Snapshot
+	ivf  *cluster.IVF
+}
+
+// indexCache holds the current index and the single-flight rebuild
+// state. Lock-free on the read side: Search-path loads are one atomic
+// pointer read.
+type indexCache struct {
+	d       *dyn.DynamicEmbedder
+	workers int
+	opts    IndexOptions
+	cur     atomic.Pointer[builtIndex]
+	buildWG sync.WaitGroup
+	buildMu sync.Mutex // serializes kick-off/close checks, not builds-in-progress reads
+	pending bool
+	closed  bool
+	builds  atomic.Int64
+}
+
+func newIndexCache(d *dyn.DynamicEmbedder, workers int, opts IndexOptions) *indexCache {
+	if opts.ExactRows == 0 {
+		opts.ExactRows = cluster.DefaultIVFExactRows
+	}
+	return &indexCache{d: d, workers: workers, opts: opts}
+}
+
+// current returns the freshest built index — possibly behind snap's
+// epoch, nil while cold — and, when it trails snap, kicks one
+// asynchronous rebuild against snap. Never blocks on a build. The
+// comparisons are ordinal, not equality: a request that loaded its
+// snapshot just before a publish-plus-rebuild landed must neither be
+// answered by the *newer* index (IndexEpoch would exceed the
+// response's Epoch, breaking the staleness contract — it falls back
+// to exact on its own snapshot instead) nor kick a rebuild for its
+// older epoch.
+func (ic *indexCache) current(snap *dyn.Snapshot) *builtIndex {
+	if ic.opts.ExactRows > 0 && snap.Z.R < ic.opts.ExactRows {
+		return nil
+	}
+	idx := ic.cur.Load()
+	if idx == nil || idx.snap.Epoch < snap.Epoch {
+		ic.kick()
+	}
+	if idx != nil && idx.snap.Epoch > snap.Epoch {
+		return nil
+	}
+	return idx
+}
+
+// kick starts a rebuild unless one is already in flight (single
+// flight: concurrent stale readers must not pile up builds) or the
+// cache is closed. The build clusters the *freshest* published
+// snapshot, not the one the triggering query held — under sustained
+// ingest many epochs publish during one build, and anchoring on the
+// trigger's snapshot would leave every finished build further behind
+// than it needs to be.
+func (ic *indexCache) kick() {
+	ic.buildMu.Lock()
+	if ic.pending || ic.closed {
+		ic.buildMu.Unlock()
+		return
+	}
+	ic.pending = true
+	ic.buildWG.Add(1)
+	ic.buildMu.Unlock()
+	go func() {
+		defer ic.buildWG.Done()
+		snap := ic.d.Snapshot()
+		ivf := cluster.BuildIVF(ic.workers, snap.Z, cluster.IVFOptions{
+			Lists:     ic.opts.Lists,
+			NProbe:    ic.opts.NProbe,
+			ExactRows: -1, // the threshold gate already ran in current()
+			Seed:      ic.opts.Seed,
+		})
+		// Builds are single-flight, so this store cannot race another
+		// builder — but it must still never regress the cache to an
+		// older epoch.
+		if old := ic.cur.Load(); old == nil || old.snap.Epoch < snap.Epoch {
+			ic.cur.Store(&builtIndex{snap: snap, ivf: ivf})
+		}
+		ic.builds.Add(1)
+		ic.buildMu.Lock()
+		ic.pending = false
+		ic.buildMu.Unlock()
+	}()
+}
+
+// close refuses further kicks, then waits out any in-flight build (it
+// touches only immutable snapshots, but it must not outlive Close into
+// tests or process teardown). The gate matters even though Shutdown
+// stops accepting connections first: an expired shutdown context
+// returns from http.Shutdown while handlers are still running, and a
+// late kick must neither leak its goroutine nor Add to a WaitGroup
+// being waited on — a kick either acquired the lock before close (its
+// Add is covered by the Wait) or observes closed and no-ops.
+func (ic *indexCache) close() {
+	ic.buildMu.Lock()
+	ic.closed = true
+	ic.buildMu.Unlock()
+	ic.buildWG.Wait()
+}
+
+func (ic *indexCache) stats() IndexStats {
+	st := IndexStats{
+		Indexing: ic.opts.ExactRows <= 0 || ic.d.N() >= ic.opts.ExactRows,
+		Builds:   ic.builds.Load(),
+	}
+	if idx := ic.cur.Load(); idx != nil {
+		st.Epoch = idx.snap.Epoch
+		st.Lists = idx.ivf.Lists()
+		st.Stale = ic.d.Epoch() != idx.snap.Epoch
+	}
+	return st
+}

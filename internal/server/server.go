@@ -4,23 +4,28 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dyn"
 	"repro/internal/graph"
 )
 
-// Wire types. Edge weights omitted or zero mean 1 (a zero-weight edge
-// contributes nothing, so the shorthand costs no expressiveness).
+// Wire types. An omitted edge weight means 1; an *explicit* zero,
+// negative, or non-finite weight is rejected with a 400 — the server
+// must never silently rewrite a value the client actually sent.
 
-// EdgeWire is one edge in a mutation request.
+// EdgeWire is one edge in a mutation request. W is a pointer so the
+// decoder can tell "omitted" (nil → weight 1) from an explicit "w":0
+// (rejected).
 type EdgeWire struct {
-	U uint32  `json:"u"`
-	V uint32  `json:"v"`
-	W float32 `json:"w,omitempty"`
+	U uint32   `json:"u"`
+	V uint32   `json:"v"`
+	W *float32 `json:"w,omitempty"`
 }
 
 // LabelWire is one label update in a mutation request; class -1 removes
@@ -84,11 +89,16 @@ type BatchEmbeddingResponse struct {
 
 // NeighborsRequest is the body of POST /v1/neighbors: the top K
 // vertices nearest to V in the published embedding under Metric
-// ("l2", the default, or "cosine").
+// ("l2", the default, or "cosine"). Mode "exact" (the default) scans
+// the live snapshot; "approx" answers from the IVF index — possibly a
+// few epochs behind the published snapshot (the response says which) —
+// probing NProbe inverted lists (0 = the server's default).
 type NeighborsRequest struct {
 	V      uint32 `json:"v"`
 	K      int    `json:"k"`
 	Metric string `json:"metric,omitempty"`
+	Mode   string `json:"mode,omitempty"`
+	NProbe int    `json:"nprobe,omitempty"`
 }
 
 // NeighborWire is one neighbor: a vertex and its distance to the query
@@ -99,12 +109,19 @@ type NeighborWire struct {
 }
 
 // NeighborsResponse is the body of POST /v1/neighbors, neighbors in
-// ascending distance order (the query vertex itself excluded).
+// ascending distance order (the query vertex itself excluded). Mode is
+// what actually answered — an "approx" request is served "exact" while
+// the index is cold or the matrix is below the index threshold — and
+// IndexEpoch is the epoch of the data the distances were computed
+// against: equal to Epoch (the published epoch at answer time) for
+// exact answers, possibly older for approx ones (index staleness).
 type NeighborsResponse struct {
-	Epoch     uint64         `json:"epoch"`
-	V         uint32         `json:"v"`
-	Metric    string         `json:"metric"`
-	Neighbors []NeighborWire `json:"neighbors"`
+	Epoch      uint64         `json:"epoch"`
+	IndexEpoch uint64         `json:"index_epoch"`
+	Mode       string         `json:"mode"`
+	V          uint32         `json:"v"`
+	Metric     string         `json:"metric"`
+	Neighbors  []NeighborWire `json:"neighbors"`
 }
 
 // DeltaResponse is the body of GET /v1/delta?from=E (streamed on the
@@ -141,6 +158,7 @@ type StatsResponse struct {
 	K         int            `json:"k"`
 	Dyn       dyn.Stats      `json:"dyn"`
 	Coalescer CoalescerStats `json:"coalescer"`
+	Index     IndexStats     `json:"index"`
 }
 
 // ErrorResponse carries any non-2xx outcome.
@@ -152,25 +170,63 @@ type ErrorResponse struct {
 // single client cannot balloon server memory.
 const maxBodyBytes = 64 << 20
 
+// Connection and response-amplification defaults (overridable via
+// Options). The header timeout kills Slowloris-style clients that open
+// a connection and trickle header bytes forever; the idle timeout
+// reclaims keep-alive connections of departed clients; the read-batch
+// cap stops a small duplicate-heavy /v1/embeddings body from streaming
+// an arbitrarily large response.
+const (
+	defaultReadHeaderTimeout = 5 * time.Second
+	defaultIdleTimeout       = 2 * time.Minute
+	defaultMaxReadBatch      = 8192
+)
+
 // Options configures a Server.
 type Options struct {
 	// Coalescer bounds the ingest micro-batching (zero fields select
 	// defaults; see CoalescerOptions).
 	Coalescer CoalescerOptions
-	// SearchWorkers bounds the parallelism of one /v1/neighbors
-	// brute-force scan; <= 0 selects GOMAXPROCS.
+	// SearchWorkers bounds the parallelism of one /v1/neighbors scan
+	// or probe (and of an index build); <= 0 selects GOMAXPROCS.
 	SearchWorkers int
+	// Index configures the /v1/neighbors approximate (IVF) index.
+	Index IndexOptions
+	// ReadHeaderTimeout bounds how long a connection may take to send
+	// its request headers. 0 selects 5s; negative disables.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit
+	// idle. 0 selects 2m; negative disables.
+	IdleTimeout time.Duration
+	// MaxReadBatch caps len(vs) of one POST /v1/embeddings request.
+	// 0 selects 8192; negative disables the cap.
+	MaxReadBatch int
 }
 
 // Server serves a DynamicEmbedder over HTTP. Construct with New (which
 // starts the ingest coalescer), expose Handler somewhere (or use
 // ListenAndServe/Serve), and Shutdown to drain.
 type Server struct {
-	d      *dyn.DynamicEmbedder
-	co     *Coalescer
-	mux    *http.ServeMux
-	http   *http.Server
-	search int
+	d       *dyn.DynamicEmbedder
+	co      *Coalescer
+	mux     *http.ServeMux
+	http    *http.Server
+	index   *indexCache
+	search  int
+	maxRead int
+}
+
+// orDefault maps the Options timeout/limit convention (0 = default,
+// negative = disabled) onto the value the http.Server / handler wants
+// (0 = disabled).
+func orDefault[T int | time.Duration](v, def T) T {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // New builds a server over the embedder and starts its coalescer.
@@ -187,12 +243,22 @@ func New(d *dyn.DynamicEmbedder, opts Options) *Server {
 // newServer wires the routes without starting the coalescer (white-box
 // tests exercise the backpressure path against an idle queue).
 func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
-	s := &Server{d: d, co: NewCoalescer(d, opts.Coalescer), search: opts.SearchWorkers}
+	s := &Server{
+		d:       d,
+		co:      NewCoalescer(d, opts.Coalescer),
+		index:   newIndexCache(d, opts.SearchWorkers, opts.Index),
+		search:  opts.SearchWorkers,
+		maxRead: orDefault(opts.MaxReadBatch, defaultMaxReadBatch),
+	}
 	s.mux = http.NewServeMux()
 	// Built here, not in Serve: Shutdown may run concurrently with (or
 	// before) Serve from another goroutine, so the field must be
 	// immutable after construction.
-	s.http = &http.Server{Handler: s.mux}
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: orDefault(opts.ReadHeaderTimeout, defaultReadHeaderTimeout),
+		IdleTimeout:       orDefault(opts.IdleTimeout, defaultIdleTimeout),
+	}
 	s.mux.HandleFunc("POST /v1/edges", s.handleInsert)
 	s.mux.HandleFunc("DELETE /v1/edges", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/labels", s.handleLabels)
@@ -241,6 +307,10 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
 	s.co.Close()
+	// Refuse further index rebuilds and wait out any in-flight one
+	// (an expired ctx returns from http.Shutdown with handlers still
+	// running, so late kicks must be gated, not assumed impossible).
+	s.index.close()
 	return err
 }
 
@@ -275,16 +345,24 @@ func decodeMutation(w http.ResponseWriter, r *http.Request) (*MutationRequest, b
 	return decodeBody[MutationRequest](w, r)
 }
 
-func toEdges(wire []EdgeWire) []graph.Edge {
+// toEdges converts wire edges. An omitted weight defaults to 1; an
+// explicit zero, negative, or non-finite weight is an error — the old
+// behavior of rewriting "w":0 to 1 silently mutated the client's
+// request (and made a zero-weight delete match a weight-1 edge).
+func toEdges(wire []EdgeWire) ([]graph.Edge, error) {
 	edges := make([]graph.Edge, len(wire))
 	for i, e := range wire {
-		w := e.W
-		if w == 0 {
-			w = 1
+		w := float32(1)
+		if e.W != nil {
+			w = *e.W
+			if f := float64(w); w <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("edge %d (%d->%d): weight %v is not a positive finite number (omit w for 1)",
+					i, e.U, e.V, w)
+			}
 		}
 		edges[i] = graph.Edge{U: e.U, V: e.V, W: w}
 	}
-	return edges
+	return edges, nil
 }
 
 // submit runs one write batch through the coalescer and replies with
@@ -326,7 +404,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "labels not accepted on /v1/edges (use /v1/labels)")
 		return
 	}
-	s.submit(w, dyn.Batch{Insert: toEdges(req.Edges)}, len(req.Edges))
+	edges, err := toEdges(req.Edges)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.submit(w, dyn.Batch{Insert: edges}, len(edges))
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -338,7 +421,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "labels not accepted on /v1/edges (use /v1/labels)")
 		return
 	}
-	s.submit(w, dyn.Batch{Delete: toEdges(req.Edges)}, len(req.Edges))
+	edges, err := toEdges(req.Edges)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.submit(w, dyn.Batch{Delete: edges}, len(edges))
 }
 
 func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
@@ -376,10 +464,17 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 // handleEmbeddings answers a batched multi-vertex read from a single
 // snapshot load: all returned rows come from the same published
 // version. Any out-of-range vertex fails the whole request (a partial
-// answer would silently drop reads).
+// answer would silently drop reads), and the vertex count is capped —
+// the body size bound alone does not stop a tiny duplicate-heavy vs
+// list from amplifying into an arbitrarily large streamed response.
 func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeBody[BatchEmbeddingRequest](w, r)
 	if !ok {
+		return
+	}
+	if s.maxRead > 0 && len(req.Vs) > s.maxRead {
+		writeError(w, http.StatusBadRequest, "batch read of %d vertices exceeds the limit of %d per request",
+			len(req.Vs), s.maxRead)
 		return
 	}
 	snap := s.d.Snapshot()
@@ -401,9 +496,12 @@ func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleNeighbors answers a top-k nearest-neighbor query over the
-// published snapshot: an exact parallel brute-force scan (partial
-// selection per worker), lock-free against ingest because the matrix
-// scanned is an immutable version.
+// published embedding. Mode "exact" (the default) runs the parallel
+// brute-force scan over the live snapshot; mode "approx" probes the
+// IVF index, which may trail the published epoch (the response carries
+// the epoch actually searched) — a stale-index query also kicks the
+// asynchronous rebuild. Both paths are lock-free against ingest: every
+// matrix touched is an immutable published version.
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeBody[NeighborsRequest](w, r)
 	if !ok {
@@ -420,6 +518,23 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown metric %q (want l2 or cosine)", req.Metric)
 		return
 	}
+	mode := req.Mode
+	switch mode {
+	case "", "exact":
+		mode = "exact"
+	case "approx":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want exact or approx)", req.Mode)
+		return
+	}
+	if req.NProbe < 0 {
+		writeError(w, http.StatusBadRequest, "nprobe must be non-negative, got %d", req.NProbe)
+		return
+	}
+	if req.NProbe > 0 && mode != "approx" {
+		writeError(w, http.StatusBadRequest, "nprobe only applies to mode approx")
+		return
+	}
 	if req.K <= 0 {
 		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
 		return
@@ -429,19 +544,38 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", req.V, snap.Z.R)
 		return
 	}
-	// Clamp k to the row count before TopK sizes its per-worker heaps
-	// by it — an attacker-sized k must not become an allocation.
+	// Clamp k to the row count before the search sizes its per-worker
+	// heaps by it — an attacker-sized k must not become an allocation.
 	k := req.K
 	if k > snap.Z.R {
 		k = snap.Z.R
 	}
-	nbrs := cluster.TopK(s.search, snap.Z, snap.Z.Row(int(req.V)), k, metric, int(req.V))
+	var nbrs []cluster.Neighbor
+	indexEpoch := snap.Epoch
+	served := false
+	if mode == "approx" {
+		if idx := s.index.current(snap); idx != nil {
+			// The query row must come from the index's own snapshot:
+			// distances against mixed epochs would be meaningless.
+			nbrs = idx.ivf.Search(s.search, idx.snap.Z.Row(int(req.V)), k, metric, int(req.V), req.NProbe)
+			indexEpoch = idx.snap.Epoch
+			served = true
+		} else {
+			// Cold index or matrix below the index threshold: answer
+			// exactly from the live snapshot and say so.
+			mode = "exact"
+		}
+	}
+	if !served {
+		nbrs = cluster.TopK(s.search, snap.Z, snap.Z.Row(int(req.V)), k, metric, int(req.V))
+	}
 	wire := make([]NeighborWire, len(nbrs))
 	for i, nb := range nbrs {
 		wire[i] = NeighborWire{V: uint32(nb.V), Dist: nb.Dist}
 	}
 	writeJSON(w, http.StatusOK, NeighborsResponse{
-		Epoch: snap.Epoch, V: req.V, Metric: name, Neighbors: wire,
+		Epoch: snap.Epoch, IndexEpoch: indexEpoch, Mode: mode,
+		V: req.V, Metric: name, Neighbors: wire,
 	})
 }
 
@@ -483,5 +617,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		N: s.d.N(), K: s.d.K(), Dyn: s.d.Stats(), Coalescer: s.co.Stats(),
+		Index: s.index.stats(),
 	})
 }

@@ -2,10 +2,13 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -328,7 +331,7 @@ func TestServerNeighbors(t *testing.T) {
 	}
 	Z := mat.FromRows(snap.Z)
 	for _, metric := range []string{"", "l2", "cosine"} {
-		res, err := c.Neighbors(ctx, 5, topk, metric)
+		res, err := c.Neighbors(ctx, server.NeighborsRequest{V: 5, K: topk, Metric: metric})
 		if err != nil {
 			t.Fatalf("metric %q: %v", metric, err)
 		}
@@ -338,6 +341,11 @@ func TestServerNeighbors(t *testing.T) {
 		}
 		if res.Metric != wantName || res.V != 5 || res.Epoch != snap.Epoch {
 			t.Fatalf("metric %q response header: %+v", metric, res)
+		}
+		// An exact answer is computed against the live snapshot: the
+		// reported index epoch is the published epoch itself.
+		if res.Mode != "exact" || res.IndexEpoch != res.Epoch {
+			t.Fatalf("metric %q mode/index epoch: %+v", metric, res)
 		}
 		cm := cluster.L2
 		if wantName == "cosine" {
@@ -360,18 +368,287 @@ func TestServerNeighbors(t *testing.T) {
 			}
 		}
 	}
-	if _, err := c.Neighbors(ctx, 5, 0, ""); err == nil || !strings.Contains(err.Error(), "400") {
+	if _, err := c.Neighbors(ctx, server.NeighborsRequest{V: 5, K: 0}); err == nil || !strings.Contains(err.Error(), "400") {
 		t.Fatalf("k=0 accepted: %v", err)
 	}
 	// An attacker-sized k is clamped to the row count, not allocated.
-	if res, err := c.Neighbors(ctx, 5, 1<<40, ""); err != nil || len(res.Neighbors) != n-1 {
+	if res, err := c.Neighbors(ctx, server.NeighborsRequest{V: 5, K: 1 << 40}); err != nil || len(res.Neighbors) != n-1 {
 		t.Fatalf("huge k: %d neighbors, err %v (want %d, nil)", len(res.Neighbors), err, n-1)
 	}
-	if _, err := c.Neighbors(ctx, 5, 3, "manhattan"); err == nil || !strings.Contains(err.Error(), "400") {
+	if _, err := c.Neighbors(ctx, server.NeighborsRequest{V: 5, K: 3, Metric: "manhattan"}); err == nil || !strings.Contains(err.Error(), "400") {
 		t.Fatalf("unknown metric accepted: %v", err)
 	}
-	if _, err := c.Neighbors(ctx, 999, 3, ""); err == nil || !strings.Contains(err.Error(), "404") {
+	if _, err := c.Neighbors(ctx, server.NeighborsRequest{V: 999, K: 3}); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("out-of-range vertex accepted: %v", err)
+	}
+	if _, err := c.Neighbors(ctx, server.NeighborsRequest{V: 5, K: 3, Mode: "fuzzy"}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown mode accepted: %v", err)
+	}
+	if _, err := c.Neighbors(ctx, server.NeighborsRequest{V: 5, K: 3, NProbe: -1, Mode: "approx"}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("negative nprobe accepted: %v", err)
+	}
+	if _, err := c.Neighbors(ctx, server.NeighborsRequest{V: 5, K: 3, NProbe: 2}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("nprobe without approx accepted: %v", err)
+	}
+	// n=80 sits below the index threshold: an approx request is served
+	// exactly — and says so — instead of paying for an index.
+	res, err := c.Neighbors(ctx, server.NeighborsRequest{V: 5, K: topk, Mode: "approx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "exact" || res.IndexEpoch != res.Epoch {
+		t.Fatalf("below-threshold approx request not served exact: %+v", res)
+	}
+	// And the stats say so: this server will never index, which is how
+	// recall-measuring clients tell "permanently exact" from "cold".
+	if st, err := c.Stats(ctx); err != nil || st.Index.Indexing {
+		t.Fatalf("below-threshold server claims Indexing (err %v): %+v", err, st.Index)
+	}
+	want := cluster.TopK(0, Z, Z.Row(5), topk, cluster.L2, 5)
+	for i, nb := range res.Neighbors {
+		if int(nb.V) != want[i].V || nb.Dist != want[i].Dist {
+			t.Fatalf("below-threshold approx neighbor %d: got (%d, %v), want (%d, %v)",
+				i, nb.V, nb.Dist, want[i].V, want[i].Dist)
+		}
+	}
+}
+
+// TestServerNeighborsApprox drives the IVF read path end to end: the
+// first approx query on a cold index is answered exactly (and kicks the
+// asynchronous build), later ones answer from the index with the epoch
+// they were computed against, a full-probe approx answer equals the
+// exact scan, and after churn the index converges back to the published
+// epoch without ever blocking a query.
+func TestServerNeighborsApprox(t *testing.T) {
+	const n, k, m, topk = 3000, 6, 9000, 10
+	_, c, _ := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
+	ctx := context.Background()
+	r := xrand.New(71)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		// Block-structured edges (u ≡ v mod k) so the embedding is the
+		// clustered shape the index defaults target.
+		u := r.Intn(n)
+		v := u%k + k*r.Intn((n-1-u%k)/k+1)
+		edges[i] = graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v), W: float32(r.Intn(3) + 1)}
+	}
+	if _, err := c.InsertEdges(ctx, edges); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold: the very first approx query cannot have an index yet.
+	res, err := c.Neighbors(ctx, server.NeighborsRequest{V: 3, K: topk, Mode: "approx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "exact" || res.IndexEpoch != res.Epoch {
+		t.Fatalf("cold approx query should fall back to exact: %+v", res)
+	}
+	// The fallback kicked an async build; poll until the index answers.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if res, err = c.Neighbors(ctx, server.NeighborsRequest{V: 3, K: topk, Mode: "approx"}); err != nil {
+			t.Fatal(err)
+		}
+		if res.Mode == "approx" && res.IndexEpoch == res.Epoch {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("index never became current: %+v", res)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Index.Indexing || st.Index.Builds == 0 || st.Index.Lists == 0 ||
+		st.Index.Epoch != res.IndexEpoch || st.Index.Stale {
+		t.Fatalf("index stats after build: %+v", st.Index)
+	}
+
+	// Probing every list is exact: identical to the brute-force scan
+	// (the server is idle, so both run against the same epoch).
+	for _, v := range []graph.NodeID{3, 100, 2999} {
+		exact, err := c.Neighbors(ctx, server.NeighborsRequest{V: v, K: topk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := c.Neighbors(ctx, server.NeighborsRequest{V: v, K: topk, Mode: "approx", NProbe: st.Index.Lists})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Mode != "approx" || full.IndexEpoch != exact.Epoch {
+			t.Fatalf("full-probe header: %+v vs exact %+v", full, exact)
+		}
+		if len(full.Neighbors) != len(exact.Neighbors) {
+			t.Fatalf("v=%d: full probe %d neighbors, exact %d", v, len(full.Neighbors), len(exact.Neighbors))
+		}
+		for i := range exact.Neighbors {
+			if full.Neighbors[i] != exact.Neighbors[i] {
+				t.Fatalf("v=%d neighbor %d: full probe %+v, exact %+v",
+					v, i, full.Neighbors[i], exact.Neighbors[i])
+			}
+		}
+		// Default-nprobe answers come from the same epoch and respect
+		// the response contract even where recall is approximate.
+		approx, err := c.Neighbors(ctx, server.NeighborsRequest{V: v, K: topk, Mode: "approx"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approx.Mode != "approx" || len(approx.Neighbors) == 0 {
+			t.Fatalf("v=%d approx answer: %+v", v, approx)
+		}
+		for i := 1; i < len(approx.Neighbors); i++ {
+			if approx.Neighbors[i].Dist < approx.Neighbors[i-1].Dist {
+				t.Fatalf("v=%d approx distances not ascending: %+v", v, approx.Neighbors)
+			}
+		}
+	}
+
+	// Churn: the published epoch moves ahead of the index. Queries keep
+	// answering (from the stale index — IndexEpoch never exceeds the
+	// published epoch) and the index converges once ingest stops.
+	if _, err := c.InsertEdges(ctx, edges[:100]); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := c.Neighbors(ctx, server.NeighborsRequest{V: 3, K: topk, Mode: "approx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Mode != "approx" || stale.IndexEpoch > stale.Epoch {
+		t.Fatalf("post-churn approx answer: %+v", stale)
+	}
+	for {
+		if res, err = c.Neighbors(ctx, server.NeighborsRequest{V: 3, K: topk, Mode: "approx"}); err != nil {
+			t.Fatal(err)
+		}
+		if res.Mode == "approx" && res.IndexEpoch == res.Epoch {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("index never reconverged after churn: %+v", res)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerRejectsBadEdgeWeights is the regression test for the
+// silent weight rewrite: an explicit "w":0 used to be mutated into
+// weight 1 and acked — it must be a 400, as must negative weights. An
+// *omitted* weight still means 1 (proved by deleting with an explicit
+// w:1, which requires an exact match).
+func TestServerRejectsBadEdgeWeights(t *testing.T) {
+	const n, k = 10, 2
+	_, c, base := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
+	ctx := context.Background()
+
+	for _, tc := range []struct{ name, body string }{
+		{"explicit zero", `{"edges":[{"u":0,"v":1,"w":0}]}`},
+		{"negative", `{"edges":[{"u":0,"v":1,"w":-2}]}`},
+	} {
+		resp, err := http.Post(base+"/v1/edges", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (error %q)", tc.name, resp.StatusCode, e.Error)
+		}
+		if !strings.Contains(e.Error, "weight") {
+			t.Fatalf("%s: error does not name the weight: %q", tc.name, e.Error)
+		}
+	}
+	// Nothing was applied by the rejected requests.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dyn.Inserts != 0 {
+		t.Fatalf("rejected weights still applied %d inserts", st.Dyn.Inserts)
+	}
+	// Omitted weight means 1: the edge can be deleted by exact match.
+	resp, err := http.Post(base+"/v1/edges", "application/json",
+		strings.NewReader(`{"edges":[{"u":0,"v":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("omitted weight rejected: status %d", resp.StatusCode)
+	}
+	if _, err := c.DeleteEdges(ctx, []graph.Edge{{U: 0, V: 1, W: 1}}); err != nil {
+		t.Fatalf("omitted weight did not default to 1: %v", err)
+	}
+}
+
+// TestServerReadHeaderTimeout is the Slowloris regression test: a
+// client that opens a connection and never finishes its headers used
+// to hold it forever (the http.Server set no timeouts); now the server
+// closes it after ReadHeaderTimeout.
+func TestServerReadHeaderTimeout(t *testing.T) {
+	d, err := dyn.New(10, fullLabels(10, 2), dyn.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(d, server.Options{ReadHeaderTimeout: 100 * time.Millisecond})
+	defer s.Close()
+	addrCh := make(chan net.Addr, 1)
+	go func() {
+		if err := s.ListenAndServe("127.0.0.1:0", func(a net.Addr) { addrCh <- a }); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	addr := <-addrCh
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Start a request but stall mid-headers, forever.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	// Our own deadline is the failure detector: on the old, timeoutless
+	// server this read blocks until it fires.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil || os.IsTimeout(err) {
+		t.Fatalf("server did not close the stalled connection (read err %v after %v)", err, time.Since(start))
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("connection closed only after %v", waited)
+	}
+}
+
+// TestServerBatchedReadCap is the read-amplification regression test:
+// a duplicate-heavy vs list within the body-size bound used to stream
+// an arbitrarily large response; now the vertex count is capped and
+// the limit is named in the 400.
+func TestServerBatchedReadCap(t *testing.T) {
+	const n, k = 30, 2
+	_, c, _ := startServer(t, n, fullLabels(n, k), dyn.Options{K: k},
+		server.Options{MaxReadBatch: 4})
+	ctx := context.Background()
+	if _, err := c.Embeddings(ctx, []graph.NodeID{1, 2, 3, 4}); err != nil {
+		t.Fatalf("at-limit read rejected: %v", err)
+	}
+	_, err := c.Embeddings(ctx, []graph.NodeID{1, 1, 1, 1, 1})
+	if err == nil || !strings.Contains(err.Error(), "400") || !strings.Contains(err.Error(), "limit of 4") {
+		t.Fatalf("over-limit read: %v", err)
+	}
+	// The cap is per request, not cumulative: the next read still works.
+	if _, err := c.Embeddings(ctx, []graph.NodeID{5}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -324,6 +324,20 @@ type (
 	NeighborMetric = cluster.Metric
 	// Neighbor is one nearest-neighbor result: row id and distance.
 	Neighbor = cluster.Neighbor
+	// NeighborsRequest is the POST /v1/neighbors body (vertex, k,
+	// metric, and the exact/approx mode with its nprobe).
+	NeighborsRequest = server.NeighborsRequest
+	// NeighborsResponse reports the neighbors plus which mode and
+	// index epoch actually answered.
+	NeighborsResponse = server.NeighborsResponse
+	// ApproxIndex is an inverted-file (IVF) approximate
+	// nearest-neighbor index over an immutable embedding matrix.
+	ApproxIndex = cluster.IVF
+	// ApproxIndexOptions configures BuildApproxIndex.
+	ApproxIndexOptions = cluster.IVFOptions
+	// ServerIndexOptions configures the serving layer's epoch-aware
+	// approximate index cache.
+	ServerIndexOptions = server.IndexOptions
 )
 
 // Metrics for NearestNeighbors (and the /v1/neighbors endpoint).
@@ -344,6 +358,15 @@ func NewEmbeddingReplica(c *EmbeddingClient) *EmbeddingReplica {
 // (the row the query came from), or a negative value to keep all rows.
 func NearestNeighbors(workers int, X *Dense, query []float64, k int, m NeighborMetric, exclude int) []Neighbor {
 	return cluster.TopK(workers, X, query, k, m, exclude)
+}
+
+// BuildApproxIndex clusters the rows of X into an inverted-file
+// approximate nearest-neighbor index: Search probes only the nprobe
+// lists nearest the query instead of scanning every row. X must stay
+// immutable while the index is in use (index a published snapshot's
+// matrix, not a live one).
+func BuildApproxIndex(workers int, X *Dense, opts ApproxIndexOptions) *ApproxIndex {
+	return cluster.BuildIVF(workers, X, opts)
 }
 
 // Directed variant and structural helpers.

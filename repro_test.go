@@ -101,7 +101,7 @@ func TestFacadeReplicaAndNeighbors(t *testing.T) {
 	if err != nil || len(batch.Rows) != 3 {
 		t.Fatalf("batched read: %+v %v", batch, err)
 	}
-	res, err := c.Neighbors(ctx, 0, 3, "l2")
+	res, err := c.Neighbors(ctx, NeighborsRequest{V: 0, K: 3, Metric: "l2"})
 	if err != nil || len(res.Neighbors) != 3 {
 		t.Fatalf("neighbor query: %+v %v", res, err)
 	}

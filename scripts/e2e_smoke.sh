@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end serving smoke: build geeserve + geeload, start the HTTP
 # serving stack on a free port, drive a short closed-loop load — the
-# writer/reader mix plus batched reads, neighbor queries, and a replica
-# follower living off /v1/delta — assert non-zero applied ops and that
+# writer/reader mix plus batched reads, approximate (IVF) neighbor
+# queries, and a replica follower living off /v1/delta — assert
+# non-zero applied ops, that the post-load recall@10 of the approx
+# index against the exact scan is ≥ 0.9 at the default nprobe, that
 # the replica ends bit-identical to the primary's /v1/snapshot after
 # churn, and check a clean graceful shutdown on SIGTERM.
 set -euo pipefail
@@ -14,7 +16,9 @@ log=$(mktemp -d)
 go build -o "$bin/geeserve" ./cmd/geeserve
 go build -o "$bin/geeload" ./cmd/geeload
 
-"$bin/geeserve" -serve 127.0.0.1:0 -n 2000 -k 5 -rounds 0 -readers 0 \
+# n=5000 sits above the approximate index's exact-fallback threshold,
+# so the smoke exercises a real IVF build, not the degenerate path.
+"$bin/geeserve" -serve 127.0.0.1:0 -n 5000 -k 5 -rounds 0 -readers 0 \
   >"$log/serve.out" 2>"$log/serve.err" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT
@@ -36,8 +40,11 @@ echo "server up on $addr"
 curl -fsS "http://$addr/healthz"
 echo
 
+# -edge-block keeps most writer edges inside a planted block so the
+# embedding clusters — the structure the IVF recall measurement needs.
 "$bin/geeload" -addr "http://$addr" -duration 2s -writers 3 -readers 3 -batch 32 \
-  -batch-readers 1 -read-batch 16 -neighbor-readers 1 -neighbor-k 5 \
+  -edge-block 0.9 -batch-readers 1 -read-batch 16 \
+  -neighbor-readers 1 -neighbor-k 10 -neighbor-mode approx -recall-queries 50 \
   -replicas 1 -replica-sync 20ms -replica-verify \
   | tee "$log/load.out"
 
@@ -49,10 +56,23 @@ if ! grep -Eq 'batched reads: [1-9][0-9]* requests' "$log/load.out"; then
   echo "FAIL: no batched reads completed" >&2
   exit 1
 fi
-if ! grep -Eq 'neighbor queries: [1-9][0-9]* top-5' "$log/load.out"; then
-  echo "FAIL: no neighbor queries completed" >&2
+if ! grep -Eq 'neighbor queries: [1-9][0-9]* top-10 by l2 \(approx\)' "$log/load.out"; then
+  echo "FAIL: no approx neighbor queries completed" >&2
   exit 1
 fi
+# The approximate index must actually have been exercised (not the
+# small-n served-exact degenerate path) and must hit recall@10 >= 0.9
+# against the exact scan at the default nprobe.
+recall=$(sed -n 's/^approx neighbor recall@10: \([0-9.]*\) over .*/\1/p' "$log/load.out" | head -1)
+if [ -z "$recall" ]; then
+  echo "FAIL: no recall@10 figure reported (served-exact fallback or missing measurement)" >&2
+  exit 1
+fi
+if ! awk -v r="$recall" 'BEGIN { exit !(r >= 0.9) }'; then
+  echo "FAIL: approx recall@10 = $recall < 0.9" >&2
+  exit 1
+fi
+echo "recall@10 = $recall"
 if ! grep -Eq 'replica 0: epoch [1-9][0-9]*, [1-9][0-9]* syncs' "$log/load.out"; then
   echo "FAIL: the replica never synced" >&2
   exit 1
