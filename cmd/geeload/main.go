@@ -19,8 +19,14 @@
 // fails. This is the end-to-end check that delta streaming loses
 // nothing.
 //
+// -wire selects the response encoding for the row-carrying endpoints:
+// json (the default) or binary (the compact frame format, ~5× fewer
+// bytes per replica sync). The replica lines report bytes per sync so
+// the two runs are directly comparable.
+//
 //	geeload -addr http://127.0.0.1:8080 -duration 5s -writers 4 -readers 4
 //	geeload -addr ... -batch-readers 2 -neighbor-readers 2 -replicas 2 -replica-verify
+//	geeload -addr ... -replicas 1 -replica-verify -wire binary
 package main
 
 import (
@@ -60,6 +66,7 @@ type config struct {
 	replicas      int
 	replicaSync   time.Duration
 	replicaVerify bool
+	wireFmt       string
 	batch         int
 	blockFrac     float64
 	deleteFrac    float64
@@ -97,6 +104,7 @@ func main() {
 	flag.IntVar(&cfg.replicas, "replicas", 0, "replica followers syncing over GET /v1/delta")
 	flag.DurationVar(&cfg.replicaSync, "replica-sync", 25*time.Millisecond, "pause between replica sync rounds")
 	flag.BoolVar(&cfg.replicaVerify, "replica-verify", false, "after the load, verify each replica is bit-identical to /v1/snapshot")
+	flag.StringVar(&cfg.wireFmt, "wire", "json", "row-response wire format: json or binary")
 	flag.IntVar(&cfg.batch, "batch", 64, "edges per insert request")
 	flag.Float64Var(&cfg.deleteFrac, "delete-frac", 0.2, "fraction of writer requests that delete a previously inserted batch")
 	flag.Float64Var(&cfg.labelFrac, "label-frac", 0.2, "fraction of vertices labeled round-robin before the load starts")
@@ -158,14 +166,23 @@ func run(cfg config, out io.Writer) error {
 	if cfg.nbrMode != "exact" && cfg.nbrMode != "approx" {
 		return fmt.Errorf("-neighbor-mode must be exact or approx, got %q", cfg.nbrMode)
 	}
-	c := client.New(normalizeBase(cfg.addr), nil)
+	var wf client.Format
+	switch cfg.wireFmt {
+	case "", "json":
+		wf = client.JSON
+	case "binary":
+		wf = client.Binary
+	default:
+		return fmt.Errorf("-wire must be json or binary, got %q", cfg.wireFmt)
+	}
+	c := client.New(normalizeBase(cfg.addr), nil, client.WithWire(wf))
 	ctx := context.Background()
 	h, err := c.Health(ctx)
 	if err != nil {
 		return fmt.Errorf("server not healthy at %s: %w", cfg.addr, err)
 	}
 	n, k := h.N, h.K
-	fmt.Fprintf(out, "# target %s: n=%d k=%d epoch=%d\n", normalizeBase(cfg.addr), n, k, h.Epoch)
+	fmt.Fprintf(out, "# target %s: n=%d k=%d epoch=%d wire=%s\n", normalizeBase(cfg.addr), n, k, h.Epoch, wf)
 
 	// Seed labels so served embeddings carry mass (an unlabeled graph
 	// embeds to all-zero rows).
@@ -344,8 +361,14 @@ func run(cfg config, out io.Writer) error {
 	}
 	for i, rep := range reps {
 		rs := rep.Stats()
-		fmt.Fprintf(out, "replica %d: epoch %d, %d syncs (%d resyncs), %d delta rows applied, %d delta bytes vs %d snapshot bytes\n",
-			i, rs.Epoch, rs.Syncs, rs.Resyncs, rs.RowsApplied, rs.DeltaBytes, rs.SnapshotBytes)
+		perSync := int64(0)
+		if rs.Syncs > 0 {
+			perSync = rs.DeltaBytes / rs.Syncs
+		}
+		fmt.Fprintf(out, "replica %d: epoch %d, %d syncs (%d resyncs), %d delta rows applied, delta wire %d B (%d B/sync, payload %d B), snapshot wire %d B (payload %d B)\n",
+			i, rs.Epoch, rs.Syncs, rs.Resyncs, rs.RowsApplied,
+			rs.DeltaBytes, perSync, rs.DeltaPayloadBytes,
+			rs.SnapshotBytes, rs.SnapshotPayloadBytes)
 	}
 	fmt.Fprintf(out, "backpressure retries %d, request errors %d\n",
 		cnt.retries.Load(), cnt.errors.Load())
@@ -532,19 +555,23 @@ func verifyReplicas(ctx context.Context, c *client.Client, reps []*client.Replic
 			}
 		}
 		s := rep.Snapshot()
-		if s.Edges != snap.Edges || s.Z.R != snap.N || s.Z.C != snap.K {
+		rn, rk := s.Dims()
+		if s.Edges != snap.Edges || rn != snap.N || rk != snap.K {
 			return fmt.Errorf("replica %d shape/edges mismatch: %d edges %dx%d vs %d edges %dx%d",
-				i, s.Edges, s.Z.R, s.Z.C, snap.Edges, snap.N, snap.K)
+				i, s.Edges, rn, rk, snap.Edges, snap.N, snap.K)
 		}
+		row := make([]float64, snap.K)
 		for v := 0; v < snap.N; v++ {
 			if s.Y[v] != snap.Y[v] {
 				return fmt.Errorf("replica %d: label of %d is %d, primary %d", i, v, s.Y[v], snap.Y[v])
 			}
-			row := s.Z.Row(v)
-			for col := range row {
-				if row[col] != snap.Z[v][col] {
+			// Both sides traveled the same wire format, so equality is
+			// bitwise even on the float32 binary wire: the replica's
+			// rows and the verification snapshot quantized identically.
+			for col, x := range s.CopyRow(v, row) {
+				if x != snap.Z[v][col] {
 					return fmt.Errorf("replica %d: Z[%d][%d] = %v, primary %v (not bit-identical)",
-						i, v, col, row[col], snap.Z[v][col])
+						i, v, col, x, snap.Z[v][col])
 				}
 			}
 		}

@@ -52,6 +52,12 @@ func TestRandEdges(t *testing.T) {
 // in-process serving stack: the run must acknowledge inserts, complete
 // queries, and leave the server with a consistent live-edge count.
 func TestLoadAgainstServer(t *testing.T) {
+	for _, wire := range []string{"json", "binary"} {
+		t.Run(wire, func(t *testing.T) { testLoadAgainstServer(t, wire) })
+	}
+}
+
+func testLoadAgainstServer(t *testing.T, wire string) {
 	const n, k = 500, 4
 	y := make([]int32, n)
 	for i := range y {
@@ -86,6 +92,7 @@ func TestLoadAgainstServer(t *testing.T) {
 		replicas:      1,
 		replicaSync:   10 * time.Millisecond,
 		replicaVerify: true,
+		wireFmt:       wire,
 		batch:         16,
 		deleteFrac:    0.3,
 		labelFrac:     0.5,
@@ -104,6 +111,7 @@ func TestLoadAgainstServer(t *testing.T) {
 	for _, want := range []string{
 		"acked ops/s", "queries/s", "requests/fold",
 		"batched reads:", "neighbor queries:", "replica 0:", "replica verify OK",
+		"wire=" + wire, "B/sync",
 		// n=500 sits below the index threshold, so the recall phase
 		// reports the served-exact degenerate form.
 		"approx neighbor recall@5: 1.000 (served exact",

@@ -18,26 +18,65 @@ import (
 	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // ErrBacklog reports a 429: the server's ingest queue was full. The
 // request was not applied; retry after a pause.
 var ErrBacklog = errors.New("client: server ingest queue full (429)")
 
+// Format selects how the client asks the server to encode the large
+// row-carrying responses (snapshot, delta, batched embeddings).
+type Format int
+
+const (
+	// JSON (the default) is the debug-friendly text path: float64 rows
+	// in shortest round-trip decimal — re-reading recovers the exact
+	// published bits.
+	JSON Format = iota
+	// Binary negotiates compact wire frames (internal/wire): dense
+	// float32 snapshots a replica can mmap directly, and sparse delta
+	// rows at a fraction of the JSON bytes — decoded transparently
+	// into the same response structs. Falls back to JSON automatically
+	// against a server that does not speak it.
+	Binary
+)
+
+func (f Format) String() string {
+	if f == Binary {
+		return "binary"
+	}
+	return "json"
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithWire selects the wire format for large row responses.
+func WithWire(f Format) Option { return func(c *Client) { c.wire = f } }
+
 // Client talks to one serving endpoint. Safe for concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
+	wire Format
 }
 
 // New builds a client for a base URL like "http://127.0.0.1:8080". A
 // nil http.Client selects http.DefaultClient.
-func New(base string, hc *http.Client) *Client {
+func New(base string, hc *http.Client, opts ...Option) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
+
+// Wire reports the client's negotiated wire format for row responses.
+func (c *Client) Wire() Format { return c.wire }
 
 // countingReader counts bytes as they are consumed — the replica's
 // delta-vs-snapshot payload accounting.
@@ -52,10 +91,42 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// do runs one request and decodes the JSON response into out,
-// translating error statuses. It returns the number of response-body
-// bytes consumed (0 for error statuses), so callers that care about
-// wire cost — the Replica — can account for it.
+// acceptValue is what a binary-mode client sends: frames preferred,
+// JSON accepted — an old server that ignores the first type still
+// answers something the client can parse.
+const acceptValue = wire.ContentType + ", application/json"
+
+// isFrame reports whether a response Content-Type is the binary frame
+// type.
+func isFrame(contentType string) bool {
+	mt, _, _ := strings.Cut(contentType, ";")
+	return strings.EqualFold(strings.TrimSpace(mt), wire.ContentType)
+}
+
+// checkStatus translates a non-200 response into an error (consuming
+// the body). A nil return means the caller owns a 200 body.
+func checkStatus(resp *http.Response, method, path string) error {
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	defer io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return ErrBacklog
+	}
+	var e server.ErrorResponse
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("client: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+}
+
+// do runs one request and decodes the response into out, translating
+// error statuses. A binary-mode client negotiates wire frames for the
+// row-carrying endpoints and decodes them transparently — out is
+// filled either way; the response's Content-Type decides the decoder.
+// It returns the number of response-body bytes consumed (0 for error
+// statuses), so callers that care about wire cost — the Replica — can
+// account for it.
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) (int64, error) {
 	var rd io.Reader
 	if body != nil {
@@ -72,31 +143,56 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.wire == Binary {
+		req.Header.Set("Accept", acceptValue)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		io.Copy(io.Discard, resp.Body)
-		return 0, ErrBacklog
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e server.ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return 0, fmt.Errorf("client: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
-		}
-		return 0, fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+	if err := checkStatus(resp, method, path); err != nil {
+		return 0, err
 	}
 	cr := &countingReader{r: resp.Body}
 	if out == nil {
 		io.Copy(io.Discard, cr)
 		return cr.n, nil
 	}
+	if isFrame(resp.Header.Get("Content-Type")) {
+		f, err := wire.ReadFrame(cr)
+		if err != nil {
+			return cr.n, err
+		}
+		return cr.n, frameInto(f, out)
+	}
 	if err := json.NewDecoder(cr).Decode(out); err != nil {
 		return cr.n, err
 	}
 	return cr.n, nil
+}
+
+// getStream issues a GET and hands back the status-checked response
+// body with its Content-Type — the replica's spill-to-file bootstrap
+// path, which must see the raw frame bytes rather than a decoded copy.
+// The caller owns Close.
+func (c *Client) getStream(ctx context.Context, path string) (io.ReadCloser, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	if c.wire == Binary {
+		req.Header.Set("Accept", acceptValue)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := checkStatus(resp, http.MethodGet, path); err != nil {
+		resp.Body.Close()
+		return nil, "", err
+	}
+	return resp.Body, resp.Header.Get("Content-Type"), nil
 }
 
 func toWire(edges []graph.Edge) []server.EdgeWire {

@@ -1,0 +1,48 @@
+//go:build linux
+
+package client
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+
+	"repro/internal/wire"
+)
+
+// mapFrame maps the spilled snapshot frame read-only and decodes it.
+// When the host layout permits zero-copy (little-endian, page-aligned
+// mapping — always 4-aligned), the returned frame's sections alias the
+// mapping and the returned closer must outlive them: the replica hangs
+// it off the snapshot version via a cleanup. Otherwise the decode
+// copied everything and the mapping is released here (nil closer).
+func mapFrame(path string) (*wire.Frame, func() error, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer file.Close()
+	fi, err := file.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, nil, fmt.Errorf("client: empty snapshot spill file")
+	}
+	data, err := syscall.Mmap(int(file.Fd()), 0, int(fi.Size()),
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: mmap snapshot spill: %w", err)
+	}
+	f, err := wire.DecodeFrame(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, nil, err
+	}
+	if !wire.ZeroCopy(data) {
+		// Decode fell back to copying; nothing references the pages.
+		syscall.Munmap(data)
+		return f, nil, nil
+	}
+	return f, func() error { return syscall.Munmap(data) }, nil
+}

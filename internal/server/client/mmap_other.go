@@ -1,0 +1,25 @@
+//go:build !linux
+
+package client
+
+import (
+	"os"
+
+	"repro/internal/wire"
+)
+
+// mapFrame decodes the spilled snapshot frame into memory — the
+// portable fallback for hosts without the mmap fast path. The nil
+// closer tells the caller nothing aliases the file.
+func mapFrame(path string) (*wire.Frame, func() error, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer file.Close()
+	f, err := wire.ReadFrame(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, nil, nil
+}

@@ -2,14 +2,19 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/mat"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // Replica is a read-only follower of one serving endpoint: it
@@ -22,6 +27,12 @@ import (
 // while the primary pays each publish's delta once per replica, not
 // each read once per network round trip.
 //
+// Over a Binary-format client the bootstrap is zero-copy: the frame
+// bytes stream to a spill file which is mmap'd read-only, so the rows
+// never get decoded into a heap copy — the local matrix aliases the
+// kernel page cache (on Linux; elsewhere the frame is decoded in
+// memory). Deltas then patch copy-on-write float32 versions.
+//
 // Reads (Snapshot, Embedding) never block and are safe for any
 // concurrency; Bootstrap and Sync are serialized internally, so one
 // background goroutine calling Sync on a ticker is the intended use.
@@ -31,15 +42,19 @@ type Replica struct {
 	mu  sync.Mutex // serializes Bootstrap/Sync (the only writers)
 	cur atomic.Pointer[ReplicaSnapshot]
 
-	syncs         atomic.Int64
-	resyncs       atomic.Int64
-	rowsApplied   atomic.Int64
-	deltaBytes    atomic.Int64
-	snapshotBytes atomic.Int64
+	syncs           atomic.Int64
+	resyncs         atomic.Int64
+	rowsApplied     atomic.Int64
+	deltaBytes      atomic.Int64
+	snapshotBytes   atomic.Int64
+	deltaPayload    atomic.Int64
+	snapshotPayload atomic.Int64
 }
 
 // ReplicaSnapshot is one immutable local version of the embedding.
 // Identical contract to dyn.Snapshot: readers may hold it forever.
+// Use Dims and CopyRow to read rows — they work for both storage
+// representations (see Z).
 type ReplicaSnapshot struct {
 	Epoch uint64
 	// Instance is the server-side embedder lifetime the epoch belongs
@@ -47,19 +62,63 @@ type ReplicaSnapshot struct {
 	// server's instance changes (a restart resets the epoch counter,
 	// so cross-instance deltas would silently corrupt the copy).
 	Instance uint64
-	Z        *mat.Dense
-	Y        []int32
-	Edges    int64
+	// Z is the heap float64 copy of the embedding when the snapshot
+	// came over the JSON wire; nil when it came over the binary wire
+	// (float32 rows, possibly aliasing a read-only mmap of the
+	// bootstrap spill file — unmapped automatically once the snapshot
+	// is unreachable).
+	Z *mat.Dense
+	// Y is the label vector (always heap-backed, never aliases a
+	// mapping).
+	Y     []int32
+	Edges int64
+
+	z32  []float32 // row-major n×k; set exactly when Z is nil
+	n, k int
 }
 
-// ReplicaStats counts what the replica has done and paid.
+// Dims returns the local matrix shape (rows, columns).
+func (s *ReplicaSnapshot) Dims() (n, k int) { return s.n, s.k }
+
+// CopyRow copies vertex v's row into dst, which must have length ≥ k,
+// and returns dst[:k]; nil when v is out of range. Binary-backed rows
+// widen float32 → float64 exactly, so two reads of the same version
+// always agree bit-for-bit.
+func (s *ReplicaSnapshot) CopyRow(v int, dst []float64) []float64 {
+	if v < 0 || v >= s.n {
+		return nil
+	}
+	dst = dst[:s.k]
+	if s.Z != nil {
+		copy(dst, s.Z.Row(v))
+		return dst
+	}
+	for j, x := range s.z32[v*s.k : (v+1)*s.k] {
+		dst[j] = float64(x)
+	}
+	return dst
+}
+
+// ReplicaStats counts what the replica has done and paid. Wire bytes
+// (what actually crossed the network) and payload bytes (the decoded
+// rows/labels materialized locally) are tracked separately: a sparse
+// binary delta crosses the wire in a small fraction of the bytes it
+// decodes into, JSON text sits much closer to its payload, and the
+// dense binary snapshot IS its payload — conflating the two would
+// hide exactly the figure the binary format exists to improve.
 type ReplicaStats struct {
-	Epoch         uint64 // current local epoch
-	Syncs         int64  // Sync calls that completed successfully
-	Resyncs       int64  // syncs that fell back to a full snapshot
-	RowsApplied   int64  // rows patched in via deltas
-	DeltaBytes    int64  // response-body bytes spent on /v1/delta
-	SnapshotBytes int64  // response-body bytes spent on /v1/snapshot
+	Epoch       uint64 // current local epoch
+	Syncs       int64  // Sync calls that completed successfully
+	Resyncs     int64  // syncs that fell back to a full snapshot
+	RowsApplied int64  // rows patched in via deltas
+	// On-wire response-body bytes, by endpoint.
+	DeltaBytes    int64
+	SnapshotBytes int64
+	// Decoded-payload bytes materialized locally: rows × k × element
+	// size (8 for float64 storage, 4 for float32) plus row ids and
+	// label updates.
+	DeltaPayloadBytes    int64
+	SnapshotPayloadBytes int64
 }
 
 // NewReplica prepares a follower over the client. Call Bootstrap (or
@@ -75,12 +134,10 @@ func (r *Replica) Snapshot() *ReplicaSnapshot { return r.cur.Load() }
 // during a concurrent Sync.
 func (r *Replica) Embedding(v graph.NodeID) []float64 {
 	s := r.cur.Load()
-	if s == nil || int(v) >= s.Z.R {
+	if s == nil || int(v) >= s.n {
 		return nil
 	}
-	out := make([]float64, s.Z.C)
-	copy(out, s.Z.Row(int(v)))
-	return out
+	return s.CopyRow(int(v), make([]float64, s.k))
 }
 
 // Stats returns a copy of the counters.
@@ -90,12 +147,14 @@ func (r *Replica) Stats() ReplicaStats {
 		epoch = s.Epoch
 	}
 	return ReplicaStats{
-		Epoch:         epoch,
-		Syncs:         r.syncs.Load(),
-		Resyncs:       r.resyncs.Load(),
-		RowsApplied:   r.rowsApplied.Load(),
-		DeltaBytes:    r.deltaBytes.Load(),
-		SnapshotBytes: r.snapshotBytes.Load(),
+		Epoch:                epoch,
+		Syncs:                r.syncs.Load(),
+		Resyncs:              r.resyncs.Load(),
+		RowsApplied:          r.rowsApplied.Load(),
+		DeltaBytes:           r.deltaBytes.Load(),
+		SnapshotBytes:        r.snapshotBytes.Load(),
+		DeltaPayloadBytes:    r.deltaPayload.Load(),
+		SnapshotPayloadBytes: r.snapshotPayload.Load(),
 	}
 }
 
@@ -107,12 +166,21 @@ func (r *Replica) Bootstrap(ctx context.Context) error {
 }
 
 func (r *Replica) bootstrapLocked(ctx context.Context) error {
+	if r.c.wire == Binary {
+		return r.bootstrapBinaryLocked(ctx)
+	}
 	var snap server.SnapshotResponse
 	n, err := r.c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &snap)
 	r.snapshotBytes.Add(n)
 	if err != nil {
 		return err
 	}
+	return r.storeDecodedSnapshot(&snap)
+}
+
+// storeDecodedSnapshot validates and installs a snapshot decoded into
+// the JSON response struct (float64 heap storage).
+func (r *Replica) storeDecodedSnapshot(snap *server.SnapshotResponse) error {
 	// Validate the decoded shape like Sync validates deltas: a
 	// malformed or truncated response must surface as an error, not as
 	// an out-of-bounds panic here or a short Y that explodes later.
@@ -127,9 +195,83 @@ func (r *Replica) bootstrapLocked(ctx context.Context) error {
 		}
 		copy(z.Row(u), row)
 	}
+	r.snapshotPayload.Add(int64(snap.N)*int64(snap.K)*8 + int64(snap.N)*4)
 	r.cur.Store(&ReplicaSnapshot{
-		Epoch: snap.Epoch, Instance: snap.Instance, Z: z, Y: snap.Y, Edges: snap.Edges,
+		Epoch: snap.Epoch, Instance: snap.Instance, Z: z, Y: snap.Y,
+		Edges: snap.Edges, n: snap.N, k: snap.K,
 	})
+	return nil
+}
+
+// bootstrapBinaryLocked streams the binary snapshot frame to a spill
+// file and maps it read-only: the n×K float32 payload is never decoded
+// into a heap copy — the local matrix aliases the mapping, which is
+// released once the snapshot version becomes unreachable. A server
+// that answers JSON anyway (no binary support) is decoded in place.
+func (r *Replica) bootstrapBinaryLocked(ctx context.Context) error {
+	body, contentType, err := r.c.getStream(ctx, "/v1/snapshot")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	cr := &countingReader{r: body}
+	if !isFrame(contentType) {
+		var snap server.SnapshotResponse
+		err := json.NewDecoder(cr).Decode(&snap)
+		r.snapshotBytes.Add(cr.n)
+		if err != nil {
+			return err
+		}
+		return r.storeDecodedSnapshot(&snap)
+	}
+	spill, err := os.CreateTemp("", "gee-replica-*.snap")
+	if err != nil {
+		return err
+	}
+	path := spill.Name()
+	_, cpErr := io.Copy(spill, cr)
+	r.snapshotBytes.Add(cr.n)
+	if err := spill.Close(); cpErr == nil {
+		cpErr = err
+	}
+	if cpErr != nil {
+		os.Remove(path)
+		return fmt.Errorf("client: spilling snapshot frame: %w", cpErr)
+	}
+	f, closer, err := mapFrame(path)
+	// The mapping (or the decoded copy) outlives the name either way.
+	os.Remove(path)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		if closer != nil {
+			closer()
+		}
+		return err
+	}
+	if f.Kind != wire.KindSnapshot || f.NRows != f.N || f.RowIDs != nil || uint32(len(f.Y)) != f.N {
+		return fail(fmt.Errorf("client: snapshot frame shape kind=%d n=%d rows=%d ids=%d labels=%d",
+			f.Kind, f.N, f.NRows, len(f.RowIDs), len(f.Y)))
+	}
+	n, k := int(f.N), int(f.K)
+	snap := &ReplicaSnapshot{
+		Epoch: f.Epoch, Instance: f.Instance, Edges: f.Edges,
+		// Y is copied to the heap: it is a public field, and a slice
+		// that quietly aliased the mapping could outlive the snapshot
+		// that keeps the mapping alive. The big payload — Rows — stays
+		// aliased and is only reachable through CopyRow.
+		Y:   append([]int32(nil), f.Y...),
+		z32: f.Rows, n: n, k: k,
+	}
+	if closer != nil {
+		// Unmap when this version becomes unreachable — readers may
+		// hold it forever, so eager unmapping on the next Sync would
+		// pull pages out from under them.
+		runtime.AddCleanup(snap, func(unmap func() error) { unmap() }, closer)
+	}
+	r.snapshotPayload.Add(int64(n)*int64(k)*4 + int64(n)*4)
+	r.cur.Store(snap)
 	return nil
 }
 
@@ -174,12 +316,36 @@ func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
 	if len(dl.Z) != len(dl.Rows) {
 		return false, fmt.Errorf("client: delta carries %d rows but %d value rows", len(dl.Rows), len(dl.Z))
 	}
-	z := cur.Z.Clone()
-	for i, v := range dl.Rows {
-		if int(v) >= z.R || len(dl.Z[i]) != z.C {
-			return false, fmt.Errorf("client: delta row %d (vertex %d) malformed", i, v)
+	next := &ReplicaSnapshot{
+		Epoch: dl.Epoch, Instance: cur.Instance, Edges: dl.Edges,
+		n: cur.n, k: cur.k,
+	}
+	elemSize := int64(8)
+	if cur.Z != nil {
+		z := cur.Z.Clone()
+		for i, v := range dl.Rows {
+			if int(v) >= cur.n || len(dl.Z[i]) != cur.k {
+				return false, fmt.Errorf("client: delta row %d (vertex %d) malformed", i, v)
+			}
+			copy(z.Row(int(v)), dl.Z[i])
 		}
-		copy(z.Row(int(v)), dl.Z[i])
+		next.Z = z
+	} else {
+		// Binary storage: patch a fresh float32 version. The wire
+		// carried float32 widened to float64 on decode, so narrowing
+		// back is exact — the patched row equals the frame's bytes.
+		z := append([]float32(nil), cur.z32...)
+		for i, v := range dl.Rows {
+			if int(v) >= cur.n || len(dl.Z[i]) != cur.k {
+				return false, fmt.Errorf("client: delta row %d (vertex %d) malformed", i, v)
+			}
+			row := z[int(v)*cur.k : (int(v)+1)*cur.k]
+			for j, x := range dl.Z[i] {
+				row[j] = float32(x)
+			}
+		}
+		next.z32 = z
+		elemSize = 4
 	}
 	y := append([]int32(nil), cur.Y...)
 	for _, l := range dl.Labels {
@@ -188,10 +354,11 @@ func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
 		}
 		y[l.V] = l.Class
 	}
-	r.cur.Store(&ReplicaSnapshot{
-		Epoch: dl.Epoch, Instance: cur.Instance, Z: z, Y: y, Edges: dl.Edges,
-	})
+	next.Y = y
+	r.cur.Store(next)
 	r.syncs.Add(1)
 	r.rowsApplied.Add(int64(len(dl.Rows)))
+	r.deltaPayload.Add(int64(len(dl.Rows))*int64(cur.k)*elemSize +
+		int64(len(dl.Rows))*4 + int64(len(dl.Labels))*8)
 	return false, nil
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dyn"
 	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // Wire types. An omitted edge weight means 1; an *explicit* zero,
@@ -159,6 +160,10 @@ type StatsResponse struct {
 	Dyn       dyn.Stats      `json:"dyn"`
 	Coalescer CoalescerStats `json:"coalescer"`
 	Index     IndexStats     `json:"index"`
+	// Wire counts responses and bytes sent by the row-carrying
+	// endpoints, split by negotiated format — the JSON-vs-binary byte
+	// win, visible in production rather than only in geeload output.
+	Wire WireStats `json:"wire"`
 }
 
 // ErrorResponse carries any non-2xx outcome.
@@ -214,6 +219,7 @@ type Server struct {
 	index   *indexCache
 	search  int
 	maxRead int
+	wire    wireCounters
 }
 
 // orDefault maps the Options timeout/limit convention (0 = default,
@@ -484,8 +490,15 @@ func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
 	st := newStreamer(w, r.Context())
+	defer st.release()
+	if binary := wantsBinary(r); binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+		streamEmbeddingsBinary(st, snap, req.Vs)
+		s.wire.embeddings.record(binary, st.bytesSent())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(st.bw, `{"epoch":%d,"rows":`, snap.Epoch)
 	if st.floatRows(len(req.Vs), func(i int) []float64 {
 		return snap.Z.Row(int(req.Vs[i]))
@@ -493,6 +506,7 @@ func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
 		st.rawByte('}')
 	}
 	st.flush()
+	s.wire.embeddings.record(false, st.bytesSent())
 }
 
 // handleNeighbors answers a top-k nearest-neighbor query over the
@@ -579,17 +593,30 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSnapshot streams the whole published snapshot as one JSON
-// object, row by row through a buffered writer — the n×K matrix is
-// never marshaled into a second in-memory copy. Floats are written in
-// shortest round-trip form, so a client re-reading them recovers the
-// exact published values. The stream aborts between row chunks when
-// the client disconnects (write error or context cancellation), so a
-// departed reader does not pay for the full O(nK) serialization.
+// handleSnapshot streams the whole published snapshot row by row
+// through a pooled buffered writer — the n×K matrix is never marshaled
+// into a second in-memory copy. The default JSON stream writes floats
+// in shortest round-trip form, so a client re-reading them recovers
+// the exact published values; a client that negotiated the binary
+// format (Accept: application/x-gee-frame) gets the same rows as a
+// dense float32 frame a replica can spill and mmap without a decode
+// pass. Either stream aborts between row
+// chunks when the client disconnects (write error or context
+// cancellation), so a departed reader does not pay for the full O(nK)
+// serialization.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap := s.d.Snapshot()
+	st := newStreamer(w, r.Context())
+	defer st.release()
+	if binary := wantsBinary(r); binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+		streamSnapshotBinary(st, snap)
+		s.wire.snapshot.record(binary, st.bytesSent())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	streamSnapshot(newStreamer(w, r.Context()), snap)
+	streamSnapshot(st, snap)
+	s.wire.snapshot.record(false, st.bytesSent())
 }
 
 // handleDelta streams the epoch delta from ?from=E to the published
@@ -604,8 +631,17 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dl := s.d.Delta(from)
+	st := newStreamer(w, r.Context())
+	defer st.release()
+	if binary := wantsBinary(r); binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+		streamDeltaBinary(st, dl, s.d.K(), s.d.N())
+		s.wire.delta.record(binary, st.bytesSent())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	streamDelta(newStreamer(w, r.Context()), dl, s.d.K())
+	streamDelta(st, dl, s.d.K())
+	s.wire.delta.record(false, st.bytesSent())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -617,6 +653,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		N: s.d.N(), K: s.d.K(), Dyn: s.d.Stats(), Coalescer: s.co.Stats(),
-		Index: s.index.stats(),
+		Index: s.index.stats(), Wire: s.wire.stats(),
 	})
 }

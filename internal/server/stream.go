@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 
 	"repro/internal/dyn"
 )
@@ -28,10 +29,12 @@ const abortCheckEvery = 256
 
 // errTracker records the first error of the underlying writer so the
 // streamer can observe it (bufio.Writer keeps its sticky error
-// private).
+// private), and counts the bytes that actually reached the client —
+// the per-endpoint bytes-sent figure /statsz reports.
 type errTracker struct {
 	w   io.Writer
 	err error
+	n   int64
 }
 
 func (t *errTracker) Write(p []byte) (int, error) {
@@ -39,25 +42,58 @@ func (t *errTracker) Write(p []byte) (int, error) {
 		return 0, t.err
 	}
 	n, err := t.w.Write(p)
+	t.n += int64(n)
 	if err != nil {
 		t.err = err
 	}
 	return n, err
 }
 
-// streamer incrementally writes one large JSON response.
+// streamer incrementally writes one large response — JSON through the
+// numeric writers below, binary frames through the stream_binary.go
+// side. Streamers are pooled: the 64 KiB write buffer and the scratch
+// formatting buffer survive across requests, so concurrent
+// snapshot/delta streams stop paying a fresh allocation per request.
 type streamer struct {
 	t       errTracker
 	bw      *bufio.Writer
 	ctx     context.Context
 	scratch []byte
+	// blob assembles a sparse delta body, which must be sized before
+	// the header that precedes it can be written (so it cannot go
+	// through bw incrementally like scratch does).
+	blob []byte
 }
 
-func newStreamer(w io.Writer, ctx context.Context) *streamer {
-	s := &streamer{ctx: ctx}
-	s.t.w = w
+var streamerPool = sync.Pool{New: func() any {
+	s := &streamer{}
 	s.bw = bufio.NewWriterSize(&s.t, 1<<16)
 	return s
+}}
+
+func newStreamer(w io.Writer, ctx context.Context) *streamer {
+	s := streamerPool.Get().(*streamer)
+	s.t.w, s.t.err, s.t.n = w, nil, 0
+	s.ctx = ctx
+	s.bw.Reset(&s.t)
+	return s
+}
+
+// bytesSent reports how many bytes reached the underlying writer so
+// far (flush before reading it for a final figure).
+func (s *streamer) bytesSent() int64 { return s.t.n }
+
+// release returns the streamer (and its buffers) to the pool. The
+// caller must not touch it afterwards. An unusually large delta blob
+// (a sync spanning most of the matrix) is dropped rather than parked
+// in the pool forever.
+func (s *streamer) release() {
+	s.t.w = nil
+	s.ctx = nil
+	if cap(s.blob) > 1<<20 {
+		s.blob = nil
+	}
+	streamerPool.Put(s)
 }
 
 // aborted reports whether further output is pointless: the writer

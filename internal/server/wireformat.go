@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Content negotiation for the row-carrying endpoints (/v1/snapshot,
+// /v1/delta, /v1/embeddings). JSON is the default and the debug path;
+// a client opts into the compact binary frame format by listing
+// wire.ContentType in its Accept header. Anything else — no header,
+// */*, application/*, malformed values — stays JSON: an old client
+// must never receive bytes it cannot parse.
+
+// wantsBinary reports whether the request explicitly accepts the
+// binary frame content type with a non-zero quality value.
+func wantsBinary(r *http.Request) bool {
+	for _, hv := range r.Header.Values("Accept") {
+		for _, rng := range strings.Split(hv, ",") {
+			mt, params, _ := strings.Cut(rng, ";")
+			if !strings.EqualFold(strings.TrimSpace(mt), wire.ContentType) {
+				continue
+			}
+			if q, ok := qValue(params); ok && q == 0 {
+				continue // explicitly listed, explicitly refused
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// qValue extracts a media range's q parameter.
+func qValue(params string) (float64, bool) {
+	for _, p := range strings.Split(params, ";") {
+		k, v, found := strings.Cut(strings.TrimSpace(p), "=")
+		if !found || !strings.EqualFold(strings.TrimSpace(k), "q") {
+			continue
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return 0, false // malformed q: ignore it, keep the match
+		}
+		return q, true
+	}
+	return 0, false
+}
+
+// endpointWire counts one endpoint's responses and bytes sent, split
+// by wire format — the production-visible JSON-vs-binary comparison.
+type endpointWire struct {
+	jsonResponses atomic.Int64
+	jsonBytes     atomic.Int64
+	binResponses  atomic.Int64
+	binBytes      atomic.Int64
+}
+
+func (e *endpointWire) record(binary bool, n int64) {
+	if binary {
+		e.binResponses.Add(1)
+		e.binBytes.Add(n)
+		return
+	}
+	e.jsonResponses.Add(1)
+	e.jsonBytes.Add(n)
+}
+
+func (e *endpointWire) stats() EndpointWireStats {
+	return EndpointWireStats{
+		JSONResponses:   e.jsonResponses.Load(),
+		JSONBytes:       e.jsonBytes.Load(),
+		BinaryResponses: e.binResponses.Load(),
+		BinaryBytes:     e.binBytes.Load(),
+	}
+}
+
+// EndpointWireStats reports one endpoint's response counts and
+// bytes-sent, split by wire format.
+type EndpointWireStats struct {
+	JSONResponses   int64 `json:"json_responses"`
+	JSONBytes       int64 `json:"json_bytes"`
+	BinaryResponses int64 `json:"binary_responses"`
+	BinaryBytes     int64 `json:"binary_bytes"`
+}
+
+// WireStats groups the per-endpoint wire counters of the row-carrying
+// endpoints (the only ones that negotiate a format).
+type WireStats struct {
+	Snapshot   EndpointWireStats `json:"snapshot"`
+	Delta      EndpointWireStats `json:"delta"`
+	Embeddings EndpointWireStats `json:"embeddings"`
+}
+
+// wireCounters is the server-side mutable form of WireStats.
+type wireCounters struct {
+	snapshot   endpointWire
+	delta      endpointWire
+	embeddings endpointWire
+}
+
+func (w *wireCounters) stats() WireStats {
+	return WireStats{
+		Snapshot:   w.snapshot.stats(),
+		Delta:      w.delta.stats(),
+		Embeddings: w.embeddings.stats(),
+	}
+}

@@ -1,0 +1,255 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/wire"
+)
+
+// wireTestServer spins up a server with some published structure and
+// returns its base URL plus a JSON client for acks/stats.
+func wireTestServer(t *testing.T) (*client.Client, string) {
+	t.Helper()
+	const n, k = 300, 5
+	_, c, base := startServer(t, n, fullLabels(n, k), dyn.Options{K: k}, server.Options{})
+	edges := make([]graph.Edge, 0, 4*n)
+	for i := 0; i < 4*n; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.NodeID((7 * i) % n), V: graph.NodeID((11*i + 3) % n), W: float32(i%3 + 1),
+		})
+	}
+	if _, err := c.InsertEdges(context.Background(), edges); err != nil {
+		t.Fatal(err)
+	}
+	return c, base
+}
+
+// get fetches path with an explicit Accept header and returns the
+// response Content-Type and body.
+func get(t *testing.T, base, path, accept string) (string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s (Accept %q): status %d", path, accept, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Header.Get("Content-Type"), buf.Bytes()
+}
+
+// TestContentNegotiation pins the negotiation contract: binary only
+// when the client explicitly lists the frame type with nonzero q;
+// everything else — absent, wildcard, malformed, q=0 — stays JSON, so
+// a pre-binary client can never receive bytes it cannot parse.
+func TestContentNegotiation(t *testing.T) {
+	_, base := wireTestServer(t)
+	cases := []struct {
+		accept string
+		binary bool
+	}{
+		{"", false},
+		{"*/*", false},
+		{"application/*", false},
+		{"application/json", false},
+		{"application/json, */*;q=0.1", false},
+		{"total garbage ;; ,,", false},
+		{wire.ContentType, true},
+		{strings.ToUpper(wire.ContentType), true},
+		{"application/json, " + wire.ContentType, true},
+		{wire.ContentType + ";q=0.5", true},
+		{wire.ContentType + ";q=0", false},
+		{wire.ContentType + "; q=0.000", false},
+		{wire.ContentType + "-not-really", false},
+	}
+	for _, tc := range cases {
+		ct, body := get(t, base, "/v1/snapshot", tc.accept)
+		gotBinary := strings.HasPrefix(ct, wire.ContentType)
+		if gotBinary != tc.binary {
+			t.Errorf("Accept %q: got Content-Type %q, want binary=%v", tc.accept, ct, tc.binary)
+			continue
+		}
+		if gotBinary {
+			if _, err := wire.DecodeFrame(body); err != nil {
+				t.Errorf("Accept %q: binary body does not decode: %v", tc.accept, err)
+			}
+		} else if !json.Valid(body) {
+			t.Errorf("Accept %q: JSON body invalid", tc.accept)
+		}
+	}
+}
+
+// TestSnapshotCrossFormatEquivalence fetches the same published
+// snapshot over both wire formats and checks they describe the same
+// matrix: identical header fields and labels, and every binary float32
+// bitwise equal to the quantized JSON float64 — the only difference
+// between the formats is the documented float32 narrowing.
+func TestSnapshotCrossFormatEquivalence(t *testing.T) {
+	_, base := wireTestServer(t)
+	_, jsonBody := get(t, base, "/v1/snapshot", "")
+	var js server.SnapshotResponse
+	if err := json.Unmarshal(jsonBody, &js); err != nil {
+		t.Fatal(err)
+	}
+	ct, binBody := get(t, base, "/v1/snapshot", wire.ContentType)
+	if !strings.HasPrefix(ct, wire.ContentType) {
+		t.Fatalf("binary fetch answered %q", ct)
+	}
+	f, err := wire.DecodeFrame(binBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Epoch != js.Epoch || f.Instance != js.Instance || int(f.N) != js.N ||
+		int(f.K) != js.K || f.Edges != js.Edges {
+		t.Fatalf("headers disagree: frame %+v vs JSON epoch=%d n=%d k=%d edges=%d",
+			f.Header, js.Epoch, js.N, js.K, js.Edges)
+	}
+	// Strictly smaller is all this synthetic matrix can promise — its
+	// values happen to format as short decimals. The ≥5× ratio the
+	// sparse delta path reaches on the real workload is measured by
+	// the geeload runs in EXPERIMENTS.md.
+	if len(binBody) >= len(jsonBody) {
+		t.Errorf("binary snapshot is %d bytes vs %d JSON — expected smaller", len(binBody), len(jsonBody))
+	}
+	for v := range js.Y {
+		if f.Y[v] != js.Y[v] {
+			t.Fatalf("Y[%d]: binary %d, JSON %d", v, f.Y[v], js.Y[v])
+		}
+	}
+	for v := 0; v < js.N; v++ {
+		for j := 0; j < js.K; j++ {
+			bin := f.Rows[v*js.K+j]
+			if math.Float32bits(bin) != math.Float32bits(float32(js.Z[v][j])) {
+				t.Fatalf("Z[%d][%d]: binary %v, JSON %v (quantized %v)", v, j, bin, js.Z[v][j], float32(js.Z[v][j]))
+			}
+		}
+	}
+}
+
+// TestBinaryClientSeesJSONValuesQuantized drives the typed client in
+// both formats over delta and batched-embedding endpoints: the binary
+// decode must surface exactly float64(float32(jsonValue)).
+func TestBinaryClientSeesJSONValuesQuantized(t *testing.T) {
+	_, base := wireTestServer(t)
+	ctx := context.Background()
+	cj := client.New(base, nil)
+	cb := client.New(base, nil, client.WithWire(client.Binary))
+
+	vs := []graph.NodeID{0, 7, 7, 299, 150}
+	ej, err := cj.Embeddings(ctx, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := cb.Embeddings(ctx, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ej.Epoch != eb.Epoch || len(ej.Rows) != len(eb.Rows) {
+		t.Fatalf("batch read disagrees: %d rows at epoch %d vs %d rows at epoch %d",
+			len(ej.Rows), ej.Epoch, len(eb.Rows), eb.Epoch)
+	}
+	for i := range ej.Rows {
+		for j := range ej.Rows[i] {
+			if float64(float32(ej.Rows[i][j])) != eb.Rows[i][j] {
+				t.Fatalf("row %d col %d: JSON %v, binary %v", i, j, ej.Rows[i][j], eb.Rows[i][j])
+			}
+		}
+	}
+
+	// Delta from epoch 0 — either a real delta or a resync flag; both
+	// clients must agree on which and on the contents.
+	dj, err := cj.Delta(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cb.Delta(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dj.Resync != db.Resync || dj.Epoch != db.Epoch || dj.Instance != db.Instance {
+		t.Fatalf("delta disagrees: JSON %+v vs binary %+v", dj, db)
+	}
+	if !dj.Resync {
+		if len(dj.Rows) != len(db.Rows) {
+			t.Fatalf("delta row counts disagree: %d vs %d", len(dj.Rows), len(db.Rows))
+		}
+		for i := range dj.Rows {
+			if dj.Rows[i] != db.Rows[i] {
+				t.Fatalf("delta row id %d: JSON %d, binary %d", i, dj.Rows[i], db.Rows[i])
+			}
+			for j := range dj.Z[i] {
+				if float64(float32(dj.Z[i][j])) != db.Z[i][j] {
+					t.Fatalf("delta row %d col %d: JSON %v, binary %v", i, j, dj.Z[i][j], db.Z[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestStatszWireCounters checks /statsz splits response counts and
+// bytes by endpoint and format, and that the binary bytes actually
+// undercut the JSON bytes for the same snapshot.
+func TestStatszWireCounters(t *testing.T) {
+	c, base := wireTestServer(t)
+	ctx := context.Background()
+	st0, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jsonBody := get(t, base, "/v1/snapshot", "")
+	_, binBody := get(t, base, "/v1/snapshot", wire.ContentType)
+	cb := client.New(base, nil, client.WithWire(client.Binary))
+	if _, err := cb.Embeddings(ctx, []graph.NodeID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Delta(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Wire.Snapshot
+	d0 := st0.Wire.Snapshot
+	if snap.JSONResponses-d0.JSONResponses != 1 || snap.BinaryResponses-d0.BinaryResponses != 1 {
+		t.Fatalf("snapshot counters moved by json=%d binary=%d, want 1 and 1",
+			snap.JSONResponses-d0.JSONResponses, snap.BinaryResponses-d0.BinaryResponses)
+	}
+	if snap.JSONBytes-d0.JSONBytes != int64(len(jsonBody)) {
+		t.Errorf("snapshot json_bytes moved by %d, body was %d", snap.JSONBytes-d0.JSONBytes, len(jsonBody))
+	}
+	if snap.BinaryBytes-d0.BinaryBytes != int64(len(binBody)) {
+		t.Errorf("snapshot binary_bytes moved by %d, body was %d", snap.BinaryBytes-d0.BinaryBytes, len(binBody))
+	}
+	if len(binBody) >= len(jsonBody) {
+		t.Errorf("binary snapshot %d bytes vs JSON %d — expected smaller", len(binBody), len(jsonBody))
+	}
+	if st.Wire.Embeddings.BinaryResponses-st0.Wire.Embeddings.BinaryResponses != 1 {
+		t.Errorf("embeddings binary_responses did not move")
+	}
+	if st.Wire.Delta.BinaryResponses-st0.Wire.Delta.BinaryResponses != 1 {
+		t.Errorf("delta binary_responses did not move")
+	}
+}

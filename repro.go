@@ -290,7 +290,24 @@ type (
 	CoalescerOptions = server.CoalescerOptions
 	// EmbeddingClient is the typed client for the serving API.
 	EmbeddingClient = client.Client
+	// ClientOption configures an EmbeddingClient.
+	ClientOption = client.Option
+	// WireFormat selects the client's response encoding for the
+	// row-carrying endpoints: JSON (the default) or binary frames.
+	WireFormat = client.Format
 )
+
+// Wire formats an EmbeddingClient can negotiate (see WithWireFormat).
+const (
+	WireJSON   = client.JSON
+	WireBinary = client.Binary
+)
+
+// WithWireFormat makes the client request the given wire format;
+// WireBinary negotiates compact float32 frames (sparse deltas,
+// mmap-able snapshots) and falls back to JSON against a server that
+// does not speak them.
+func WithWireFormat(f WireFormat) ClientOption { return client.WithWire(f) }
 
 // NewEmbeddingServer builds a server over the embedder and starts its
 // ingest coalescer.
@@ -300,8 +317,8 @@ func NewEmbeddingServer(d *DynamicEmbedder, opts ServerOptions) *EmbeddingServer
 
 // NewEmbeddingClient builds a client for a serving base URL like
 // "http://127.0.0.1:8080" (nil http.Client selects the default).
-func NewEmbeddingClient(base string, hc *http.Client) *EmbeddingClient {
-	return client.New(base, hc)
+func NewEmbeddingClient(base string, hc *http.Client, opts ...ClientOption) *EmbeddingClient {
+	return client.New(base, hc, opts...)
 }
 
 // Read-path scale-out: epoch deltas for replica fan-out, replica

@@ -6,7 +6,9 @@
 # non-zero applied ops, that the post-load recall@10 of the approx
 # index against the exact scan is ≥ 0.9 at the default nprobe, that
 # the replica ends bit-identical to the primary's /v1/snapshot after
-# churn, and check a clean graceful shutdown on SIGTERM.
+# churn, that a second load over the binary wire format also verifies
+# bit-identical while spending fewer delta bytes per sync than the
+# JSON run, and check a clean graceful shutdown on SIGTERM.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -85,6 +87,46 @@ if ! grep -q 'replica verify OK' "$log/load.out"; then
 fi
 if ! curl -fsS "http://$addr/statsz" | grep -Eq '"Inserts":[1-9][0-9]*'; then
   echo "FAIL: server reports zero applied inserts" >&2
+  exit 1
+fi
+
+# Second leg: the same replica loop over the binary wire format. The
+# follower must still end bit-identical to the primary (the float32
+# wire loses nothing the verification snapshot doesn't also lose) and
+# the sparse delta frames must spend under half the wire bytes per
+# applied row that the JSON text did above. Per-row, not per-sync:
+# binary streaming frees enough server CPU that this leg acks several
+# times more writes, so its syncs carry far more rows each — bytes
+# per row is the load-independent figure (~6× at n=100k, see
+# EXPERIMENTS.md; ≥2× is the floor asserted here).
+"$bin/geeload" -addr "http://$addr" -duration 2s -writers 3 -readers 0 \
+  -batch 32 -edge-block 0.9 -replicas 1 -replica-sync 20ms -replica-verify \
+  -wire binary \
+  | tee "$log/load_bin.out"
+
+if ! grep -q 'replica verify OK' "$log/load_bin.out"; then
+  echo "FAIL: binary-wire replica not bit-identical to the primary snapshot" >&2
+  exit 1
+fi
+json_rows=$(sed -n 's/.* \([0-9][0-9]*\) delta rows applied.*/\1/p' "$log/load.out" | head -1)
+json_wire=$(sed -n 's/.*delta wire \([0-9][0-9]*\) B.*/\1/p' "$log/load.out" | head -1)
+bin_rows=$(sed -n 's/.* \([0-9][0-9]*\) delta rows applied.*/\1/p' "$log/load_bin.out" | head -1)
+bin_wire=$(sed -n 's/.*delta wire \([0-9][0-9]*\) B.*/\1/p' "$log/load_bin.out" | head -1)
+if [ -z "$json_rows" ] || [ -z "$json_wire" ] || [ -z "$bin_rows" ] || [ -z "$bin_wire" ]; then
+  echo "FAIL: missing delta wire/rows figures (json $json_wire/$json_rows, binary $bin_wire/$bin_rows)" >&2
+  exit 1
+fi
+if ! awk -v jw="$json_wire" -v jr="$json_rows" -v bw="$bin_wire" -v br="$bin_rows" \
+    'BEGIN { exit !(jr > 0 && br > 0 && 2 * bw / br < jw / jr) }'; then
+  echo "FAIL: binary delta wire not under half the JSON bytes per row:" >&2
+  echo "  json $json_wire B / $json_rows rows, binary $bin_wire B / $bin_rows rows" >&2
+  exit 1
+fi
+echo "delta wire per applied row: json $json_wire B/$json_rows rows, binary $bin_wire B/$bin_rows rows"
+# /statsz must show the per-format split actually counting binary
+# responses after the second leg.
+if ! curl -fsS "http://$addr/statsz" | grep -Eq '"binary_responses":[1-9]'; then
+  echo "FAIL: /statsz shows no binary responses after the binary-wire run" >&2
   exit 1
 fi
 
