@@ -73,8 +73,8 @@ const ContentType = "application/x-gee-frame"
 
 // Frame kinds.
 const (
-	KindSnapshot = 1
-	KindDelta    = 2
+	KindSnapshot   = 1
+	KindDelta      = 2
 	KindEmbeddings = 3
 )
 
@@ -88,9 +88,16 @@ const (
 	flagSparse = 1 << 1
 )
 
-// maxCount bounds every header count: a corrupted or hostile header
-// must not turn into a multi-gigabyte allocation in ReadFrame.
-const maxCount = 1 << 31
+// maxCount bounds every header count and maxBody the total body
+// length: a corrupted or hostile 72-byte header must not turn into a
+// multi-gigabyte make() in ReadFrame. maxCount is small enough that
+// the widest term below, 4·nrows·k ≤ 4·2^30·2^30 = 2^62, cannot
+// overflow int64 — the size arithmetic is exact before it is compared
+// against maxBody.
+const (
+	maxCount = 1 << 30
+	maxBody  = 512 << 20
+)
 
 // hostLittle reports whether this machine stores integers little-endian
 // — the precondition for aliasing wire bytes as typed slices.
@@ -112,17 +119,17 @@ type Header struct {
 	Resync bool
 	// Sparse marks a delta frame whose rows travel in the sparse blob
 	// encoding (see the package doc) instead of the fixed sections.
-	Sparse bool
-	K      uint32
+	Sparse   bool
+	K        uint32
 	Epoch    uint64
 	Instance uint64
 	From     uint64
 	Edges    int64
-	N       uint32
-	NY      uint32
-	NLabels uint32
-	NIDs    uint32
-	NRows   uint32
+	N        uint32
+	NY       uint32
+	NLabels  uint32
+	NIDs     uint32
+	NRows    uint32
 	// BodyBytes is the sparse row blob's exact byte length; zero on
 	// dense frames. Encoders derive it (see Frame.normalized).
 	BodyBytes uint32
@@ -235,17 +242,17 @@ func (h Header) BodySize() (int64, error) {
 			return 0, fmt.Errorf("wire: sparse blob of %d bytes below the %d-byte floor for %d rows",
 				h.BodyBytes, min, h.NRows)
 		}
-		if dense := 4 * int64(h.NRows) * int64(h.K); dense > 4*maxCount {
+		if dense := 4 * int64(h.NRows) * int64(h.K); dense > maxBody {
 			return 0, fmt.Errorf("wire: implausible sparse frame of %d dense bytes", dense)
 		}
 		size := 4*int64(h.NY) + 8*int64(h.NLabels) + int64(h.BodyBytes)
-		if size > 4*maxCount {
+		if size > maxBody {
 			return 0, fmt.Errorf("wire: implausible frame body of %d bytes", size)
 		}
 		return size, nil
 	}
 	size := 4*int64(h.NY) + 8*int64(h.NLabels) + 4*int64(h.NIDs) + 4*int64(h.NRows)*int64(h.K)
-	if size > 4*maxCount {
+	if size > maxBody {
 		return 0, fmt.Errorf("wire: implausible frame body of %d bytes", size)
 	}
 	return size, nil
@@ -584,6 +591,15 @@ func decodeSparseRows(h Header, b []byte) ([]uint32, []float32, error) {
 		if i > 0 {
 			if delta == 0 {
 				return nil, nil, fmt.Errorf("wire: sparse row %d: ids not strictly ascending", i)
+			}
+			// Bound the delta before adding: prev+delta near 2^64 wraps
+			// to a small id that would pass the range check below while
+			// breaking the ascending-ids invariant. prev < h.N always
+			// holds here (row i-1 was accepted), so the subtraction
+			// cannot underflow.
+			if delta > uint64(h.N)-1-prev {
+				return nil, nil, fmt.Errorf("wire: sparse row %d: id delta %d past the last vertex (prev %d, n=%d)",
+					i, delta, prev, h.N)
 			}
 			id = prev + delta
 		}

@@ -270,6 +270,55 @@ func TestSparseFrameCorruptions(t *testing.T) {
 	}
 }
 
+// TestHostileCountHeaders: a 72-byte header whose counts are huge must
+// decode to an error, never a panic and never a giant allocation. The
+// first case is the historical overflow: with nrows=k=2^31 the dense
+// term 4·nrows·k wraps int64 to exactly 0, BodySize used to return
+// (0, nil), and DecodeFrame then panicked indexing the empty body.
+func TestHostileCountHeaders(t *testing.T) {
+	cases := map[string]Header{
+		"nrows=k=2^31 (product wraps to 0)": {
+			Kind: KindSnapshot, K: 1 << 31, N: 1 << 31, NRows: 1 << 31},
+		"nrows=k=2^30 (product 2^62 over body cap)": {
+			Kind: KindSnapshot, K: 1 << 30, N: 1 << 30, NRows: 1 << 30},
+		"ny=n=2^31 (8 GiB label section)": {
+			Kind: KindSnapshot, N: 1 << 31, NY: 1 << 31},
+		"ny=n=2^28 (1 GiB body over cap)": {
+			Kind: KindSnapshot, N: 1 << 28, NY: 1 << 28},
+	}
+	for name, h := range cases {
+		b := h.AppendTo(nil)
+		if _, err := h.BodySize(); err == nil {
+			t.Errorf("%s: BodySize accepted the header", name)
+		}
+		if _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: DecodeFrame accepted the header", name)
+		}
+		if _, err := ReadFrame(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: ReadFrame accepted the header", name)
+		}
+	}
+}
+
+// TestSparseIDDeltaWraparound: a minimal 10-byte varint delta near 2^64
+// makes prev+delta wrap to a small in-range id (5 + (2^64-3) = 2); the
+// decoder must reject it rather than accept out-of-order row ids.
+func TestSparseIDDeltaWraparound(t *testing.T) {
+	h := Header{Kind: KindDelta, Sparse: true, K: 5, N: 10,
+		NIDs: 2, NRows: 2, BodyBytes: 13}
+	b := h.AppendTo(nil)
+	b = append(b, 0x05, 0x00)                 // row 0: vertex 5, all-zero bitmap
+	b = binary.AppendUvarint(b, ^uint64(0)-2) // row 1: delta 2^64-3 wraps to id 2
+	b = append(b, 0x00)                       // row 1 bitmap
+	if len(b) != HeaderSize+13 {
+		t.Fatalf("frame is %d bytes, expected %d — fix BodyBytes above", len(b)-HeaderSize, 13)
+	}
+	fr, err := DecodeFrame(b)
+	if err == nil {
+		t.Fatalf("wrapping sparse id delta accepted: ids=%v", fr.RowIDs)
+	}
+}
+
 // FuzzDecodeFrame: arbitrary bytes must never panic the decoders.
 func FuzzDecodeFrame(f *testing.F) {
 	r := xrand.New(227)
