@@ -35,8 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/dyn"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/rate"
 	"repro/internal/server"
 	"repro/internal/server/client"
@@ -72,6 +73,7 @@ type config struct {
 	deleteFrac    float64
 	labelFrac     float64
 	seed          uint64
+	metricsURL    string
 }
 
 // counters aggregates what the load achieved.
@@ -109,6 +111,7 @@ func main() {
 	flag.Float64Var(&cfg.deleteFrac, "delete-frac", 0.2, "fraction of writer requests that delete a previously inserted batch")
 	flag.Float64Var(&cfg.labelFrac, "label-frac", 0.2, "fraction of vertices labeled round-robin before the load starts")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.StringVar(&cfg.metricsURL, "metrics-url", "", "scrape this Prometheus endpoint (e.g. <addr>/metrics) after the load and report the server's own per-route latencies")
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "geeload:", err)
@@ -144,17 +147,6 @@ func randEdges(r *xrand.Rand, n, k, m int, blockFrac float64) []graph.Edge {
 		}
 	}
 	return edges
-}
-
-// percentile returns the p-quantile (0..1) of a sample, or 0 when
-// empty. Sorts in place.
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sort.Float64s(xs)
-	i := int(p * float64(len(xs)-1))
-	return xs[i]
 }
 
 // done reports whether an error just means the load window closed.
@@ -290,7 +282,10 @@ func run(cfg config, out io.Writer) error {
 			}
 		}(br)
 	}
-	nbrLats := make([][]float64, cfg.nbrReaders) // per-query ms, merged for p50
+	// One lock-free latency histogram shared by every neighbor reader —
+	// the same instrument the server uses, so the client-side p50 and a
+	// scraped server-side p50 are estimated identically.
+	nbrLat := metrics.NewHistogram(metrics.DefLatencyBuckets)
 	for nr := 0; nr < cfg.nbrReaders; nr++ {
 		wg.Add(1)
 		go func(id int) {
@@ -309,7 +304,7 @@ func run(cfg config, out io.Writer) error {
 					cnt.errors.Add(1)
 					continue
 				}
-				nbrLats[id] = append(nbrLats[id], float64(time.Since(t0).Microseconds())/1000)
+				nbrLat.ObserveSince(t0)
 				cnt.neighbors.Add(1)
 			}
 		}(nr)
@@ -351,13 +346,10 @@ func run(cfg config, out io.Writer) error {
 			rate.PerSec(cnt.batchReads.Load(), secs), rate.PerSec(cnt.batchRows.Load(), secs))
 	}
 	if cfg.nbrReaders > 0 {
-		var lats []float64
-		for _, l := range nbrLats {
-			lats = append(lats, l...)
-		}
+		lat := nbrLat.Snapshot()
 		fmt.Fprintf(out, "neighbor queries: %d top-%d by %s (%s) from %d readers (%.0f queries/s, p50 %.2f ms)\n",
 			cnt.neighbors.Load(), cfg.nbrK, cfg.nbrMetric, cfg.nbrMode, cfg.nbrReaders,
-			rate.PerSec(cnt.neighbors.Load(), secs), percentile(lats, 0.5))
+			rate.PerSec(cnt.neighbors.Load(), secs), lat.Quantile(0.5)*1000)
 	}
 	for i, rep := range reps {
 		rs := rep.Stats()
@@ -383,6 +375,11 @@ func run(cfg config, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "server: epoch %d, %d live edges, %d folds for %d write requests (%.1f requests/fold), %d publishes\n",
 		st.Dyn.Epoch, st.Dyn.LiveEdges, co.Flushes, co.Requests, ratio, st.Dyn.Publishes)
+	if cfg.metricsURL != "" {
+		if err := scrapeMetrics(ctx, cfg.metricsURL, out); err != nil {
+			return fmt.Errorf("metrics scrape: %w", err)
+		}
+	}
 	if cfg.nbrMode == "approx" && cfg.recallQueries > 0 {
 		if err := measureRecall(ctx, c, n, cfg, out); err != nil {
 			return fmt.Errorf("recall measurement: %w", err)
@@ -398,6 +395,58 @@ func run(cfg config, out io.Writer) error {
 	}
 	if ins == 0 && cfg.writers > 0 {
 		return fmt.Errorf("no inserts were acknowledged")
+	}
+	return nil
+}
+
+// scrapeMetrics pulls the server's own /metrics exposition at end of
+// run and reports the server-side per-route latency quantiles — the
+// same requests the closed loop timed from the client side, but
+// measured inside the handler, so the gap between the two lines is
+// pure network + client overhead.
+func scrapeMetrics(ctx context.Context, url string, out io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	samples, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "server metrics (%d samples scraped from %s):\n", len(samples), url)
+	// Report every route the server saw, in exposition (sorted) order.
+	seen := map[string]bool{}
+	for _, s := range samples {
+		route := s.Labels["route"]
+		if s.Name != "gee_http_request_seconds_count" || route == "" || seen[route] {
+			continue
+		}
+		seen[route] = true
+		h := metrics.HistogramFromSamples(samples, "gee_http_request_seconds",
+			map[string]string{"route": route})
+		if h == nil || h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-24s %8d reqs  p50 %8.3f ms  p99 %8.3f ms\n",
+			route, h.Count, h.Quantile(0.5)*1000, h.Quantile(0.99)*1000)
+	}
+	for _, s := range samples {
+		if s.Name == "gee_coalescer_queue_depth" {
+			fmt.Fprintf(out, "  coalescer queue depth %g", s.Value)
+			if h := metrics.HistogramFromSamples(samples, "gee_coalescer_batch_ops", nil); h != nil && h.Count > 0 {
+				fmt.Fprintf(out, ", %.1f ops/batch mean over %d batches", h.Mean(), h.Count)
+			}
+			fmt.Fprintln(out)
+			break
+		}
 	}
 	return nil
 }

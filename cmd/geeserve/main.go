@@ -76,6 +76,8 @@ type config struct {
 	workers   int
 	pubEvery  int
 	seed      uint64
+	pprof     bool
+	slowReq   time.Duration
 }
 
 func main() {
@@ -97,6 +99,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "fold parallelism (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.pubEvery, "publish-every", 0, "publish after this many applied ops (0 = publish every batch)")
 	flag.Uint64Var(&cfg.seed, "seed", 12345, "workload seed")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the -serve mux")
+	flag.DurationVar(&cfg.slowReq, "slow-request", 0, "log requests slower than this threshold (e.g. 250ms; 0 disables)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "geeserve:", err)
@@ -150,7 +154,10 @@ func run(cfg config) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "# serving HTTP on %s\n", ln.Addr())
-		srv = server.New(d, server.Options{})
+		srv = server.New(d, server.Options{
+			EnablePprof:          cfg.pprof,
+			SlowRequestThreshold: cfg.slowReq,
+		})
 		go func() { srvErr <- srv.Serve(ln) }()
 		var stopSignals context.CancelFunc
 		ctx, stopSignals = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)

@@ -97,6 +97,18 @@ func (d *DynamicEmbedder) recordDeltaLocked(epoch uint64) {
 			d.ring = d.ring[:n]
 		}
 		d.ring = append(d.ring, e)
+		if d.mDirtyRows != nil {
+			// A full epoch effectively dirtied every row (a count change
+			// rescaled whole columns); record it as such so the
+			// distribution reflects what a follower would have to fetch.
+			dirty := len(e.rows)
+			if full {
+				dirty = d.n
+				d.mFullEpochs.Inc()
+			}
+			d.mDirtyRows.Observe(float64(dirty))
+			d.mRing.Set(int64(len(d.ring)))
+		}
 	}
 	copy(d.pubCounts, d.counts)
 	d.dirtyGen++

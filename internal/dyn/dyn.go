@@ -37,6 +37,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/labels"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 )
 
@@ -180,7 +181,38 @@ type DynamicEmbedder struct {
 	// failures to exercise Apply's nothing-is-applied contract.
 	foldHook func(del, ins []graph.Edge) error
 
+	// Observability instruments (nil until Instrument; all guarded by
+	// mu like the state they measure).
+	mPublish    *metrics.Histogram // publish (normalize + version) latency
+	mDirtyRows  *metrics.Histogram // dirty rows per published epoch
+	mFullEpochs *metrics.Counter   // epochs promoted to full (resync-only)
+	mRing       *metrics.Gauge     // delta-ring occupancy in epochs
+
 	cur atomic.Pointer[Snapshot]
+}
+
+// Instrument registers the embedder's publish-path instruments on reg:
+// publish latency, dirty rows per epoch, full-epoch promotions, and
+// delta-ring occupancy. Call at most once per registry (the serving
+// layer does this when it adopts the embedder); publishes before
+// Instrument simply go unmeasured.
+func (d *DynamicEmbedder) Instrument(reg *metrics.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mPublish = reg.Histogram("gee_dyn_publish_seconds",
+		"Latency of publishing one epoch (normalize U and version the snapshot).",
+		metrics.DefLatencyBuckets)
+	d.mDirtyRows = reg.Histogram("gee_dyn_publish_dirty_rows",
+		"Rows whose embedding changed in one published epoch.",
+		metrics.DefCountBuckets)
+	d.mFullEpochs = reg.Counter("gee_dyn_full_epochs_total",
+		"Published epochs promoted to full (not row-reconstructible; followers must resync across them).")
+	d.mRing = reg.Gauge("gee_dyn_delta_ring_epochs",
+		"Per-epoch deltas currently retained for GET /v1/delta.")
+	d.mRing.Set(int64(len(d.ring)))
+	reg.GaugeFunc("gee_dyn_epoch",
+		"Currently published epoch.",
+		func() float64 { return float64(d.Epoch()) })
 }
 
 // New prepares an embedder for n vertices with the given initial labels
@@ -556,6 +588,7 @@ func (d *DynamicEmbedder) relabel(v graph.NodeID, class int32) {
 // publishes it as the next epoch. Copy-on-epoch: earlier snapshots stay
 // valid for readers still holding them.
 func (d *DynamicEmbedder) publishLocked() *Snapshot {
+	t0 := time.Now()
 	inv := make([]float64, d.k)
 	for c, n := range d.counts {
 		if n > 0 {
@@ -589,5 +622,8 @@ func (d *DynamicEmbedder) publishLocked() *Snapshot {
 		d.recordDeltaLocked(epoch)
 	}
 	d.cur.Store(s)
+	if d.mPublish != nil {
+		d.mPublish.ObserveSince(t0)
+	}
 	return s
 }

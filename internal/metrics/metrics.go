@@ -1,0 +1,364 @@
+// Package metrics is the serving stack's measurement surface: a
+// dependency-free registry of atomic counters, gauges, and fixed-bucket
+// latency histograms, exposed in the Prometheus text format. It exists
+// so every layer — HTTP handlers, the ingest coalescer, the dynamic
+// embedder's publish path, the IVF index cache, replica followers —
+// records what it does through one allocation-conscious vocabulary,
+// and so load tools and CI can scrape the server's own numbers instead
+// of re-deriving them client-side.
+//
+// Hot-path cost is the design constraint: an instrument handle is
+// resolved once at construction (one map lookup under a lock), and
+// every subsequent Observe/Add/Inc is a handful of atomic int64
+// operations on pre-allocated cells — no maps, no locks, no
+// allocations. Exposition walks the registry under a read lock and
+// loads each cell once; counters are monotonic, so a scrape racing
+// writers sees a slightly-behind but never-inconsistent view.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to an instrument. Instruments
+// with the same metric name but different label values are children of
+// one family and share its HELP/TYPE header.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for Label{Name: n, Value: v}.
+func L(n, v string) Label { return Label{Name: n, Value: v} }
+
+// kind is the exposition TYPE of a family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// collector is anything a family child can expose.
+type collector interface {
+	// collect writes the child's sample lines. name is the family
+	// name, labels the child's preformatted {…} block (possibly "").
+	collect(w io.Writer, name, labels string)
+}
+
+// child is one labeled instrument of a family.
+type child struct {
+	key    string // canonical sorted label encoding, "" for unlabeled
+	labels string // preformatted {a="b",c="d"} block, "" for unlabeled
+	c      collector
+}
+
+// family groups all children sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind kind
+	// histogram families pin their bucket bounds at first registration
+	// so every child is mergeable with every other.
+	bounds   []float64
+	children []child // registration order; exposition is deterministic
+	byKey    map[string]int
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use; instrument registration is
+// idempotent (the same name + labels returns the same instrument).
+type Registry struct {
+	mu    sync.RWMutex
+	fams  map[string]*family
+	names []string // sorted family names for deterministic exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// validName is the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*; label names drop the colon.
+func validName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && !label:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// text-format grammar.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelBlock renders labels (sorted by name) as key (canonical identity)
+// and as the exposition block. extra appends without re-sorting (used
+// for the histogram le label, which sorts last anyway by construction).
+func labelBlock(labels []Label) (key, block string, err error) {
+	if len(labels) == 0 {
+		return "", "", nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if !validName(l.Name, true) {
+			return "", "", fmt.Errorf("metrics: bad label name %q", l.Name)
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String(), "{" + b.String() + "}", nil
+}
+
+// register resolves (or creates) the family and child, enforcing kind
+// agreement. It returns the existing collector when the same name +
+// labels was registered before — callers then reuse the same cells.
+func (r *Registry) register(name, help string, k kind, bounds []float64, labels []Label, mk func() collector) (collector, error) {
+	if !validName(name, false) {
+		return nil, fmt.Errorf("metrics: bad metric name %q", name)
+	}
+	key, block, err := labelBlock(labels)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, bounds: bounds, byKey: make(map[string]int)}
+		r.fams[name] = f
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	}
+	if f.kind != k {
+		return nil, fmt.Errorf("metrics: %s re-registered as %s (was %s)", name, k, f.kind)
+	}
+	if k == kindHistogram && !sameBounds(f.bounds, bounds) {
+		return nil, fmt.Errorf("metrics: histogram %s re-registered with different buckets", name)
+	}
+	if i, ok := f.byKey[key]; ok {
+		return f.children[i].c, nil
+	}
+	c := mk()
+	f.byKey[key] = len(f.children)
+	f.children = append(f.children, child{key: key, labels: block, c: c})
+	return c, nil
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mustRegister panics on registration errors: instrument names and
+// label sets are compile-time constants, so a failure is a programming
+// error the first test run should surface, not a runtime condition.
+func mustRegister(c collector, err error) collector {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Counter is a monotonically increasing atomic int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Counter registers (or finds) a counter. Panics on a malformed name or
+// a kind clash — registration arguments are programmer constants.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return mustRegister(r.register(name, help, kindCounter, nil, labels,
+		func() collector { return &Counter{} })).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) collect(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// Gauge is a settable atomic int64 (queue depths, occupancies, epochs).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return mustRegister(r.register(name, help, kindGauge, nil, labels,
+		func() collector { return &Gauge{} })).(*Gauge)
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) collect(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, g.v.Load())
+}
+
+// gaugeFunc samples a callback at exposition time — for values another
+// component already maintains (channel length, epoch difference). The
+// callback must be safe to call from any goroutine and must not block.
+type gaugeFunc struct {
+	fn func() float64
+}
+
+// GaugeFunc registers a sampled gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	mustRegister(r.register(name, help, kindGauge, nil, labels,
+		func() collector { return gaugeFunc{fn: fn} }))
+}
+
+func (g gaugeFunc) collect(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.fn()))
+}
+
+// counterFunc is gaugeFunc with counter TYPE semantics — for monotonic
+// counts another component already maintains atomically.
+type counterFunc struct {
+	fn func() float64
+}
+
+// CounterFunc registers a sampled counter. The callback must be
+// monotonically non-decreasing, safe to call from any goroutine, and
+// must not block.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	mustRegister(r.register(name, help, kindCounter, nil, labels,
+		func() collector { return counterFunc{fn: fn} }))
+}
+
+func (c counterFunc) collect(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(c.fn()))
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. bounds are
+// ascending bucket upper limits (le semantics); an implicit +Inf bucket
+// is appended. Every child of one family must use the same bounds so
+// scraped children merge.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram %s bounds not ascending at %d", name, i))
+		}
+	}
+	return mustRegister(r.register(name, help, kindHistogram, bounds, labels,
+		func() collector { return newHistogram(bounds) })).(*Histogram)
+}
+
+// formatFloat renders a float in the shortest round-trip form the text
+// format accepts.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with HELP and
+// TYPE headers, children in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.names {
+		f := r.fams[name]
+		if len(f.children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range f.children {
+			c.c.collect(w, f.name, c.labels)
+		}
+	}
+	return nil
+}

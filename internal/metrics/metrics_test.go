@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expositionLine is the text-format grammar the smoke script also
+// asserts: HELP/TYPE comments or name{labels} value lines.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN))$`)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gee_requests_total", "requests served", L("route", "/v1/edges"), L("code", "200"))
+	c.Add(41)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("gee_queue_depth", "queued requests")
+	g.Set(7)
+	r.GaugeFunc("gee_sampled", "sampled gauge", func() float64 { return 2.5 })
+	h := r.Histogram("gee_latency_seconds", "request latency", []float64{0.001, 0.01, 0.1},
+		L("route", "/v1/edges"))
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Errorf("line does not match the exposition grammar: %q", line)
+		}
+	}
+	for _, want := range []string{
+		`gee_requests_total{code="200",route="/v1/edges"} 42`,
+		`gee_queue_depth 7`,
+		`gee_sampled 2.5`,
+		`gee_latency_seconds_bucket{route="/v1/edges",le="0.001"} 1`,
+		`gee_latency_seconds_bucket{route="/v1/edges",le="+Inf"} 3`,
+		`gee_latency_seconds_count{route="/v1/edges"} 3`,
+		`# TYPE gee_latency_seconds histogram`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRegistrationIdempotent checks that re-registering the same name +
+// labels returns the same cells, while clashes are rejected loudly.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name+labels returned different counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("idempotent registration did not share cells")
+	}
+	if c := r.Counter("x_total", "", L("route", "/a")); c == a {
+		t.Fatal("different labels returned the same counter")
+	}
+	mustPanic(t, "kind clash", func() { r.Gauge("x_total", "") })
+	mustPanic(t, "bad name", func() { r.Counter("1bad", "") })
+	mustPanic(t, "bad label", func() { r.Counter("ok_total", "", L("1bad", "v")) })
+	r.Histogram("h_seconds", "", []float64{1, 2})
+	mustPanic(t, "bucket clash", func() { r.Histogram("h_seconds", "", []float64{1, 2, 3}) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestParseRoundTrip writes a registry out and reads it back: every
+// sample must survive with its labels and value.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "with a\nnewline help", L("path", `x"y\z`)).Add(3)
+	r.Gauge("b", "").Set(-12)
+	h := r.Histogram("lat_seconds", "", ExpBuckets(0.001, 10, 4), L("route", "/v1/delta"))
+	for _, v := range []float64{0.0005, 0.002, 0.02, 0.2, 2, 20} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("our own exposition did not parse: %v\n%s", err, b.String())
+	}
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		byName[s.Name+s.Label("le")] = s
+	}
+	if s := byName["a_total"]; s.Value != 3 || s.Label("path") != `x"y\z` {
+		t.Fatalf("a_total round trip: %+v", s)
+	}
+	if s := byName["b"]; s.Value != -12 {
+		t.Fatalf("b round trip: %+v", s)
+	}
+	if s := byName["lat_seconds_bucket+Inf"]; !math.IsInf(mustValue(t, s.Label("le")), 1) || s.Value != 6 {
+		t.Fatalf("+Inf bucket round trip: %+v", s)
+	}
+
+	// Histogram reassembly: the scraped child must merge and estimate
+	// like the local snapshot.
+	snap := HistogramFromSamples(samples, "lat_seconds", map[string]string{"route": "/v1/delta"})
+	if snap == nil {
+		t.Fatal("HistogramFromSamples found nothing")
+	}
+	local := h.Snapshot()
+	if snap.Count != local.Count || snap.Sum != local.Sum {
+		t.Fatalf("scraped count/sum %d/%g, local %d/%g", snap.Count, snap.Sum, local.Count, local.Sum)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got, want := snap.Quantile(q), local.Quantile(q); got != want {
+			t.Fatalf("scraped q%.2f = %g, local %g", q, got, want)
+		}
+	}
+	if snap := HistogramFromSamples(samples, "lat_seconds", map[string]string{"route": "/nope"}); snap != nil {
+		t.Fatal("HistogramFromSamples matched the wrong labels")
+	}
+}
+
+func mustValue(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := parseValue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"1bad 3",
+		"name{unterminated 3",
+		`name{a="b"} notanumber`,
+		`name{a="b} 3`,
+		"name",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("parsed garbage %q", bad)
+		}
+	}
+	samples, err := ParseText(strings.NewReader("# a comment\n\nok_total 3 1700000000000\n"))
+	if err != nil || len(samples) != 1 || samples[0].Value != 3 {
+		t.Fatalf("timestamped sample: %v %+v", err, samples)
+	}
+}

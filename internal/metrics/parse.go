@@ -1,0 +1,234 @@
+// A minimal Prometheus text-format reader: enough grammar to scrape
+// our own exposition (and any conforming sample lines) back into typed
+// samples, so geeload can report the server's own counters at
+// end-of-run and tests can assert round-trips instead of string
+// matching.
+
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string // nil when unlabeled
+	Value  float64
+}
+
+// Label returns the sample's value for a label name ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseText reads Prometheus text exposition into samples. Comment and
+// blank lines are skipped; any other malformed line is an error with
+// its line number. Timestamps (a trailing integer) are accepted and
+// dropped.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Sample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validName(s.Name, false) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		if s.Labels, rest, err = parseLabels(rest[1:]); err != nil {
+			return s, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'value [timestamp]' after %q, got %q", s.Name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseValue accepts Go float syntax plus the exposition spellings of
+// the specials.
+func parseValue(f string) (float64, error) {
+	switch f {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	v, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", f)
+	}
+	return v, nil
+}
+
+// parseLabels consumes name="value" pairs after an opening brace and
+// returns the remainder after the closing brace. Escapes \\, \", \n.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validName(name, true) {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		s = s[1:]
+		var b strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, s[1])
+				}
+				s = s[2:]
+				continue
+			}
+			b.WriteByte(c)
+			s = s[1:]
+		}
+		labels[name] = b.String()
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// HistogramFromSamples reassembles one histogram child from scraped
+// samples: the _bucket/_sum/_count series of `name` whose labels
+// (ignoring le) equal match. Returns nil when no buckets matched.
+// Cumulative bucket values are de-accumulated back into per-bucket
+// counts, so the result merges and estimates quantiles like a local
+// snapshot.
+func HistogramFromSamples(samples []Sample, name string, match map[string]string) *HistogramSnapshot {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	snap := &HistogramSnapshot{}
+	labelsMatch := func(got map[string]string, ignoreLe bool) bool {
+		n := len(match)
+		for k, v := range got {
+			if ignoreLe && k == "le" {
+				continue
+			}
+			want, ok := match[k]
+			if !ok || want != v {
+				return false
+			}
+			n--
+		}
+		return n == 0
+	}
+	for _, s := range samples {
+		switch s.Name {
+		case name + "_bucket":
+			if !labelsMatch(s.Labels, true) {
+				continue
+			}
+			le, err := parseValue(s.Label("le"))
+			if err != nil {
+				continue
+			}
+			buckets = append(buckets, bucket{le: le, cum: s.Value})
+		case name + "_sum":
+			if labelsMatch(s.Labels, false) {
+				snap.Sum = s.Value
+			}
+		case name + "_count":
+			if labelsMatch(s.Labels, false) {
+				snap.Count = int64(s.Value)
+			}
+		}
+	}
+	if len(buckets) == 0 {
+		return nil
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	prev := 0.0
+	for _, b := range buckets {
+		n := int64(b.cum - prev)
+		prev = b.cum
+		if math.IsInf(b.le, 1) { // +Inf bucket: overflow cell, no bound entry
+			snap.Counts = append(snap.Counts, n)
+			continue
+		}
+		snap.Bounds = append(snap.Bounds, b.le)
+		snap.Counts = append(snap.Counts, n)
+	}
+	if len(snap.Counts) == len(snap.Bounds) {
+		// No +Inf line scraped; synthesize an empty overflow cell.
+		snap.Counts = append(snap.Counts, 0)
+	}
+	return snap
+}

@@ -10,9 +10,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -49,6 +51,13 @@ type Replica struct {
 	snapshotBytes   atomic.Int64
 	deltaPayload    atomic.Int64
 	snapshotPayload atomic.Int64
+
+	// Observability instruments (nil until Instrument; all uses are
+	// nil-guarded).
+	mSyncDelta  *metrics.Histogram // Sync wall time, delta-served calls
+	mSyncResync *metrics.Histogram // Sync wall time, full-bootstrap calls
+	mBytesDelta *metrics.Histogram // on-wire bytes per /v1/delta response
+	mBytesSnap  *metrics.Histogram // on-wire bytes per /v1/snapshot response
 }
 
 // ReplicaSnapshot is one immutable local version of the embedding.
@@ -158,6 +167,59 @@ func (r *Replica) Stats() ReplicaStats {
 	}
 }
 
+// Instrument registers the replica's instruments: sync wall time split
+// by outcome (a delta patch vs a full-snapshot resync — they differ by
+// orders of magnitude, so one histogram would bury the delta signal),
+// on-wire bytes per endpoint, and the existing counters. A process
+// running several replicas should give each its own registry.
+func (r *Replica) Instrument(reg *metrics.Registry) {
+	r.mSyncDelta = reg.Histogram("gee_replica_sync_seconds",
+		"Sync wall time by outcome (delta = row patch, resync = full snapshot).",
+		metrics.DefLatencyBuckets, metrics.L("outcome", "delta"))
+	r.mSyncResync = reg.Histogram("gee_replica_sync_seconds",
+		"Sync wall time by outcome (delta = row patch, resync = full snapshot).",
+		metrics.DefLatencyBuckets, metrics.L("outcome", "resync"))
+	r.mBytesDelta = reg.Histogram("gee_replica_sync_bytes",
+		"On-wire response-body bytes per sync round trip, by endpoint.",
+		metrics.DefSizeBuckets, metrics.L("endpoint", "delta"))
+	r.mBytesSnap = reg.Histogram("gee_replica_sync_bytes",
+		"On-wire response-body bytes per sync round trip, by endpoint.",
+		metrics.DefSizeBuckets, metrics.L("endpoint", "snapshot"))
+	reg.CounterFunc("gee_replica_syncs_total",
+		"Sync calls that completed successfully.",
+		func() float64 { return float64(r.syncs.Load()) })
+	reg.CounterFunc("gee_replica_resyncs_total",
+		"Syncs that fell back to a full snapshot transfer.",
+		func() float64 { return float64(r.resyncs.Load()) })
+	reg.CounterFunc("gee_replica_rows_applied_total",
+		"Rows patched in via deltas.",
+		func() float64 { return float64(r.rowsApplied.Load()) })
+	reg.GaugeFunc("gee_replica_epoch",
+		"Current local epoch (0 before the first bootstrap).",
+		func() float64 {
+			if s := r.cur.Load(); s != nil {
+				return float64(s.Epoch)
+			}
+			return 0
+		})
+}
+
+// addSnapshotBytes / addDeltaBytes feed both the /statsz counters and,
+// when instrumented, the per-round-trip byte histograms.
+func (r *Replica) addSnapshotBytes(n int64) {
+	r.snapshotBytes.Add(n)
+	if r.mBytesSnap != nil {
+		r.mBytesSnap.Observe(float64(n))
+	}
+}
+
+func (r *Replica) addDeltaBytes(n int64) {
+	r.deltaBytes.Add(n)
+	if r.mBytesDelta != nil {
+		r.mBytesDelta.Observe(float64(n))
+	}
+}
+
 // Bootstrap (re)initializes the local copy from a full snapshot.
 func (r *Replica) Bootstrap(ctx context.Context) error {
 	r.mu.Lock()
@@ -171,7 +233,7 @@ func (r *Replica) bootstrapLocked(ctx context.Context) error {
 	}
 	var snap server.SnapshotResponse
 	n, err := r.c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &snap)
-	r.snapshotBytes.Add(n)
+	r.addSnapshotBytes(n)
 	if err != nil {
 		return err
 	}
@@ -218,7 +280,7 @@ func (r *Replica) bootstrapBinaryLocked(ctx context.Context) error {
 	if !isFrame(contentType) {
 		var snap server.SnapshotResponse
 		err := json.NewDecoder(cr).Decode(&snap)
-		r.snapshotBytes.Add(cr.n)
+		r.addSnapshotBytes(cr.n)
 		if err != nil {
 			return err
 		}
@@ -230,7 +292,7 @@ func (r *Replica) bootstrapBinaryLocked(ctx context.Context) error {
 	}
 	path := spill.Name()
 	_, cpErr := io.Copy(spill, cr)
-	r.snapshotBytes.Add(cr.n)
+	r.addSnapshotBytes(cr.n)
 	if err := spill.Close(); cpErr == nil {
 		cpErr = err
 	}
@@ -283,6 +345,19 @@ func (r *Replica) bootstrapBinaryLocked(ctx context.Context) error {
 func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	t0 := time.Now()
+	// observe records the wall time of a successful sync under the
+	// outcome's histogram (resync transfers the full matrix, a delta
+	// patches rows — mixing them would bury the delta signal).
+	observe := func(resynced bool) {
+		h := r.mSyncDelta
+		if resynced {
+			h = r.mSyncResync
+		}
+		if h != nil {
+			h.ObserveSince(t0)
+		}
+	}
 	cur := r.cur.Load()
 	if cur == nil {
 		if err := r.bootstrapLocked(ctx); err != nil {
@@ -290,11 +365,12 @@ func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
 		}
 		r.syncs.Add(1)
 		r.resyncs.Add(1)
+		observe(true)
 		return true, nil
 	}
 	var dl server.DeltaResponse
 	n, err := r.c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/delta?from=%d", cur.Epoch), nil, &dl)
-	r.deltaBytes.Add(n)
+	r.addDeltaBytes(n)
 	if err != nil {
 		return false, err
 	}
@@ -307,10 +383,12 @@ func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
 		}
 		r.syncs.Add(1)
 		r.resyncs.Add(1)
+		observe(true)
 		return true, nil
 	}
 	if dl.Epoch == cur.Epoch {
 		r.syncs.Add(1)
+		observe(false)
 		return false, nil // already current
 	}
 	if len(dl.Z) != len(dl.Rows) {
@@ -360,5 +438,6 @@ func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
 	r.rowsApplied.Add(int64(len(dl.Rows)))
 	r.deltaPayload.Add(int64(len(dl.Rows))*int64(cur.k)*elemSize +
 		int64(len(dl.Rows))*4 + int64(len(dl.Labels))*8)
+	observe(false)
 	return false, nil
 }

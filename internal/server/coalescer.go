@@ -19,11 +19,13 @@ package server
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dyn"
+	"repro/internal/metrics"
 )
 
 // ErrBacklog is returned by Submit when the bounded request queue is
@@ -87,6 +89,7 @@ type request struct {
 	batch dyn.Batch
 	ops   int
 	done  chan Ack
+	enq   time.Time // Submit time, for the ack-wait histogram
 }
 
 // Coalescer merges concurrent write requests into micro-batches and
@@ -106,6 +109,17 @@ type Coalescer struct {
 	coalesced atomic.Int64
 	replays   atomic.Int64
 	rejected  atomic.Int64
+
+	// drainRate is the EWMA of requests drained per second (float64
+	// bits; written only by the ingest goroutine, read by RetryAfter and
+	// the exposition gauge).
+	drainRate atomic.Uint64
+
+	// Observability instruments (nil until instrument; each use is
+	// nil-guarded so an uninstrumented coalescer pays nothing).
+	mBatchOps *metrics.Histogram // ops per merged micro-batch
+	mFold     *metrics.Histogram // Apply (fold) latency per flush
+	mAckWait  *metrics.Histogram // Submit-to-ack wall time per request
 
 	pendingOps int // ops applied but unacked (ingest goroutine only)
 	loopDone   chan struct{}
@@ -143,16 +157,65 @@ func (c *Coalescer) Close() {
 	<-c.loopDone
 }
 
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters. Load order matters for a
+// consistent snapshot under concurrent writers: every derived counter
+// (flushes, coalesced, replays) increments strictly after the requests
+// it covers, and ops increments before requests in Submit — so loading
+// the derived counters first, then requests, then ops, guarantees the
+// scraped view satisfies Coalesced ≤ Requests, Flushes ≤ Requests, and
+// Ops ≥ Requests (each accepted request carries ≥ 1 op).
 func (c *Coalescer) Stats() CoalescerStats {
-	return CoalescerStats{
-		Requests:  c.requests.Load(),
-		Ops:       c.ops.Load(),
+	s := CoalescerStats{
 		Flushes:   c.flushes.Load(),
 		Coalesced: c.coalesced.Load(),
 		Replays:   c.replays.Load(),
 		Rejected:  c.rejected.Load(),
 	}
+	s.Requests = c.requests.Load()
+	s.Ops = c.ops.Load()
+	return s
+}
+
+// instrument registers the coalescer's instruments. The counters reuse
+// the existing atomic cells via sampled callbacks, so /statsz and
+// /metrics can never disagree.
+func (c *Coalescer) instrument(reg *metrics.Registry) {
+	c.mBatchOps = reg.Histogram("gee_coalescer_batch_ops",
+		"Operations per merged micro-batch flushed to the embedder.",
+		metrics.DefCountBuckets)
+	c.mFold = reg.Histogram("gee_coalescer_fold_seconds",
+		"Latency of folding one micro-batch into the embedder (dyn.Apply).",
+		metrics.DefLatencyBuckets)
+	c.mAckWait = reg.Histogram("gee_coalescer_ack_wait_seconds",
+		"Submit-to-ack wall time per accepted write request (queue wait + fold + covering publish).",
+		metrics.DefLatencyBuckets)
+	reg.GaugeFunc("gee_coalescer_queue_depth",
+		"Write requests waiting in the bounded ingest queue.",
+		func() float64 { return float64(len(c.queue)) })
+	reg.GaugeFunc("gee_coalescer_queue_cap",
+		"Capacity of the ingest queue (Submit rejects with 429 beyond it).",
+		func() float64 { return float64(c.opts.QueueCap) })
+	reg.GaugeFunc("gee_coalescer_drain_rate",
+		"EWMA of write requests drained from the queue per second.",
+		func() float64 { return math.Float64frombits(c.drainRate.Load()) })
+	reg.CounterFunc("gee_coalescer_requests_total",
+		"Write requests accepted into the ingest queue.",
+		func() float64 { return float64(c.requests.Load()) })
+	reg.CounterFunc("gee_coalescer_ops_total",
+		"Operations across accepted write requests.",
+		func() float64 { return float64(c.ops.Load()) })
+	reg.CounterFunc("gee_coalescer_flushes_total",
+		"Merged micro-batches applied to the embedder.",
+		func() float64 { return float64(c.flushes.Load()) })
+	reg.CounterFunc("gee_coalescer_coalesced_total",
+		"Requests that shared a micro-batch with another request.",
+		func() float64 { return float64(c.coalesced.Load()) })
+	reg.CounterFunc("gee_coalescer_replays_total",
+		"Requests re-applied individually after a merged-batch error.",
+		func() float64 { return float64(c.replays.Load()) })
+	reg.CounterFunc("gee_coalescer_rejected_total",
+		"Requests refused with 429 because the queue was full.",
+		func() float64 { return float64(c.rejected.Load()) })
 }
 
 // Submit enqueues one write request without blocking. The returned
@@ -166,7 +229,7 @@ func (c *Coalescer) Submit(b dyn.Batch) (<-chan Ack, error) {
 		done <- Ack{Epoch: c.d.Epoch()}
 		return done, nil
 	}
-	req := &request{batch: b, ops: ops, done: done}
+	req := &request{batch: b, ops: ops, done: done, enq: time.Now()}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -175,8 +238,11 @@ func (c *Coalescer) Submit(b dyn.Batch) (<-chan Ack, error) {
 	select {
 	case c.queue <- req:
 		c.mu.Unlock()
-		c.requests.Add(1)
+		// Ops before requests: a concurrent Stats/scrape loads requests
+		// before ops, so this order keeps Ops ≥ Requests in every
+		// observable snapshot.
 		c.ops.Add(int64(ops))
+		c.requests.Add(1)
 		return done, nil
 	default:
 		c.mu.Unlock()
@@ -196,6 +262,7 @@ func (c *Coalescer) run() {
 			c.settle(pending, true)
 			return
 		}
+		t0 := time.Now()
 		reqs := []*request{first}
 		ops := first.ops
 		timer := time.NewTimer(c.opts.MaxDelay)
@@ -215,6 +282,7 @@ func (c *Coalescer) run() {
 		timer.Stop()
 		pending = c.apply(reqs, pending)
 		pending = c.settle(pending, len(c.queue) == 0)
+		c.observeDrain(len(reqs), time.Since(t0))
 	}
 }
 
@@ -227,7 +295,9 @@ func (c *Coalescer) run() {
 func (c *Coalescer) apply(reqs []*request, pending []*request) []*request {
 	if len(reqs) == 1 {
 		c.flushes.Add(1)
-		if err := c.d.Apply(reqs[0].batch); err != nil {
+		c.observeBatch(reqs[0].ops)
+		err := c.fold(reqs[0].batch)
+		if err != nil {
 			reqs[0].done <- Ack{Err: err}
 			return pending
 		}
@@ -235,13 +305,16 @@ func (c *Coalescer) apply(reqs []*request, pending []*request) []*request {
 		return append(pending, reqs[0])
 	}
 	var merged dyn.Batch
+	ops := 0
 	for _, r := range reqs {
 		merged.Insert = append(merged.Insert, r.batch.Insert...)
 		merged.Delete = append(merged.Delete, r.batch.Delete...)
 		merged.Labels = append(merged.Labels, r.batch.Labels...)
+		ops += r.ops
 	}
 	c.flushes.Add(1)
-	if err := c.d.Apply(merged); err == nil {
+	c.observeBatch(ops)
+	if err := c.fold(merged); err == nil {
 		c.coalesced.Add(int64(len(reqs)))
 		for _, r := range reqs {
 			c.pendingOps += r.ops
@@ -250,7 +323,7 @@ func (c *Coalescer) apply(reqs []*request, pending []*request) []*request {
 	}
 	for _, r := range reqs {
 		c.replays.Add(1)
-		if err := c.d.Apply(r.batch); err != nil {
+		if err := c.fold(r.batch); err != nil {
 			r.done <- Ack{Err: err}
 			continue
 		}
@@ -258,6 +331,69 @@ func (c *Coalescer) apply(reqs []*request, pending []*request) []*request {
 		pending = append(pending, r)
 	}
 	return pending
+}
+
+// fold applies one batch to the embedder, timing it when instrumented.
+func (c *Coalescer) fold(b dyn.Batch) error {
+	if c.mFold == nil {
+		return c.d.Apply(b)
+	}
+	t0 := time.Now()
+	err := c.d.Apply(b)
+	c.mFold.ObserveSince(t0)
+	return err
+}
+
+func (c *Coalescer) observeBatch(ops int) {
+	if c.mBatchOps != nil {
+		c.mBatchOps.Observe(float64(ops))
+	}
+}
+
+// observeDrain folds one batch window (collect + fold + settle) into
+// the drain-rate EWMA. Smoothing 0.2 makes the rate settle over ~5
+// windows — fast enough to track a load shift, slow enough that one
+// slow publish does not swing Retry-After.
+func (c *Coalescer) observeDrain(reqs int, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		return
+	}
+	inst := float64(reqs) / sec
+	prev := math.Float64frombits(c.drainRate.Load())
+	next := inst
+	if prev > 0 {
+		next = 0.2*inst + 0.8*prev
+	}
+	c.drainRate.Store(math.Float64bits(next))
+}
+
+// retryAfterSeconds derives a Retry-After hint from the queue depth and
+// the drain rate: roughly how long until the backlog clears, clamped to
+// [1, 30] seconds. With no drain observed yet (cold or stalled ingest)
+// a non-empty queue advises the maximum.
+func retryAfterSeconds(depth int, rate float64) int {
+	const minRetry, maxRetry = 1, 30
+	if rate <= 0 {
+		if depth > 0 {
+			return maxRetry
+		}
+		return minRetry
+	}
+	s := int(math.Ceil(float64(depth) / rate))
+	if s < minRetry {
+		return minRetry
+	}
+	if s > maxRetry {
+		return maxRetry
+	}
+	return s
+}
+
+// RetryAfter returns the current backoff hint in whole seconds for a
+// rejected write (the 429 Retry-After header).
+func (c *Coalescer) RetryAfter() int {
+	return retryAfterSeconds(len(c.queue), math.Float64frombits(c.drainRate.Load()))
 }
 
 // settle acknowledges applied requests once a publish covers them. If
@@ -286,7 +422,11 @@ func (c *Coalescer) settle(pending []*request, idle bool) []*request {
 		snap = c.d.Snapshot()
 	}
 	epoch := snap.Epoch
+	now := time.Now()
 	for _, r := range pending {
+		if c.mAckWait != nil {
+			c.mAckWait.Observe(now.Sub(r.enq).Seconds())
+		}
 		r.done <- Ack{Epoch: epoch}
 	}
 	c.pendingOps = 0

@@ -3,9 +3,11 @@ package server
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dyn"
+	"repro/internal/metrics"
 )
 
 // The approximate-neighbor read path. An IVF index is built over one
@@ -74,6 +76,9 @@ type indexCache struct {
 	pending bool
 	closed  bool
 	builds  atomic.Int64
+
+	// mBuild times completed index builds (nil until instrument).
+	mBuild *metrics.Histogram
 }
 
 func newIndexCache(d *dyn.DynamicEmbedder, workers int, opts IndexOptions) *indexCache {
@@ -124,6 +129,7 @@ func (ic *indexCache) kick() {
 	ic.buildMu.Unlock()
 	go func() {
 		defer ic.buildWG.Done()
+		t0 := time.Now()
 		snap := ic.d.Snapshot()
 		ivf := cluster.BuildIVF(ic.workers, snap.Z, cluster.IVFOptions{
 			Lists:     ic.opts.Lists,
@@ -138,6 +144,9 @@ func (ic *indexCache) kick() {
 			ic.cur.Store(&builtIndex{snap: snap, ivf: ivf})
 		}
 		ic.builds.Add(1)
+		if ic.mBuild != nil {
+			ic.mBuild.ObserveSince(t0)
+		}
 		ic.buildMu.Lock()
 		ic.pending = false
 		ic.buildMu.Unlock()
@@ -157,6 +166,39 @@ func (ic *indexCache) close() {
 	ic.closed = true
 	ic.buildMu.Unlock()
 	ic.buildWG.Wait()
+}
+
+// instrument registers the index cache's instruments. Staleness is
+// exposed as the epoch gap (published minus indexed), not a boolean:
+// a dashboard wants to see the index fall behind, not just that it has.
+func (ic *indexCache) instrument(reg *metrics.Registry) {
+	ic.mBuild = reg.Histogram("gee_index_build_seconds",
+		"Wall time of one completed IVF index build.",
+		metrics.DefLatencyBuckets)
+	reg.CounterFunc("gee_index_builds_total",
+		"Completed IVF index builds this server lifetime.",
+		func() float64 { return float64(ic.builds.Load()) })
+	reg.GaugeFunc("gee_index_staleness_epochs",
+		"Published epochs the approximate index trails by (0 = fresh or cold).",
+		func() float64 {
+			idx := ic.cur.Load()
+			if idx == nil {
+				return 0
+			}
+			pub := ic.d.Epoch()
+			if pub <= idx.snap.Epoch {
+				return 0
+			}
+			return float64(pub - idx.snap.Epoch)
+		})
+	reg.GaugeFunc("gee_index_epoch",
+		"Snapshot epoch the current approximate index was built from (0 = cold).",
+		func() float64 {
+			if idx := ic.cur.Load(); idx != nil {
+				return float64(idx.snap.Epoch)
+			}
+			return 0
+		})
 }
 
 func (ic *indexCache) stats() IndexStats {

@@ -1,0 +1,204 @@
+// The HTTP measurement surface: every registered route is wrapped with
+// a per-endpoint latency histogram, a status counter, and a
+// response-bytes histogram split by negotiated wire format, all
+// resolved at registration time so the per-request cost is a few
+// atomic adds. The same wrapper drives the slow-request trace log:
+// requests over Options.SlowRequestThreshold log their method, path,
+// status, vertex count, epoch, and duration under a monotonically
+// increasing per-request id.
+
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// serverMetrics owns the server's registry and per-route instruments.
+type serverMetrics struct {
+	reg     *metrics.Registry
+	slow    time.Duration
+	slowLog *log.Logger
+	reqID   atomic.Int64 // per-request ids for the slow-request trace
+}
+
+func newServerMetrics(opts Options) *serverMetrics {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	lg := opts.SlowRequestLog
+	if lg == nil {
+		lg = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	return &serverMetrics{reg: reg, slow: opts.SlowRequestThreshold, slowLog: lg}
+}
+
+// routeMetrics is one endpoint's instrument set, resolved once when the
+// route is registered.
+type routeMetrics struct {
+	sm      *serverMetrics
+	route   string
+	latency *metrics.Histogram
+	// Response-body bytes by negotiated wire format. Per-request sizes
+	// go through a histogram (the _sum doubles as the total).
+	bytesJSON   *metrics.Histogram
+	bytesBinary *metrics.Histogram
+
+	mu     sync.RWMutex
+	status map[int]*metrics.Counter // lazily populated per status code
+}
+
+func (sm *serverMetrics) route(pattern string) *routeMetrics {
+	return &routeMetrics{
+		sm:    sm,
+		route: pattern,
+		latency: sm.reg.Histogram("gee_http_request_seconds",
+			"End-to-end request latency by route (mutations include the publish ack wait).",
+			metrics.DefLatencyBuckets, metrics.L("route", pattern)),
+		bytesJSON: sm.reg.Histogram("gee_http_response_bytes",
+			"Response body bytes by route and negotiated wire format.",
+			metrics.DefSizeBuckets, metrics.L("route", pattern), metrics.L("wire", "json")),
+		bytesBinary: sm.reg.Histogram("gee_http_response_bytes",
+			"Response body bytes by route and negotiated wire format.",
+			metrics.DefSizeBuckets, metrics.L("route", pattern), metrics.L("wire", "binary")),
+		status: make(map[int]*metrics.Counter),
+	}
+}
+
+// statusCounter resolves the counter for one status code, registering
+// it on first sight (the per-route code set is tiny, so after warmup
+// this is one RLock and a map read).
+func (rm *routeMetrics) statusCounter(code int) *metrics.Counter {
+	rm.mu.RLock()
+	c := rm.status[code]
+	rm.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if c = rm.status[code]; c == nil {
+		c = rm.sm.reg.Counter("gee_http_requests_total",
+			"Requests served by route and status code.",
+			metrics.L("route", rm.route), metrics.L("code", strconv.Itoa(code)))
+		rm.status[code] = c
+	}
+	return c
+}
+
+// meteredWriter wraps the ResponseWriter to capture status and bytes,
+// and carries the handler's trace annotations (vertex count, epoch)
+// back to the wrapper.
+type meteredWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+
+	// Slow-trace annotations, set by handlers via annotate/annotateOps.
+	ops      int
+	epoch    uint64
+	hasEpoch bool
+}
+
+func (m *meteredWriter) WriteHeader(code int) {
+	if m.status == 0 {
+		m.status = code
+	}
+	m.ResponseWriter.WriteHeader(code)
+}
+
+func (m *meteredWriter) Write(p []byte) (int, error) {
+	if m.status == 0 {
+		m.status = http.StatusOK
+	}
+	n, err := m.ResponseWriter.Write(p)
+	m.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through so the streaming endpoints keep their
+// incremental delivery.
+func (m *meteredWriter) Flush() {
+	if f, ok := m.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// annotate records the vertex/op count and snapshot epoch a request
+// touched, for the slow-request trace. Safe on any writer (tests call
+// handlers with a bare httptest recorder).
+func annotate(w http.ResponseWriter, ops int, epoch uint64) {
+	if m, ok := w.(*meteredWriter); ok {
+		m.ops = ops
+		m.epoch = epoch
+		m.hasEpoch = true
+	}
+}
+
+// annotateOps records only the op count (for requests rejected before
+// any snapshot was loaded).
+func annotateOps(w http.ResponseWriter, ops int) {
+	if m, ok := w.(*meteredWriter); ok {
+		m.ops = ops
+	}
+}
+
+// wrap instruments one route handler. The instruments are captured in
+// the closure — no per-request lookups beyond the status-code map.
+func (sm *serverMetrics) wrap(rm *routeMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := sm.reqID.Add(1)
+		t0 := time.Now()
+		mw := &meteredWriter{ResponseWriter: w}
+		h(mw, r)
+		if mw.status == 0 {
+			// Handler wrote nothing (e.g. a streamed response that
+			// aborted before the first byte): the status on the wire is
+			// whatever the http server defaulted to.
+			mw.status = http.StatusOK
+		}
+		dur := time.Since(t0)
+		rm.latency.Observe(dur.Seconds())
+		rm.statusCounter(mw.status).Inc()
+		if w.Header().Get("Content-Type") == wire.ContentType {
+			rm.bytesBinary.Observe(float64(mw.bytes))
+		} else {
+			rm.bytesJSON.Observe(float64(mw.bytes))
+		}
+		if sm.slow > 0 && dur >= sm.slow {
+			sm.traceSlow(id, rm.route, r, mw, dur)
+		}
+	}
+}
+
+// traceSlow emits one slow-request line. The format is stable (keyed
+// fields, one line) so log scrapers can parse it:
+//
+//	slow-request id=17 method=POST path=/v1/edges status=200 vertices=128 epoch=42 dur=153.2ms
+func (sm *serverMetrics) traceSlow(id int64, route string, r *http.Request, mw *meteredWriter, dur time.Duration) {
+	epoch := "-"
+	if mw.hasEpoch {
+		epoch = strconv.FormatUint(mw.epoch, 10)
+	}
+	sm.slowLog.Printf("slow-request id=%d method=%s path=%s route=%q status=%d vertices=%d epoch=%s dur=%s",
+		id, r.Method, r.URL.Path, route, mw.status, mw.ops, epoch, dur.Round(100*time.Microsecond))
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (sm *serverMetrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := sm.reg.WriteText(w); err != nil {
+		// Headers are gone; all we can do is cut the stream short.
+		fmt.Fprintf(os.Stderr, "metrics exposition: %v\n", err)
+	}
+}

@@ -4,15 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dyn"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -206,6 +209,22 @@ type Options struct {
 	// MaxReadBatch caps len(vs) of one POST /v1/embeddings request.
 	// 0 selects 8192; negative disables the cap.
 	MaxReadBatch int
+	// Metrics is the registry the server instruments itself (and the
+	// embedder, coalescer, and index cache) into, served at
+	// GET /metrics. Nil selects a fresh registry. One registry backs
+	// one server: instrument names are fixed, so two servers sharing a
+	// registry would share cells.
+	Metrics *metrics.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the same
+	// mux. Off by default: profiling endpoints leak heap contents and
+	// must be an explicit operator decision.
+	EnablePprof bool
+	// SlowRequestThreshold enables the slow-request trace: any request
+	// taking at least this long logs its method, path, status, vertex
+	// count, epoch, and duration under a per-request id. 0 disables.
+	SlowRequestThreshold time.Duration
+	// SlowRequestLog receives slow-request lines. Nil selects stderr.
+	SlowRequestLog *log.Logger
 }
 
 // Server serves a DynamicEmbedder over HTTP. Construct with New (which
@@ -220,6 +239,7 @@ type Server struct {
 	search  int
 	maxRead int
 	wire    wireCounters
+	sm      *serverMetrics
 }
 
 // orDefault maps the Options timeout/limit convention (0 = default,
@@ -265,18 +285,43 @@ func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
 		ReadHeaderTimeout: orDefault(opts.ReadHeaderTimeout, defaultReadHeaderTimeout),
 		IdleTimeout:       orDefault(opts.IdleTimeout, defaultIdleTimeout),
 	}
-	s.mux.HandleFunc("POST /v1/edges", s.handleInsert)
-	s.mux.HandleFunc("DELETE /v1/edges", s.handleDelete)
-	s.mux.HandleFunc("POST /v1/labels", s.handleLabels)
-	s.mux.HandleFunc("GET /v1/embedding/{v}", s.handleEmbedding)
-	s.mux.HandleFunc("POST /v1/embeddings", s.handleEmbeddings)
-	s.mux.HandleFunc("POST /v1/neighbors", s.handleNeighbors)
-	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /v1/delta", s.handleDelta)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.sm = newServerMetrics(opts)
+	// Every API route goes through the metrics wrapper; the instruments
+	// are resolved here, once, so the per-request cost is atomic adds.
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.sm.wrap(s.sm.route(pattern), h))
+	}
+	handle("POST /v1/edges", s.handleInsert)
+	handle("DELETE /v1/edges", s.handleDelete)
+	handle("POST /v1/labels", s.handleLabels)
+	handle("GET /v1/embedding/{v}", s.handleEmbedding)
+	handle("POST /v1/embeddings", s.handleEmbeddings)
+	handle("POST /v1/neighbors", s.handleNeighbors)
+	handle("GET /v1/snapshot", s.handleSnapshot)
+	handle("GET /v1/delta", s.handleDelta)
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /statsz", s.handleStats)
+	// The exposition endpoint itself stays unwrapped: scrapes measuring
+	// themselves would put the scraper in every latency histogram.
+	s.mux.HandleFunc("GET /metrics", s.sm.handleMetrics)
+	if opts.EnablePprof {
+		// pprof.Index dispatches /debug/pprof/{heap,goroutine,...} by
+		// path suffix, so the subtree pattern covers the named profiles.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.d.Instrument(s.sm.reg)
+	s.co.instrument(s.sm.reg)
+	s.index.instrument(s.sm.reg)
 	return s
 }
+
+// Metrics returns the server's registry (the one /metrics serves), for
+// embedding processes that want to add their own instruments.
+func (s *Server) Metrics() *metrics.Registry { return s.sm.reg }
 
 // Handler returns the HTTP handler (for httptest or custom servers).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -375,11 +420,15 @@ func toEdges(wire []EdgeWire) ([]graph.Edge, error) {
 // the ack. The handler blocks until the batch is published — that is
 // the point: a 200 means read-your-write holds from Epoch on.
 func (s *Server) submit(w http.ResponseWriter, b dyn.Batch, ops int) {
+	annotateOps(w, ops)
 	ack, err := s.co.Submit(b)
 	switch err {
 	case nil:
 	case ErrBacklog:
-		w.Header().Set("Retry-After", "1")
+		// Retry-After derives from the observed drain rate, not a
+		// constant: a client backing off for exactly as long as the queue
+		// needs to drain avoids both thundering retries and dead air.
+		w.Header().Set("Retry-After", strconv.Itoa(s.co.RetryAfter()))
 		writeError(w, http.StatusTooManyRequests, "ingest queue full")
 		return
 	case ErrClosed:
@@ -396,6 +445,7 @@ func (s *Server) submit(w http.ResponseWriter, b dyn.Batch, ops int) {
 		writeError(w, http.StatusBadRequest, "%v", a.Err)
 		return
 	}
+	annotate(w, ops, a.Epoch)
 	writeJSON(w, http.StatusOK, MutationResponse{Epoch: a.Epoch, Applied: ops})
 }
 
@@ -464,6 +514,7 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 	}
 	row := make([]float64, snap.Z.C)
 	copy(row, snap.Z.Row(int(v)))
+	annotate(w, 1, snap.Epoch)
 	writeJSON(w, http.StatusOK, EmbeddingResponse{Epoch: snap.Epoch, V: uint32(v), Row: row})
 }
 
@@ -490,6 +541,7 @@ func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	annotate(w, len(req.Vs), snap.Epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
 	if binary := wantsBinary(r); binary {
@@ -583,6 +635,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	if !served {
 		nbrs = cluster.TopK(s.search, snap.Z, snap.Z.Row(int(req.V)), k, metric, int(req.V))
 	}
+	annotate(w, k, snap.Epoch)
 	wire := make([]NeighborWire, len(nbrs))
 	for i, nb := range nbrs {
 		wire[i] = NeighborWire{V: uint32(nb.V), Dist: nb.Dist}
@@ -606,6 +659,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 // serialization.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap := s.d.Snapshot()
+	annotate(w, snap.Z.R, snap.Epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
 	if binary := wantsBinary(r); binary {
@@ -631,6 +685,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dl := s.d.Delta(from)
+	annotate(w, len(dl.Rows), dl.Epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
 	if binary := wantsBinary(r); binary {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/labels"
 	"repro/internal/ligra"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/spectral"
@@ -320,6 +321,45 @@ func NewEmbeddingServer(d *DynamicEmbedder, opts ServerOptions) *EmbeddingServer
 func NewEmbeddingClient(base string, hc *http.Client, opts ...ClientOption) *EmbeddingClient {
 	return client.New(base, hc, opts...)
 }
+
+// Observability (internal/metrics): the dependency-free instrument
+// registry every serving layer records into, exposed by the server at
+// GET /metrics in the Prometheus text format. Embedding processes can
+// pass their own registry via ServerOptions.Metrics and add their own
+// instruments next to the server's.
+
+type (
+	// MetricsRegistry holds counters, gauges, and histograms and
+	// renders them as Prometheus text exposition.
+	MetricsRegistry = metrics.Registry
+	// MetricsCounter is a monotonically increasing atomic counter.
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is a settable atomic gauge.
+	MetricsGauge = metrics.Gauge
+	// MetricsHistogram is a lock-free fixed-bucket latency/size
+	// histogram with mergeable snapshots and quantile estimation.
+	MetricsHistogram = metrics.Histogram
+	// MetricsHistogramSnapshot is one consistent view of a histogram
+	// (mergeable across instances; Quantile estimates p50/p90/p99).
+	MetricsHistogramSnapshot = metrics.HistogramSnapshot
+	// MetricsLabel is one name="value" pair on an instrument.
+	MetricsLabel = metrics.Label
+	// MetricsSample is one parsed Prometheus exposition line.
+	MetricsSample = metrics.Sample
+)
+
+// NewMetricsRegistry returns an empty instrument registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ExpBuckets returns n log-spaced histogram bucket bounds starting at
+// start and growing by factor (the scheme the serving instruments use).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	return metrics.ExpBuckets(start, factor, n)
+}
+
+// ParseMetricsText reads Prometheus text exposition (e.g. a /metrics
+// scrape) into typed samples.
+func ParseMetricsText(r io.Reader) ([]MetricsSample, error) { return metrics.ParseText(r) }
 
 // Read-path scale-out: epoch deltas for replica fan-out, replica
 // followers serving local lock-free reads, and exact nearest-neighbor

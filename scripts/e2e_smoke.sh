@@ -8,7 +8,10 @@
 # the replica ends bit-identical to the primary's /v1/snapshot after
 # churn, that a second load over the binary wire format also verifies
 # bit-identical while spending fewer delta bytes per sync than the
-# JSON run, and check a clean graceful shutdown on SIGTERM.
+# JSON run, and check a clean graceful shutdown on SIGTERM. The
+# observability legs scrape /metrics (grammar-valid Prometheus text,
+# request counters reflecting the load, the coalescer queue-depth
+# gauge) and check pprof is absent by default but serves under -pprof.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,6 +51,7 @@ echo
   -edge-block 0.9 -batch-readers 1 -read-batch 16 \
   -neighbor-readers 1 -neighbor-k 10 -neighbor-mode approx -recall-queries 50 \
   -replicas 1 -replica-sync 20ms -replica-verify \
+  -metrics-url "http://$addr/metrics" \
   | tee "$log/load.out"
 
 if ! grep -Eq 'ingested [1-9][0-9]* ops' "$log/load.out"; then
@@ -87,6 +91,50 @@ if ! grep -q 'replica verify OK' "$log/load.out"; then
 fi
 if ! curl -fsS "http://$addr/statsz" | grep -Eq '"Inserts":[1-9][0-9]*'; then
   echo "FAIL: server reports zero applied inserts" >&2
+  exit 1
+fi
+# geeload's own end-of-run scrape must have reported server-side
+# latencies (it exits non-zero on a scrape/parse failure).
+if ! grep -q 'server metrics' "$log/load.out"; then
+  echo "FAIL: geeload -metrics-url reported no server metrics" >&2
+  exit 1
+fi
+
+# Observability leg: /metrics serves a non-empty exposition in which
+# every line is either a HELP/TYPE comment or a sample matching the
+# Prometheus text grammar, the request counters reflect the load just
+# driven, and the coalescer queue-depth gauge is present.
+curl -fsS "http://$addr/metrics" >"$log/metrics.out"
+if ! [ -s "$log/metrics.out" ]; then
+  echo "FAIL: /metrics served an empty body" >&2
+  exit 1
+fi
+# The label block is matched greedily (.*\}): label *values* may
+# contain braces (route="GET /v1/embedding/{v}").
+grammar='^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN))$'
+if grep -Evq "$grammar" "$log/metrics.out"; then
+  echo "FAIL: /metrics lines fail the text-format grammar:" >&2
+  grep -Ev "$grammar" "$log/metrics.out" | head >&2
+  exit 1
+fi
+if ! grep -Eq 'gee_http_requests_total\{code="200",route="POST /v1/edges"\} [1-9]' "$log/metrics.out"; then
+  echo "FAIL: /metrics shows no acked POST /v1/edges requests after the load" >&2
+  exit 1
+fi
+if ! grep -Eq '^gee_coalescer_queue_depth ' "$log/metrics.out"; then
+  echo "FAIL: /metrics is missing the coalescer queue-depth gauge" >&2
+  exit 1
+fi
+if ! grep -Eq '^gee_dyn_publish_seconds_count [1-9]' "$log/metrics.out"; then
+  echo "FAIL: /metrics shows no publishes after the load" >&2
+  exit 1
+fi
+echo "metrics exposition OK ($(wc -l <"$log/metrics.out") lines)"
+
+# pprof must be absent unless opted in.
+pprof_code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/")
+if [ "$pprof_code" != "404" ]; then
+  echo "FAIL: /debug/pprof/ answered $pprof_code on a server without -pprof (want 404)" >&2
   exit 1
 fi
 
@@ -143,4 +191,29 @@ if ! grep -q 'graceful shutdown complete' "$log/serve.out"; then
   cat "$log/serve.out" >&2
   exit 1
 fi
+
+# Opt-in pprof leg: a fresh server started with -pprof must serve the
+# profile index on the same mux.
+"$bin/geeserve" -serve 127.0.0.1:0 -n 100 -k 2 -rounds 0 -readers 0 -pprof \
+  >"$log/pprof_serve.out" 2>"$log/pprof_serve.err" &
+ppid=$!
+trap 'kill "$pid" "$ppid" 2>/dev/null || true' EXIT
+paddr=""
+for _ in $(seq 1 100); do
+  paddr=$(sed -n 's/^# serving HTTP on //p' "$log/pprof_serve.err" | head -1)
+  [ -n "$paddr" ] && break
+  sleep 0.1
+done
+if [ -z "$paddr" ]; then
+  echo "FAIL: -pprof server never reported its address" >&2
+  cat "$log/pprof_serve.err" >&2
+  exit 1
+fi
+if ! curl -fsS "http://$paddr/debug/pprof/" | grep -q goroutine; then
+  echo "FAIL: /debug/pprof/ not serving with -pprof set" >&2
+  exit 1
+fi
+kill -TERM "$ppid"
+wait "$ppid" || { echo "FAIL: -pprof server exited non-zero" >&2; exit 1; }
+echo "pprof gating OK (404 by default, serves with -pprof)"
 echo "e2e smoke OK"
