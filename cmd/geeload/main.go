@@ -31,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -74,6 +75,7 @@ type config struct {
 	labelFrac     float64
 	seed          uint64
 	metricsURL    string
+	tracesURL     string
 }
 
 // counters aggregates what the load achieved.
@@ -112,6 +114,7 @@ func main() {
 	flag.Float64Var(&cfg.labelFrac, "label-frac", 0.2, "fraction of vertices labeled round-robin before the load starts")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "workload seed")
 	flag.StringVar(&cfg.metricsURL, "metrics-url", "", "scrape this Prometheus endpoint (e.g. <addr>/metrics) after the load and report the server's own per-route latencies")
+	flag.StringVar(&cfg.tracesURL, "traces-url", "", "fetch this trace-dump endpoint (e.g. <addr>/debug/traces) after the load and report the slowest write's per-stage breakdown")
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "geeload:", err)
@@ -380,6 +383,11 @@ func run(cfg config, out io.Writer) error {
 			return fmt.Errorf("metrics scrape: %w", err)
 		}
 	}
+	if cfg.tracesURL != "" {
+		if err := reportTraces(ctx, cfg.tracesURL, out); err != nil {
+			return fmt.Errorf("trace fetch: %w", err)
+		}
+	}
 	if cfg.nbrMode == "approx" && cfg.recallQueries > 0 {
 		if err := measureRecall(ctx, c, n, cfg, out); err != nil {
 			return fmt.Errorf("recall measurement: %w", err)
@@ -448,6 +456,57 @@ func scrapeMetrics(ctx context.Context, url string, out io.Writer) error {
 			break
 		}
 	}
+	return nil
+}
+
+// reportTraces pulls the server's /debug/traces dump after the load
+// and prints the slowest retained write trace's per-stage breakdown —
+// the decomposition (queue wait vs fold vs publish vs ack) of the
+// worst write the server remembers, which aggregate histograms cannot
+// show for any single request.
+func reportTraces(ctx context.Context, url string, out io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var dump server.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return err
+	}
+	writeRoutes := map[string]bool{
+		"POST /v1/edges": true, "DELETE /v1/edges": true, "POST /v1/labels": true,
+	}
+	var slowest *server.TraceWire
+	consider := func(ts []server.TraceWire) {
+		for i := range ts {
+			t := &ts[i]
+			if writeRoutes[t.Name] && (slowest == nil || t.DurUS > slowest.DurUS) {
+				slowest = t
+			}
+		}
+	}
+	consider(dump.Recent)
+	for _, b := range dump.Buckets {
+		consider(b.Traces)
+	}
+	if slowest == nil {
+		fmt.Fprintf(out, "traces: no write traces retained at %s\n", url)
+		return nil
+	}
+	fmt.Fprintf(out, "slowest write trace %s (%s, %.3f ms):", slowest.ID, slowest.Name,
+		float64(slowest.DurUS)/1000)
+	for _, sp := range slowest.Spans {
+		fmt.Fprintf(out, " %s %.3f ms", sp.Name, float64(sp.DurUS)/1000)
+	}
+	fmt.Fprintln(out)
 	return nil
 }
 

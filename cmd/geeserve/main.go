@@ -78,6 +78,7 @@ type config struct {
 	seed      uint64
 	pprof     bool
 	slowReq   time.Duration
+	noTrace   bool
 }
 
 func main() {
@@ -101,6 +102,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 12345, "workload seed")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the -serve mux")
 	flag.DurationVar(&cfg.slowReq, "slow-request", 0, "log requests slower than this threshold (e.g. 250ms; 0 disables)")
+	flag.BoolVar(&cfg.noTrace, "no-trace", false, "disable request tracing (/debug/traces, per-stage write histograms); measurement escape hatch")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "geeserve:", err)
@@ -157,6 +159,7 @@ func run(cfg config) error {
 		srv = server.New(d, server.Options{
 			EnablePprof:          cfg.pprof,
 			SlowRequestThreshold: cfg.slowReq,
+			DisableTracing:       cfg.noTrace,
 		})
 		go func() { srvErr <- srv.Serve(ln) }()
 		var stopSignals context.CancelFunc

@@ -181,6 +181,12 @@ type DynamicEmbedder struct {
 	// failures to exercise Apply's nothing-is-applied contract.
 	foldHook func(del, ins []graph.Edge) error
 
+	// publishHook, when non-nil, observes every published epoch and
+	// how long the publish took. The serving layer's coalescer uses it
+	// to split publish time out of the fold span when auto-publish
+	// runs inside Apply. Called under mu; keep it cheap.
+	publishHook func(epoch uint64, dur time.Duration)
+
 	// Observability instruments (nil until Instrument; all guarded by
 	// mu like the state they measure).
 	mPublish    *metrics.Histogram // publish (normalize + version) latency
@@ -625,5 +631,19 @@ func (d *DynamicEmbedder) publishLocked() *Snapshot {
 	if d.mPublish != nil {
 		d.mPublish.ObserveSince(t0)
 	}
+	if d.publishHook != nil {
+		d.publishHook(epoch, time.Since(t0))
+	}
 	return s
+}
+
+// SetPublishHook installs a callback invoked after every published
+// epoch with the epoch number and the publish duration (normalize +
+// version). The hook runs with the embedder's writer lock held, so it
+// must be cheap and must not call back into the embedder. Pass nil to
+// clear. At most one hook is supported; the serving coalescer owns it.
+func (d *DynamicEmbedder) SetPublishHook(h func(epoch uint64, dur time.Duration)) {
+	d.mu.Lock()
+	d.publishHook = h
+	d.mu.Unlock()
 }

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats reading briefly, so the
+// several heap/GC instruments below cost a single stop-the-world
+// sample per scrape (and concurrent scrapes share it) instead of one
+// each.
+type memSampler struct {
+	mu  sync.Mutex
+	at  time.Time
+	ttl time.Duration
+	ms  runtime.MemStats
+}
+
+func (s *memSampler) sample() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.at.IsZero() || time.Since(s.at) > s.ttl {
+		runtime.ReadMemStats(&s.ms)
+		s.at = time.Now()
+	}
+	return s.ms
+}
+
+// RegisterRuntime registers process-health instruments sampled at
+// exposition time: goroutine count, heap bytes, and GC cycle/pause
+// totals. Idempotent per registry (re-registration returns the
+// existing collectors), so layered components may all call it.
+func RegisterRuntime(reg *Registry) {
+	s := &memSampler{ttl: 100 * time.Millisecond}
+	reg.GaugeFunc("gee_go_goroutines",
+		"Live goroutines in the serving process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("gee_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(s.sample().HeapAlloc) })
+	reg.GaugeFunc("gee_go_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { return float64(s.sample().HeapSys) })
+	reg.CounterFunc("gee_go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 { return float64(s.sample().NumGC) })
+	reg.CounterFunc("gee_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(s.sample().PauseTotalNs) / 1e9 })
+}

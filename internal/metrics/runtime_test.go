@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntime: the process-health instruments expose live,
+// plausible values and registration is idempotent.
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	RegisterRuntime(reg) // second call must not panic or duplicate
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"gee_go_goroutines",
+		"gee_go_heap_alloc_bytes",
+		"gee_go_heap_sys_bytes",
+		"gee_go_gc_cycles_total",
+		"gee_go_gc_pause_seconds_total",
+	} {
+		if n := strings.Count(out, "\n"+name+" "); n != 1 {
+			t.Errorf("exposition has %d sample lines for %s, want 1:\n%s", n, name, out)
+		}
+	}
+	// A live process always has at least this test's goroutine, and a
+	// running heap is never zero bytes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "gee_go_goroutines ") || strings.HasPrefix(line, "gee_go_heap_alloc_bytes ") {
+			f := strings.Fields(line)
+			if len(f) != 2 || f[1] == "0" {
+				t.Errorf("implausible sample: %q", line)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -146,6 +147,19 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	if c.wire == Binary {
 		req.Header.Set("Accept", acceptValue)
 	}
+	// Propagate (or mint) the trace id so the server's recorded trace
+	// shares an id with the caller's: a slow-request line on the server
+	// is directly joinable with client-side logs. When the context
+	// carries a live trace, the call also records an rpc span in it.
+	tr := trace.FromContext(ctx)
+	rpc := tr.StartSpan("rpc")
+	tr.SpanTag(rpc, "path", path)
+	if tr != nil {
+		req.Header.Set(trace.Header, tr.ID().String())
+	} else {
+		req.Header.Set(trace.Header, trace.NewID().String())
+	}
+	defer tr.EndSpan(rpc)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -183,6 +197,13 @@ func (c *Client) getStream(ctx context.Context, path string) (io.ReadCloser, str
 	}
 	if c.wire == Binary {
 		req.Header.Set("Accept", acceptValue)
+	}
+	// Same id contract as do; no rpc span here — the body outlives the
+	// call, so its extent is the caller's to measure.
+	if tr := trace.FromContext(ctx); tr != nil {
+		req.Header.Set(trace.Header, tr.ID().String())
+	} else {
+		req.Header.Set(trace.Header, trace.NewID().String())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -58,6 +59,11 @@ type Replica struct {
 	mSyncResync *metrics.Histogram // Sync wall time, full-bootstrap calls
 	mBytesDelta *metrics.Histogram // on-wire bytes per /v1/delta response
 	mBytesSnap  *metrics.Histogram // on-wire bytes per /v1/snapshot response
+
+	// rec, when set via RecordTraces, receives one finished trace per
+	// Sync: the rpc round trip(s) plus the local apply span, under the
+	// same id the server adopted for its side of the call.
+	rec *trace.Recorder
 }
 
 // ReplicaSnapshot is one immutable local version of the embedding.
@@ -220,6 +226,17 @@ func (r *Replica) addDeltaBytes(n int64) {
 	}
 }
 
+// RecordTraces turns on client-side sync tracing: every subsequent
+// Sync records a span tree ("replica-sync": rpc round trips + the
+// local apply) into rec. The trace id rides the X-Gee-Trace header, so
+// the server's recorded trace for the same delta read shares it. Call
+// before the sync loop starts; nil disables.
+func (r *Replica) RecordTraces(rec *trace.Recorder) {
+	r.mu.Lock()
+	r.rec = rec
+	r.mu.Unlock()
+}
+
 // Bootstrap (re)initializes the local copy from a full snapshot.
 func (r *Replica) Bootstrap(ctx context.Context) error {
 	r.mu.Lock()
@@ -345,6 +362,30 @@ func (r *Replica) bootstrapBinaryLocked(ctx context.Context) error {
 func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.rec == nil {
+		return r.syncLocked(ctx, nil)
+	}
+	tr := trace.New("replica-sync")
+	resynced, err = r.syncLocked(trace.NewContext(ctx, tr), tr)
+	switch {
+	case err != nil:
+		tr.Tag("error", err.Error())
+	case resynced:
+		tr.Tag("outcome", "resync")
+	default:
+		tr.Tag("outcome", "delta")
+	}
+	if s := r.cur.Load(); s != nil {
+		tr.Tag("epoch", fmt.Sprint(s.Epoch))
+	}
+	tr.Finish()
+	r.rec.Record(tr)
+	return resynced, err
+}
+
+// syncLocked is Sync's body; tr (possibly nil) collects the apply span
+// while the rpc spans come from the client's do via the context.
+func (r *Replica) syncLocked(ctx context.Context, tr *trace.Trace) (resynced bool, err error) {
 	t0 := time.Now()
 	// observe records the wall time of a successful sync under the
 	// outcome's histogram (resync transfers the full matrix, a delta
@@ -394,6 +435,9 @@ func (r *Replica) Sync(ctx context.Context) (resynced bool, err error) {
 	if len(dl.Z) != len(dl.Rows) {
 		return false, fmt.Errorf("client: delta carries %d rows but %d value rows", len(dl.Rows), len(dl.Z))
 	}
+	applyRef := tr.StartSpan("apply")
+	tr.SpanTag(applyRef, "rows", fmt.Sprint(len(dl.Rows)))
+	defer tr.EndSpan(applyRef)
 	next := &ReplicaSnapshot{
 		Epoch: dl.Epoch, Instance: cur.Instance, Edges: dl.Edges,
 		n: cur.n, k: cur.k,

@@ -20,12 +20,14 @@ package server
 import (
 	"errors"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dyn"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ErrBacklog is returned by Submit when the bounded request queue is
@@ -81,6 +83,10 @@ type CoalescerStats struct {
 type Ack struct {
 	Epoch uint64
 	Err   error
+
+	// sent is the instant the ingest goroutine released this ack — the
+	// start of the trace's ack span (channel wake-up + handler resume).
+	sent time.Time
 }
 
 // request is one queued write with its completion channel (buffered, so
@@ -90,6 +96,13 @@ type request struct {
 	ops   int
 	done  chan Ack
 	enq   time.Time // Submit time, for the ack-wait histogram
+
+	// Trace threading (nil tr makes every span call a no-op). The
+	// trace is owned by the ingest goroutine from the queue send until
+	// the done send hands it back to the submitting handler.
+	tr       *trace.Trace
+	queueRef trace.SpanRef // open queue-wait span, closed when the batch is collected
+	foldEnd  time.Time     // end of this request's fold span = start of publish-wait
 }
 
 // Coalescer merges concurrent write requests into micro-batches and
@@ -115,6 +128,16 @@ type Coalescer struct {
 	// the exposition gauge).
 	drainRate atomic.Uint64
 
+	// started flips once Start launches the ingest goroutine; together
+	// with closed it backs Accepting (the /readyz signal).
+	started atomic.Bool
+
+	// pubNanos accumulates publish durations reported by the embedder's
+	// publish hook. The fold path resets it before Apply and drains it
+	// after, so auto-publishes that run *inside* Apply are attributed to
+	// the publish span instead of inflating the fold span.
+	pubNanos atomic.Int64
+
 	// Observability instruments (nil until instrument; each use is
 	// nil-guarded so an uninstrumented coalescer pays nothing).
 	mBatchOps *metrics.Histogram // ops per merged micro-batch
@@ -130,16 +153,34 @@ type Coalescer struct {
 // applied until Start.
 func NewCoalescer(d *dyn.DynamicEmbedder, opts CoalescerOptions) *Coalescer {
 	opts = opts.withDefaults()
-	return &Coalescer{
+	c := &Coalescer{
 		d:        d,
 		opts:     opts,
 		queue:    make(chan *request, opts.QueueCap),
 		loopDone: make(chan struct{}),
 	}
+	d.SetPublishHook(func(_ uint64, dur time.Duration) {
+		c.pubNanos.Add(int64(dur))
+	})
+	return c
 }
 
 // Start launches the ingest goroutine. Call exactly once.
-func (c *Coalescer) Start() { go c.run() }
+func (c *Coalescer) Start() {
+	c.started.Store(true)
+	go c.run()
+}
+
+// Accepting reports whether the coalescer is taking writes: started
+// and not yet closed. This is the write-path half of GET /readyz.
+func (c *Coalescer) Accepting() bool {
+	if !c.started.Load() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed
+}
 
 // Close stops intake (subsequent Submits fail with ErrClosed), drains
 // and applies everything already queued, publishes, and acknowledges
@@ -223,13 +264,24 @@ func (c *Coalescer) instrument(reg *metrics.Registry) {
 // published (or rejected by validation). A batch with no operations is
 // acknowledged immediately at the current epoch.
 func (c *Coalescer) Submit(b dyn.Batch) (<-chan Ack, error) {
+	return c.SubmitTraced(b, nil)
+}
+
+// SubmitTraced is Submit carrying the request's trace. The coalescer
+// opens the queue-wait span here and records fold and publish-wait
+// spans as the request moves through the pipeline; ownership of tr
+// transfers to the ingest goroutine on enqueue and returns to the
+// caller with the ack (both handoffs synchronize via channels). A nil
+// tr degrades to plain Submit.
+func (c *Coalescer) SubmitTraced(b dyn.Batch, tr *trace.Trace) (<-chan Ack, error) {
 	ops := len(b.Insert) + len(b.Delete) + len(b.Labels)
 	done := make(chan Ack, 1)
 	if ops == 0 {
-		done <- Ack{Epoch: c.d.Epoch()}
+		done <- Ack{Epoch: c.d.Epoch(), sent: time.Now()}
 		return done, nil
 	}
-	req := &request{batch: b, ops: ops, done: done, enq: time.Now()}
+	req := &request{batch: b, ops: ops, done: done, enq: time.Now(), tr: tr}
+	req.queueRef = tr.StartSpanAt("queue", req.enq)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -293,14 +345,23 @@ func (c *Coalescer) run() {
 // single request carries an invalid op), each request is replayed
 // individually in arrival order so only the offenders fail.
 func (c *Coalescer) apply(reqs []*request, pending []*request) []*request {
+	t0 := time.Now()
+	for _, r := range reqs {
+		// One clock reading closes every queue span and opens the fold
+		// span, so the stages stay contiguous: their sum is exactly the
+		// enqueue-to-ack wall time.
+		r.tr.EndSpanAt(r.queueRef, t0)
+	}
 	if len(reqs) == 1 {
 		c.flushes.Add(1)
 		c.observeBatch(reqs[0].ops)
 		err := c.fold(reqs[0].batch)
+		foldEnd := c.foldSpans(reqs, t0, reqs[0].ops, err)
 		if err != nil {
-			reqs[0].done <- Ack{Err: err}
+			reqs[0].done <- Ack{Err: err, sent: time.Now()}
 			return pending
 		}
+		reqs[0].foldEnd = foldEnd
 		c.pendingOps += reqs[0].ops
 		return append(pending, reqs[0])
 	}
@@ -314,23 +375,57 @@ func (c *Coalescer) apply(reqs []*request, pending []*request) []*request {
 	}
 	c.flushes.Add(1)
 	c.observeBatch(ops)
-	if err := c.fold(merged); err == nil {
+	err := c.fold(merged)
+	foldEnd := c.foldSpans(reqs, t0, ops, err)
+	if err == nil {
 		c.coalesced.Add(int64(len(reqs)))
 		for _, r := range reqs {
+			r.foldEnd = foldEnd
 			c.pendingOps += r.ops
 		}
 		return append(pending, reqs...)
 	}
 	for _, r := range reqs {
 		c.replays.Add(1)
-		if err := c.fold(r.batch); err != nil {
-			r.done <- Ack{Err: err}
+		rt0 := time.Now()
+		err := c.fold(r.batch)
+		rEnd := c.foldSpans([]*request{r}, rt0, r.ops, err)
+		if err != nil {
+			r.done <- Ack{Err: err, sent: time.Now()}
 			continue
 		}
+		r.foldEnd = rEnd
 		c.pendingOps += r.ops
 		pending = append(pending, r)
 	}
 	return pending
+}
+
+// foldSpans records a fold span on every request in the batch, ending
+// at now minus whatever publish time the embedder's hook reported
+// during the Apply — auto-publish runs inside Apply, and charging it
+// to the fold would leave the publish-wait span empty. Returns the
+// fold end instant (= publish-wait start). The span tags record the
+// coalescing: how many requests and ops shared this fold.
+func (c *Coalescer) foldSpans(reqs []*request, start time.Time, ops int, err error) time.Time {
+	end := time.Now()
+	pub := time.Duration(c.pubNanos.Swap(0))
+	if pub < 0 {
+		pub = 0
+	}
+	if window := end.Sub(start); pub > window {
+		pub = window
+	}
+	foldEnd := end.Add(-pub)
+	for _, r := range reqs {
+		ref := r.tr.AddSpan("fold", start, foldEnd)
+		r.tr.SpanTag(ref, "batch_requests", strconv.Itoa(len(reqs)))
+		r.tr.SpanTag(ref, "batch_ops", strconv.Itoa(ops))
+		if err != nil {
+			r.tr.SpanTag(ref, "error", err.Error())
+		}
+	}
+	return foldEnd
 }
 
 // fold applies one batch to the embedder, timing it when instrumented.
@@ -418,16 +513,25 @@ func (c *Coalescer) settle(pending []*request, idle bool) []*request {
 			return pending
 		}
 		snap = c.d.Publish()
+		// The forced publish above reported into pubNanos; drain it so
+		// the next window's fold span does not subtract it again (the
+		// publish-wait spans recorded below already cover it).
+		c.pubNanos.Store(0)
 	} else {
 		snap = c.d.Snapshot()
 	}
 	epoch := snap.Epoch
 	now := time.Now()
+	epochTag := strconv.FormatUint(epoch, 10)
 	for _, r := range pending {
 		if c.mAckWait != nil {
 			c.mAckWait.Observe(now.Sub(r.enq).Seconds())
 		}
-		r.done <- Ack{Epoch: epoch}
+		if r.tr != nil {
+			ref := r.tr.AddSpan("publish", r.foldEnd, now)
+			r.tr.SpanTag(ref, "epoch", epochTag)
+		}
+		r.done <- Ack{Epoch: epoch, sent: now}
 	}
 	c.pendingOps = 0
 	return pending[:0]

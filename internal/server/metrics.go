@@ -15,20 +15,33 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
-// serverMetrics owns the server's registry and per-route instruments.
+// serverMetrics owns the server's registry, per-route instruments, and
+// the request-trace flight recorder.
 type serverMetrics struct {
 	reg     *metrics.Registry
 	slow    time.Duration
 	slowLog *log.Logger
 	reqID   atomic.Int64 // per-request ids for the slow-request trace
+
+	// rec retains finished request traces (nil when tracing is
+	// disabled; every trace call site is nil-safe).
+	rec *trace.Recorder
+	// Per-stage write latency histograms, fed from finished traces'
+	// queue/fold/publish/ack spans.
+	stageQueue   *metrics.Histogram
+	stageFold    *metrics.Histogram
+	stagePublish *metrics.Histogram
+	stageAck     *metrics.Histogram
 }
 
 func newServerMetrics(opts Options) *serverMetrics {
@@ -40,7 +53,20 @@ func newServerMetrics(opts Options) *serverMetrics {
 	if lg == nil {
 		lg = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	}
-	return &serverMetrics{reg: reg, slow: opts.SlowRequestThreshold, slowLog: lg}
+	sm := &serverMetrics{reg: reg, slow: opts.SlowRequestThreshold, slowLog: lg}
+	if !opts.DisableTracing {
+		sm.rec = trace.NewRecorder(opts.TraceBuffer)
+		const help = "Write-path latency decomposed by pipeline stage (from request traces)."
+		sm.stageQueue = reg.Histogram("gee_write_stage_seconds", help,
+			metrics.DefLatencyBuckets, metrics.L("stage", "queue"))
+		sm.stageFold = reg.Histogram("gee_write_stage_seconds", help,
+			metrics.DefLatencyBuckets, metrics.L("stage", "fold"))
+		sm.stagePublish = reg.Histogram("gee_write_stage_seconds", help,
+			metrics.DefLatencyBuckets, metrics.L("stage", "publish"))
+		sm.stageAck = reg.Histogram("gee_write_stage_seconds", help,
+			metrics.DefLatencyBuckets, metrics.L("stage", "ack"))
+	}
+	return sm
 }
 
 // routeMetrics is one endpoint's instrument set, resolved once when the
@@ -53,6 +79,9 @@ type routeMetrics struct {
 	// go through a histogram (the _sum doubles as the total).
 	bytesJSON   *metrics.Histogram
 	bytesBinary *metrics.Histogram
+	// aborted counts streamed responses cut short by client departure
+	// (already-committed 200s whose body never completed).
+	aborted *metrics.Counter
 
 	mu     sync.RWMutex
 	status map[int]*metrics.Counter // lazily populated per status code
@@ -71,6 +100,9 @@ func (sm *serverMetrics) route(pattern string) *routeMetrics {
 		bytesBinary: sm.reg.Histogram("gee_http_response_bytes",
 			"Response body bytes by route and negotiated wire format.",
 			metrics.DefSizeBuckets, metrics.L("route", pattern), metrics.L("wire", "binary")),
+		aborted: sm.reg.Counter("gee_http_aborted_streams_total",
+			"Streamed responses aborted mid-body by client departure (status was already committed).",
+			metrics.L("route", pattern)),
 		status: make(map[int]*metrics.Counter),
 	}
 }
@@ -108,6 +140,13 @@ type meteredWriter struct {
 	ops      int
 	epoch    uint64
 	hasEpoch bool
+
+	// tr is this request's trace (nil when tracing is disabled);
+	// handlers reach it through traceOf.
+	tr *trace.Trace
+	// aborted marks a streamed response the client abandoned mid-body,
+	// set by handlers via annotateAborted.
+	aborted bool
 }
 
 func (m *meteredWriter) WriteHeader(code int) {
@@ -153,13 +192,42 @@ func annotateOps(w http.ResponseWriter, ops int) {
 	}
 }
 
+// annotateAborted marks a streamed response that the client abandoned
+// mid-body — the committed status (usually 200) no longer describes
+// what was delivered. The wrapper counts it and tags the trace.
+func annotateAborted(w http.ResponseWriter) {
+	if m, ok := w.(*meteredWriter); ok {
+		m.aborted = true
+	}
+}
+
+// traceOf returns the request's trace for handlers wanting to record
+// spans. Nil (a universal no-op) on unwrapped writers or with tracing
+// disabled.
+func traceOf(w http.ResponseWriter) *trace.Trace {
+	if m, ok := w.(*meteredWriter); ok {
+		return m.tr
+	}
+	return nil
+}
+
 // wrap instruments one route handler. The instruments are captured in
 // the closure — no per-request lookups beyond the status-code map.
 func (sm *serverMetrics) wrap(rm *routeMetrics, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := sm.reqID.Add(1)
+		var tr *trace.Trace
+		if sm.rec != nil {
+			// Adopt the client's id when the header carries one, so one
+			// id names the request on both sides of the wire.
+			if tid, ok := trace.ParseID(r.Header.Get(trace.Header)); ok {
+				tr = trace.Adopt(tid, rm.route)
+			} else {
+				tr = trace.New(rm.route)
+			}
+		}
 		t0 := time.Now()
-		mw := &meteredWriter{ResponseWriter: w}
+		mw := &meteredWriter{ResponseWriter: w, tr: tr}
 		h(mw, r)
 		if mw.status == 0 {
 			// Handler wrote nothing (e.g. a streamed response that
@@ -175,8 +243,45 @@ func (sm *serverMetrics) wrap(rm *routeMetrics, h http.HandlerFunc) http.Handler
 		} else {
 			rm.bytesJSON.Observe(float64(mw.bytes))
 		}
+		if mw.aborted {
+			rm.aborted.Inc()
+		}
+		if tr != nil {
+			tr.Tag("status", strconv.Itoa(mw.status))
+			if mw.hasEpoch {
+				tr.Tag("epoch", strconv.FormatUint(mw.epoch, 10))
+			}
+			if mw.aborted {
+				tr.Tag("aborted", "true")
+			}
+			tr.Finish()
+			sm.observeStages(tr)
+			sm.rec.Record(tr)
+		}
 		if sm.slow > 0 && dur >= sm.slow {
 			sm.traceSlow(id, rm.route, r, mw, dur)
+		}
+	}
+}
+
+// observeStages feeds the per-stage histograms from a finished trace's
+// pipeline spans, so /metrics separates what the aggregate ack-wait
+// histogram lumps together.
+func (sm *serverMetrics) observeStages(tr *trace.Trace) {
+	for _, sp := range tr.Spans() {
+		var h *metrics.Histogram
+		switch sp.Name {
+		case "queue":
+			h = sm.stageQueue
+		case "fold":
+			h = sm.stageFold
+		case "publish":
+			h = sm.stagePublish
+		case "ack":
+			h = sm.stageAck
+		}
+		if h != nil {
+			h.Observe(sp.Duration().Seconds())
 		}
 	}
 }
@@ -184,14 +289,53 @@ func (sm *serverMetrics) wrap(rm *routeMetrics, h http.HandlerFunc) http.Handler
 // traceSlow emits one slow-request line. The format is stable (keyed
 // fields, one line) so log scrapers can parse it:
 //
-//	slow-request id=17 method=POST path=/v1/edges status=200 vertices=128 epoch=42 dur=153.2ms
+//	slow-request id=17 method=POST path=/v1/edges status=200 vertices=128 epoch=42 dur=153.2ms trace=00c27e5a93f1b204
+//
+// When tracing is on, a second line dumps the trace's span tree so the
+// latency decomposition is in the log next to the event:
+//
+//	slow-request id=17 trace=00c27e5a93f1b204 spans: queue=1.2ms fold=3.4ms{batch_requests=7,batch_ops=224} publish=9.1ms ack=0.1ms
 func (sm *serverMetrics) traceSlow(id int64, route string, r *http.Request, mw *meteredWriter, dur time.Duration) {
 	epoch := "-"
 	if mw.hasEpoch {
 		epoch = strconv.FormatUint(mw.epoch, 10)
 	}
-	sm.slowLog.Printf("slow-request id=%d method=%s path=%s route=%q status=%d vertices=%d epoch=%s dur=%s",
-		id, r.Method, r.URL.Path, route, mw.status, mw.ops, epoch, dur.Round(100*time.Microsecond))
+	traceID := "-"
+	if mw.tr != nil {
+		traceID = mw.tr.ID().String()
+	}
+	sm.slowLog.Printf("slow-request id=%d method=%s path=%s route=%q status=%d vertices=%d epoch=%s dur=%s trace=%s",
+		id, r.Method, r.URL.Path, route, mw.status, mw.ops, epoch, dur.Round(100*time.Microsecond), traceID)
+	if mw.tr != nil && len(mw.tr.Spans()) > 0 {
+		sm.slowLog.Printf("slow-request id=%d trace=%s spans: %s", id, traceID, formatSpans(mw.tr))
+	}
+}
+
+// formatSpans renders a finished trace's spans on one line, in
+// recorded order: name=duration{tag=v,...} separated by spaces.
+func formatSpans(tr *trace.Trace) string {
+	var b strings.Builder
+	for i, sp := range tr.Spans() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(sp.Name)
+		b.WriteByte('=')
+		b.WriteString(sp.Duration().Round(10 * time.Microsecond).String())
+		if len(sp.Tags) > 0 {
+			b.WriteByte('{')
+			for j, tag := range sp.Tags {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(tag.Key)
+				b.WriteByte('=')
+				b.WriteString(tag.Value)
+			}
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
 }
 
 // handleMetrics serves the Prometheus text exposition.

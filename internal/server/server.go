@@ -156,6 +156,16 @@ type HealthResponse struct {
 	K      int    `json:"k"`
 }
 
+// ReadyResponse is the body of GET /readyz. Unlike /healthz (process
+// liveness), readiness means the server can actually do its job: the
+// ingest coalescer is accepting writes and a snapshot epoch has
+// published for reads.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+	Epoch  uint64 `json:"epoch"`
+}
+
 // StatsResponse is the body of GET /statsz.
 type StatsResponse struct {
 	N         int            `json:"n"`
@@ -225,6 +235,15 @@ type Options struct {
 	SlowRequestThreshold time.Duration
 	// SlowRequestLog receives slow-request lines. Nil selects stderr.
 	SlowRequestLog *log.Logger
+	// DisableTracing turns off the always-on request tracing (span
+	// recording, /debug/traces, the per-stage write histograms). The
+	// recorder is bounded memory and its per-request cost is a handful
+	// of small allocations, so this exists as a measurement escape
+	// hatch (the overhead A/B in EXPERIMENTS.md), not a recommendation.
+	DisableTracing bool
+	// TraceBuffer is the capacity of the flight recorder's recent-traces
+	// ring. 0 selects 256. Each slowest-retained bucket holds 1/8 of it.
+	TraceBuffer int
 }
 
 // Server serves a DynamicEmbedder over HTTP. Construct with New (which
@@ -300,10 +319,14 @@ func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
 	handle("GET /v1/snapshot", s.handleSnapshot)
 	handle("GET /v1/delta", s.handleDelta)
 	handle("GET /healthz", s.handleHealth)
+	handle("GET /readyz", s.handleReady)
 	handle("GET /statsz", s.handleStats)
 	// The exposition endpoint itself stays unwrapped: scrapes measuring
-	// themselves would put the scraper in every latency histogram.
+	// themselves would put the scraper in every latency histogram. The
+	// trace dump likewise: reading the flight recorder must not write
+	// into it.
 	s.mux.HandleFunc("GET /metrics", s.sm.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	if opts.EnablePprof {
 		// pprof.Index dispatches /debug/pprof/{heap,goroutine,...} by
 		// path suffix, so the subtree pattern covers the named profiles.
@@ -316,6 +339,7 @@ func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
 	s.d.Instrument(s.sm.reg)
 	s.co.instrument(s.sm.reg)
 	s.index.instrument(s.sm.reg)
+	metrics.RegisterRuntime(s.sm.reg)
 	return s
 }
 
@@ -421,7 +445,11 @@ func toEdges(wire []EdgeWire) ([]graph.Edge, error) {
 // the point: a 200 means read-your-write holds from Epoch on.
 func (s *Server) submit(w http.ResponseWriter, b dyn.Batch, ops int) {
 	annotateOps(w, ops)
-	ack, err := s.co.Submit(b)
+	// The trace crosses into the coalescer here and comes back with the
+	// ack; both handoffs ride channels, so the unsynchronized span
+	// writes in between are ordered.
+	tr := traceOf(w)
+	ack, err := s.co.SubmitTraced(b, tr)
 	switch err {
 	case nil:
 	case ErrBacklog:
@@ -441,6 +469,12 @@ func (s *Server) submit(w http.ResponseWriter, b dyn.Batch, ops int) {
 	// The ack always arrives (Close drains the queue), so waiting on it
 	// alone is safe; a departed client just discards the response.
 	a := <-ack
+	// The ack span is the handoff back: channel wake-up plus handler
+	// resume, measured from the instant the ingest goroutine released
+	// the ack.
+	if tr != nil && !a.sent.IsZero() {
+		tr.AddSpan("ack", a.sent, time.Now())
+	}
 	if a.Err != nil {
 		writeError(w, http.StatusBadRequest, "%v", a.Err)
 		return
@@ -544,21 +578,26 @@ func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
 	annotate(w, len(req.Vs), snap.Epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
+	var rows int
 	if binary := wantsBinary(r); binary {
 		w.Header().Set("Content-Type", wire.ContentType)
-		streamEmbeddingsBinary(st, snap, req.Vs)
+		rows = streamEmbeddingsBinary(st, snap, req.Vs)
 		s.wire.embeddings.record(binary, st.bytesSent())
-		return
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(st.bw, `{"epoch":%d,"rows":`, snap.Epoch)
+		rows = st.floatRows(len(req.Vs), func(i int) []float64 {
+			return snap.Z.Row(int(req.Vs[i]))
+		})
+		if rows == len(req.Vs) {
+			st.rawByte('}')
+		}
+		st.flush()
+		s.wire.embeddings.record(false, st.bytesSent())
 	}
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(st.bw, `{"epoch":%d,"rows":`, snap.Epoch)
-	if st.floatRows(len(req.Vs), func(i int) []float64 {
-		return snap.Z.Row(int(req.Vs[i]))
-	}) == len(req.Vs) {
-		st.rawByte('}')
+	if rows != len(req.Vs) || st.failed() {
+		annotateAborted(w)
 	}
-	st.flush()
-	s.wire.embeddings.record(false, st.bytesSent())
 }
 
 // handleNeighbors answers a top-k nearest-neighbor query over the
@@ -605,7 +644,10 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
 		return
 	}
+	tr := traceOf(w)
+	loadRef := tr.StartSpan("snapshot-load")
 	snap := s.d.Snapshot()
+	tr.EndSpan(loadRef)
 	if int(req.V) >= snap.Z.R {
 		writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", req.V, snap.Z.R)
 		return
@@ -619,6 +661,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	var nbrs []cluster.Neighbor
 	indexEpoch := snap.Epoch
 	served := false
+	searchRef := tr.StartSpan("search")
 	if mode == "approx" {
 		if idx := s.index.current(snap); idx != nil {
 			// The query row must come from the index's own snapshot:
@@ -634,6 +677,13 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	}
 	if !served {
 		nbrs = cluster.TopK(s.search, snap.Z, snap.Z.Row(int(req.V)), k, metric, int(req.V))
+	}
+	tr.EndSpan(searchRef)
+	tr.SpanTag(searchRef, "mode", mode)
+	tr.SpanTag(searchRef, "metric", name)
+	tr.SpanTag(searchRef, "index_epoch", strconv.FormatUint(indexEpoch, 10))
+	if req.NProbe > 0 {
+		tr.SpanTag(searchRef, "nprobe", strconv.Itoa(req.NProbe))
 	}
 	annotate(w, k, snap.Epoch)
 	wire := make([]NeighborWire, len(nbrs))
@@ -658,19 +708,32 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 // cancellation), so a departed reader does not pay for the full O(nK)
 // serialization.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(w)
+	loadRef := tr.StartSpan("snapshot-load")
 	snap := s.d.Snapshot()
+	tr.EndSpan(loadRef)
 	annotate(w, snap.Z.R, snap.Epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
-	if binary := wantsBinary(r); binary {
+	streamRef := tr.StartSpan("stream")
+	binary := wantsBinary(r)
+	var rows int
+	if binary {
 		w.Header().Set("Content-Type", wire.ContentType)
-		streamSnapshotBinary(st, snap)
-		s.wire.snapshot.record(binary, st.bytesSent())
-		return
+		rows = streamSnapshotBinary(st, snap)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		rows = streamSnapshot(st, snap)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	streamSnapshot(st, snap)
-	s.wire.snapshot.record(false, st.bytesSent())
+	s.wire.snapshot.record(binary, st.bytesSent())
+	tr.EndSpan(streamRef)
+	tr.SpanTag(streamRef, "rows", strconv.Itoa(rows))
+	// A short row count means the client departed mid-body after the
+	// 200 was already committed — the status line alone would record
+	// this as a fully served response.
+	if rows != snap.Z.R || st.failed() {
+		annotateAborted(w)
+	}
 }
 
 // handleDelta streams the epoch delta from ?from=E to the published
@@ -684,25 +747,59 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad from epoch %q", fromStr)
 		return
 	}
+	tr := traceOf(w)
 	dl := s.d.Delta(from)
 	annotate(w, len(dl.Rows), dl.Epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
-	if binary := wantsBinary(r); binary {
+	streamRef := tr.StartSpan("stream")
+	binary := wantsBinary(r)
+	var rows int
+	if binary {
 		w.Header().Set("Content-Type", wire.ContentType)
-		streamDeltaBinary(st, dl, s.d.K(), s.d.N())
-		s.wire.delta.record(binary, st.bytesSent())
-		return
+		rows = streamDeltaBinary(st, dl, s.d.K(), s.d.N())
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		rows = streamDelta(st, dl, s.d.K())
 	}
-	w.Header().Set("Content-Type", "application/json")
-	streamDelta(st, dl, s.d.K())
-	s.wire.delta.record(false, st.bytesSent())
+	s.wire.delta.record(binary, st.bytesSent())
+	tr.EndSpan(streamRef)
+	tr.SpanTag(streamRef, "rows", strconv.Itoa(rows))
+	if dl.Resync {
+		tr.SpanTag(streamRef, "resync", "true")
+	}
+	expected := len(dl.Rows)
+	if dl.Resync {
+		expected = 0
+	}
+	if rows != expected || st.failed() {
+		annotateAborted(w)
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status: "ok", Epoch: s.d.Epoch(), N: s.d.N(), K: s.d.K(),
 	})
+}
+
+// handleReady answers load-balancer readiness: 200 only when the
+// coalescer is started and accepting (it is not during shutdown, nor
+// in white-box tests that never Start it) and at least one epoch has
+// published (the epoch-0 bootstrap publish counts — reads are
+// answerable from it).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	snap := s.d.Snapshot()
+	switch {
+	case !s.co.Accepting():
+		writeJSON(w, http.StatusServiceUnavailable,
+			ReadyResponse{Ready: false, Reason: "ingest coalescer not accepting writes"})
+	case snap == nil:
+		writeJSON(w, http.StatusServiceUnavailable,
+			ReadyResponse{Ready: false, Reason: "no snapshot published"})
+	default:
+		writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Epoch: snap.Epoch})
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -103,6 +103,12 @@ func (s *streamer) aborted() bool {
 	return s.t.err != nil || s.ctx.Err() != nil
 }
 
+// failed reports whether the underlying writer itself errored. Unlike
+// aborted it ignores the request context, so a fully delivered body
+// whose client cancels just after the last flush is not misread as
+// cut short.
+func (s *streamer) failed() bool { return s.t.err != nil }
+
 func (s *streamer) raw(v string)   { s.bw.WriteString(v) }
 func (s *streamer) rawByte(c byte) { s.bw.WriteByte(c) }
 func (s *streamer) flush() error   { return s.bw.Flush() }

@@ -1,0 +1,106 @@
+// GET /debug/traces: the JSON view over the request-trace flight
+// recorder — the most recent finished traces plus the slowest-retained
+// duration buckets, so the one slow write that happened an hour ago is
+// still inspectable after a million fast requests. The wire types are
+// exported because geeload decodes them for its post-load report.
+
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// SpanWire is one pipeline stage inside a dumped trace. Offsets and
+// durations are microseconds from the trace's start.
+type SpanWire struct {
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Tags    map[string]string `json:"tags,omitempty"`
+}
+
+// TraceWire is one finished trace in a /debug/traces dump.
+type TraceWire struct {
+	ID    string            `json:"id"`
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	DurUS int64             `json:"dur_us"`
+	Tags  map[string]string `json:"tags,omitempty"`
+	Spans []SpanWire        `json:"spans,omitempty"`
+}
+
+// BucketWire is one slowest-retained shelf: traces of at least MinUS
+// end-to-end, surviving eviction by faster traffic.
+type BucketWire struct {
+	MinUS  int64       `json:"min_us"`
+	Traces []TraceWire `json:"traces"`
+}
+
+// TracesResponse is the body of GET /debug/traces. An optional ?name=
+// query filters both sections to traces whose root name matches
+// exactly (route patterns, e.g. "POST /v1/edges").
+type TracesResponse struct {
+	Recent  []TraceWire  `json:"recent"`
+	Buckets []BucketWire `json:"buckets"`
+}
+
+func tagMap(tags []trace.Tag) map[string]string {
+	if len(tags) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(tags))
+	for _, t := range tags {
+		m[t.Key] = t.Value
+	}
+	return m
+}
+
+func toTraceWire(t *trace.Trace) TraceWire {
+	tw := TraceWire{
+		ID:    t.ID().String(),
+		Name:  t.Name(),
+		Start: t.Begin(),
+		DurUS: t.Duration().Microseconds(),
+		Tags:  tagMap(t.Tags()),
+	}
+	for _, sp := range t.Spans() {
+		tw.Spans = append(tw.Spans, SpanWire{
+			Name:    sp.Name,
+			StartUS: sp.Start.Microseconds(),
+			DurUS:   sp.Duration().Microseconds(),
+			Tags:    tagMap(sp.Tags),
+		})
+	}
+	return tw
+}
+
+func toTraceWires(ts []*trace.Trace, name string) []TraceWire {
+	out := make([]TraceWire, 0, len(ts))
+	for _, t := range ts {
+		if name != "" && t.Name() != name {
+			continue
+		}
+		out = append(out, toTraceWire(t))
+	}
+	return out
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	rec := s.sm.rec
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (server started with DisableTracing)")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	resp := TracesResponse{Recent: toTraceWires(rec.Recent(), name)}
+	for _, b := range rec.Buckets() {
+		resp.Buckets = append(resp.Buckets, BucketWire{
+			MinUS:  b.Min.Microseconds(),
+			Traces: toTraceWires(b.Traces, name),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

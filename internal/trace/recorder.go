@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ring is a fixed-size lock-free buffer of published traces. Record
+// claims a slot with one atomic increment and stores an immutable
+// *Trace into it; Dump loads whatever pointers are present. A reader
+// never sees a torn trace — only a whole one (possibly newer than the
+// one it raced with) or nil for a slot never written.
+type ring struct {
+	next  atomic.Uint64
+	slots []atomic.Pointer[Trace]
+}
+
+func newRing(capacity int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+func (r *ring) record(t *Trace) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// dump returns the resident traces, approximately newest-first.
+func (r *ring) dump() []*Trace {
+	n := r.next.Load()
+	out := make([]*Trace, 0, len(r.slots))
+	for k := 0; k < len(r.slots); k++ {
+		if uint64(k) >= n {
+			break
+		}
+		// Walk backwards from the most recently claimed slot.
+		i := (n - 1 - uint64(k)) % uint64(len(r.slots))
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DefBucketThresholds are the duration floors of the slowest-retained
+// buckets: a finished trace is also stored in the slowest bucket whose
+// floor it meets, so a burst of fast requests can never evict the rare
+// slow one from the recorder.
+var DefBucketThresholds = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// Bucket is one slowest-retained shelf in a dump.
+type Bucket struct {
+	Min    time.Duration
+	Traces []*Trace
+}
+
+// Recorder is the always-on flight recorder: a recent ring holding the
+// last N finished traces regardless of speed, plus small
+// duration-bucketed rings that retain slow traces against eviction by
+// fast traffic. All operations are lock-free; memory is bounded by the
+// ring capacities. Record must only be called with finished traces.
+type Recorder struct {
+	recent  *ring
+	floors  []time.Duration
+	buckets []*ring
+}
+
+// NewRecorder builds a recorder whose recent ring holds recentCap
+// traces (0 selects 256). Each slowest-retained bucket holds
+// recentCap/8 (minimum 8).
+func NewRecorder(recentCap int) *Recorder {
+	if recentCap <= 0 {
+		recentCap = 256
+	}
+	bcap := max(recentCap/8, 8)
+	r := &Recorder{recent: newRing(recentCap), floors: DefBucketThresholds}
+	for range r.floors {
+		r.buckets = append(r.buckets, newRing(bcap))
+	}
+	return r
+}
+
+// Record publishes a finished trace. Nil traces are ignored, so a
+// tracing-disabled pipeline can call it unconditionally.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.recent.record(t)
+	d := t.Duration()
+	for i := len(r.floors) - 1; i >= 0; i-- {
+		if d >= r.floors[i] {
+			r.buckets[i].record(t)
+			return
+		}
+	}
+}
+
+// Recent returns the traces in the recent ring, approximately
+// newest-first.
+func (r *Recorder) Recent() []*Trace {
+	if r == nil {
+		return nil
+	}
+	return r.recent.dump()
+}
+
+// Buckets returns the slowest-retained shelves, fastest floor first.
+func (r *Recorder) Buckets() []Bucket {
+	if r == nil {
+		return nil
+	}
+	out := make([]Bucket, len(r.floors))
+	for i := range r.floors {
+		out[i] = Bucket{Min: r.floors[i], Traces: r.buckets[i].dump()}
+	}
+	return out
+}
+
+// Find returns any retained trace with the given id (recent ring
+// first, then the slow buckets), or nil.
+func (r *Recorder) Find(id ID) *Trace {
+	if r == nil {
+		return nil
+	}
+	for _, t := range r.recent.dump() {
+		if t.ID() == id {
+			return t
+		}
+	}
+	for _, b := range r.buckets {
+		for _, t := range b.dump() {
+			if t.ID() == id {
+				return t
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finished fabricates a published trace with a chosen duration (the
+// recorder buckets on Duration, which tests can't control through the
+// wall clock).
+func finished(name string, d time.Duration) *Trace {
+	tr := New(name)
+	tr.AddSpan("queue", tr.begin, tr.begin.Add(d/2))
+	tr.dur = d
+	return tr
+}
+
+// TestRecorderBounded is the capacity property: however many traces
+// are recorded, the recorder retains at most recentCap in the recent
+// ring and bucketCap per slow shelf.
+func TestRecorderBounded(t *testing.T) {
+	rec := NewRecorder(16)
+	for i := 0; i < 500; i++ {
+		rec.Record(finished("w", time.Duration(i)*time.Millisecond))
+	}
+	if n := len(rec.Recent()); n > 16 {
+		t.Fatalf("recent ring holds %d traces, cap 16", n)
+	}
+	for _, b := range rec.Buckets() {
+		if len(b.Traces) > 8 {
+			t.Fatalf("bucket %v holds %d traces, cap 8", b.Min, len(b.Traces))
+		}
+		for _, tr := range b.Traces {
+			if tr.Duration() < b.Min {
+				t.Fatalf("bucket %v retained a %v trace", b.Min, tr.Duration())
+			}
+		}
+	}
+}
+
+// TestSlowestRetainedSurvivesEviction: one slow trace followed by a
+// flood of fast ones must be evicted from the recent ring yet stay
+// findable through its duration bucket.
+func TestSlowestRetainedSurvivesEviction(t *testing.T) {
+	rec := NewRecorder(16)
+	slow := finished("w", 2*time.Second)
+	rec.Record(slow)
+	for i := 0; i < 1000; i++ {
+		rec.Record(finished("w", 10*time.Microsecond))
+	}
+	for _, tr := range rec.Recent() {
+		if tr == slow {
+			t.Fatal("slow trace still in recent ring after 1000 records: eviction untested")
+		}
+	}
+	if got := rec.Find(slow.ID()); got != slow {
+		t.Fatalf("Find(%v) = %v after fast flood, want the slow trace retained", slow.ID(), got)
+	}
+	buckets := rec.Buckets()
+	last := buckets[len(buckets)-1]
+	if len(last.Traces) != 1 || last.Traces[0] != slow {
+		t.Fatalf("1s bucket = %d traces, want exactly the slow one", len(last.Traces))
+	}
+}
+
+// TestRecorderNewestFirst: dumps walk backwards from the last claimed
+// slot, so the most recent record leads.
+func TestRecorderNewestFirst(t *testing.T) {
+	rec := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		rec.Record(finished(fmt.Sprintf("t%d", i), 0))
+	}
+	got := rec.Recent()
+	if len(got) != 8 {
+		t.Fatalf("recent holds %d, want 8", len(got))
+	}
+	if got[0].Name() != "t19" || got[7].Name() != "t12" {
+		t.Fatalf("order = [%s .. %s], want [t19 .. t12]", got[0].Name(), got[7].Name())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Record(finished("w", time.Second))
+	if rec.Recent() != nil || rec.Buckets() != nil || rec.Find(1) != nil {
+		t.Fatal("nil recorder returned data")
+	}
+	live := NewRecorder(4)
+	live.Record(nil)
+	if n := len(live.Recent()); n != 0 {
+		t.Fatalf("Record(nil) stored %d traces", n)
+	}
+}
+
+// TestRecorderConcurrentRecordDump is the torn-read property test (run
+// under -race in CI): writers publish finished traces while readers
+// dump continuously. Every trace a reader observes must be internally
+// consistent — a whole published value, never a partial write.
+func TestRecorderConcurrentRecordDump(t *testing.T) {
+	rec := NewRecorder(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := time.Duration(i%2000) * time.Millisecond
+				tr := finished(fmt.Sprintf("w%d", w), d)
+				tr.Tag("dur", d.String())
+				rec.Record(tr)
+			}
+		}(w)
+	}
+	check := func(tr *Trace) {
+		// Published traces carry exactly the shape finished() built:
+		// one closed queue span at half the duration, one matching tag.
+		if tr.ID() == 0 {
+			t.Error("dumped trace has zero id")
+		}
+		sp, ok := tr.Span("queue")
+		if !ok || sp.End != tr.Duration()/2 {
+			t.Errorf("torn trace: span %+v vs duration %v", sp, tr.Duration())
+		}
+		tags := tr.Tags()
+		if len(tags) != 1 || tags[0].Value != tr.Duration().String() {
+			t.Errorf("torn trace: tags %v vs duration %v", tags, tr.Duration())
+		}
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, tr := range rec.Recent() {
+			check(tr)
+		}
+		for _, b := range rec.Buckets() {
+			for _, tr := range b.Traces {
+				check(tr)
+				if tr.Duration() < b.Min {
+					t.Errorf("bucket %v holds %v trace", b.Min, tr.Duration())
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -23,7 +23,10 @@ go build -o "$bin/geeload" ./cmd/geeload
 
 # n=5000 sits above the approximate index's exact-fallback threshold,
 # so the smoke exercises a real IVF build, not the degenerate path.
+# -slow-request 1ms is deliberately hair-trigger: the tracing leg below
+# needs slow-request lines in serve.err to join against /debug/traces.
 "$bin/geeserve" -serve 127.0.0.1:0 -n 5000 -k 5 -rounds 0 -readers 0 \
+  -slow-request 1ms \
   >"$log/serve.out" 2>"$log/serve.err" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT
@@ -42,6 +45,20 @@ if [ -z "$addr" ]; then
 fi
 echo "server up on $addr"
 
+# Gate the load on readiness, not liveness: /readyz answers 200 only
+# once the coalescer accepts writes and an epoch has published, so
+# there is no need to sleep-and-hope before driving traffic.
+ready=""
+for _ in $(seq 1 100); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/readyz")
+  if [ "$code" = "200" ]; then ready=yes; break; fi
+  sleep 0.1
+done
+if [ -z "$ready" ]; then
+  echo "FAIL: /readyz never answered 200" >&2
+  curl -s "http://$addr/readyz" >&2 || true
+  exit 1
+fi
 curl -fsS "http://$addr/healthz"
 echo
 
@@ -52,6 +69,7 @@ echo
   -neighbor-readers 1 -neighbor-k 10 -neighbor-mode approx -recall-queries 50 \
   -replicas 1 -replica-sync 20ms -replica-verify \
   -metrics-url "http://$addr/metrics" \
+  -traces-url "http://$addr/debug/traces" \
   | tee "$log/load.out"
 
 if ! grep -Eq 'ingested [1-9][0-9]* ops' "$log/load.out"; then
@@ -130,6 +148,42 @@ if ! grep -Eq '^gee_dyn_publish_seconds_count [1-9]' "$log/metrics.out"; then
   exit 1
 fi
 echo "metrics exposition OK ($(wc -l <"$log/metrics.out") lines)"
+
+# Tracing leg: the flight recorder must have retained a write trace
+# decomposed into the four pipeline stages, geeload's -traces-url
+# report must have printed the slowest write's breakdown, the
+# per-stage histograms must have counted the acked writes, and a
+# retained trace id must join against a slow-request line in the
+# server log (the 1ms threshold above guarantees lines exist).
+curl -fsS -G --data-urlencode 'name=POST /v1/edges' \
+  "http://$addr/debug/traces" >"$log/traces.out"
+for stage in queue fold publish ack; do
+  if ! grep -q "\"name\":\"$stage\"" "$log/traces.out"; then
+    echo "FAIL: /debug/traces write traces missing stage \"$stage\"" >&2
+    head -c 2000 "$log/traces.out" >&2
+    exit 1
+  fi
+done
+if ! grep -q 'slowest write trace' "$log/load.out"; then
+  echo "FAIL: geeload -traces-url reported no slowest-write breakdown" >&2
+  exit 1
+fi
+if ! grep -Eq 'gee_write_stage_seconds_count\{stage="fold"\} [1-9]' "$log/metrics.out"; then
+  echo "FAIL: /metrics shows no per-stage write observations" >&2
+  exit 1
+fi
+# Join: every retained trace id is a 16-hex-digit token; at least one
+# must appear as trace=<id> on a slow-request line.
+joined=""
+for tid in $(grep -o '"id":"[0-9a-f]\{16\}"' "$log/traces.out" | cut -d'"' -f4 | sort -u); do
+  if grep -q "trace=$tid" "$log/serve.err"; then joined="$tid"; break; fi
+done
+if [ -z "$joined" ]; then
+  echo "FAIL: no retained trace id joins a slow-request log line" >&2
+  grep -m 3 'slow-request' "$log/serve.err" >&2 || echo "  (no slow-request lines at all)" >&2
+  exit 1
+fi
+echo "tracing OK (trace $joined joins the slow-request log)"
 
 # pprof must be absent unless opted in.
 pprof_code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/")
