@@ -9,13 +9,13 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
 	"repro"
+	"repro/internal/sticky"
 )
 
 func main() {
@@ -84,12 +84,12 @@ func writeLabels(path string, y []int32) error {
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(f)
+	sw := sticky.NewWriter(f, 1<<16)
 	for _, v := range y {
-		bw.WriteString(strconv.FormatInt(int64(v), 10))
-		bw.WriteByte('\n')
+		sw.WriteString(strconv.FormatInt(int64(v), 10))
+		sw.WriteByte('\n')
 	}
-	if err := bw.Flush(); err != nil {
+	if err := sw.Flush(); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,147 @@
+// Command geevet runs the repo's static-analysis suite
+// (internal/analysis): five analyzers enforcing the concurrency,
+// allocation, and wire-safety invariants the code relies on by
+// convention. It is stdlib-only and module-aware — no go/packages, no
+// external driver.
+//
+// Usage:
+//
+//	geevet [-run analyzer[,analyzer]] [-list] [packages]
+//
+// The package argument may be ./... (the whole module, the default) or
+// one or more directory paths; either way the whole module is loaded
+// (analysis is cross-package) and findings are filtered to the
+// requested packages. Exit status: 0 clean, 1 findings, 2 usage or
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("geevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *runList != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				picked = append(picked, a)
+				delete(want, a.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(stderr, "geevet: unknown analyzer %q (try -list)\n", name)
+			return 2
+		}
+		analyzers = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "geevet: %v\n", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "geevet: %v\n", err)
+		return 2
+	}
+
+	keep, err := packageFilter(mod, cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "geevet: %v\n", err)
+		return 2
+	}
+
+	findings := analysis.Run(mod, analyzers)
+	shown := 0
+	for _, f := range findings {
+		if !keep(f.Pos.Filename) {
+			continue
+		}
+		fmt.Fprintf(stdout, "%s\n", f)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Fprintf(stderr, "geevet: %d finding(s)\n", shown)
+		return 1
+	}
+	return 0
+}
+
+// packageFilter maps the command-line patterns to a predicate over
+// finding filenames. "./..." (from the module root or below) keeps
+// everything under the pattern's base directory; a plain directory
+// keeps that directory only.
+func packageFilter(mod *analysis.Module, cwd string, patterns []string) (func(string) bool, error) {
+	type rule struct {
+		dir       string
+		recursive bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			recursive = true
+			p = rest
+			if p == "." || p == "" {
+				p = cwd
+			}
+		}
+		abs := p
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, p)
+		}
+		abs = filepath.Clean(abs)
+		if _, err := os.Stat(abs); err != nil {
+			return nil, fmt.Errorf("package pattern %q: %v", p, err)
+		}
+		rules = append(rules, rule{dir: abs, recursive: recursive})
+	}
+	return func(filename string) bool {
+		dir := filepath.Dir(filename)
+		for _, r := range rules {
+			if r.recursive {
+				if dir == r.dir || strings.HasPrefix(dir, r.dir+string(filepath.Separator)) {
+					return true
+				}
+			} else if dir == r.dir {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout/stderr redirected to temp files and
+// returns the exit code plus both outputs.
+func capture(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	stdout, err := os.Create(filepath.Join(dir, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := os.Create(filepath.Join(dir, "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, stdout, stderr)
+	stdout.Close()
+	stderr.Close()
+	out, _ := os.ReadFile(filepath.Join(dir, "stdout"))
+	errOut, _ := os.ReadFile(filepath.Join(dir, "stderr"))
+	return code, string(out), string(errOut)
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("-list exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"atomiccell", "boundedmake", "noalloc", "guardedfield", "stickywrite"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errOut := capture(t, []string{"-run", "nosuch"})
+	if code != 2 {
+		t.Fatalf("unknown analyzer exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %s", errOut)
+	}
+}
+
+func TestRepoRunsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	code, out, errOut := capture(t, []string{"./..."})
+	if code != 0 {
+		t.Fatalf("geevet ./... exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if out != "" {
+		t.Errorf("geevet ./... produced findings on a clean tree:\n%s", out)
+	}
+}

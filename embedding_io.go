@@ -8,23 +8,25 @@ import (
 	"strings"
 
 	"repro/internal/mat"
+	"repro/internal/sticky"
 )
 
 // writeEmbeddingTSV streams a dense matrix as tab-separated text, one row
-// per line.
+// per line. The sticky.Writer retains the first error for Flush, so the
+// per-value writes stay unchecked by design.
 func writeEmbeddingTSV(w io.Writer, z *mat.Dense) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	sw := sticky.NewWriter(w, 1<<20)
 	for i := 0; i < z.R; i++ {
 		row := z.Row(i)
 		for j, v := range row {
 			if j > 0 {
-				bw.WriteByte('\t')
+				sw.WriteByte('\t')
 			}
-			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			sw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 		}
-		bw.WriteByte('\n')
+		sw.WriteByte('\n')
 	}
-	return bw.Flush()
+	return sw.Flush()
 }
 
 // ReadEmbedding parses the TSV produced by WriteEmbedding.

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// An Analyzer checks one invariant over one package at a time. The
+// five repo analyzers live in their own files; DefaultAnalyzers wires
+// them up with the repo policy from config.go.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Run(pass *Pass)
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Module *Module
+	Pkg    *Package
+
+	analyzer string
+	out      *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Finding{
+		Analyzer: p.analyzer,
+		Pos:      p.Module.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each package of the module and returns
+// the findings sorted by position.
+func Run(m *Module, analyzers []Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		for _, pkg := range m.Pkgs {
+			pass := &Pass{Module: m, Pkg: pkg, analyzer: a.Name(), out: &findings}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// ---- annotations ----------------------------------------------------
+
+// The repo's annotation interfaces (documented in README "Static
+// analysis"): //gee:racy on a package clause, //gee:noalloc on a
+// function declaration, and "// guarded by <mu>" on a struct field.
+
+const (
+	racyDirective    = "//gee:racy"
+	noallocDirective = "//gee:noalloc"
+)
+
+// commentHasDirective reports whether any line of the comment group is
+// exactly the given directive.
+func commentHasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageRacy reports whether the package carries //gee:racy: the
+// directive must appear in a comment group that ends before the
+// package clause of one of its files (i.e. it annotates the package,
+// not some function halfway down). The returned position points at the
+// directive for diagnostics.
+func PackageRacy(pkg *Package) (token.Pos, bool) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			if cg.End() >= f.Package {
+				break
+			}
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == racyDirective {
+					return c.Pos(), true
+				}
+			}
+		}
+		if f.Doc != nil {
+			for _, c := range f.Doc.List {
+				if strings.TrimSpace(c.Text) == racyDirective {
+					return c.Pos(), true
+				}
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// FuncNoalloc reports whether a function declaration carries
+// //gee:noalloc in its doc comment.
+func FuncNoalloc(decl *ast.FuncDecl) bool {
+	return commentHasDirective(decl.Doc, noallocDirective)
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)\b`)
+
+// FieldGuardedBy extracts the mutex name from a "// guarded by mu"
+// annotation on a struct field (trailing comment or doc comment).
+func FieldGuardedBy(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// FuncKey returns the stable qualified name used in config lists and
+// the cross-package noalloc annotation map:
+// "pkgpath.Func", "(pkgpath.T).Method" or "(*pkgpath.T).Method", with
+// type-parameter brackets stripped so generic instantiations match
+// their origin declaration.
+func FuncKey(f *types.Func) string {
+	f = f.Origin()
+	return stripBrackets(f.FullName())
+}
+
+// stripBrackets removes [...] segments (type parameters /
+// instantiations) from a qualified function name.
+func stripBrackets(s string) string {
+	if !strings.ContainsRune(s, '[') {
+		return s
+	}
+	var b strings.Builder
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		default:
+			if depth == 0 {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// noallocFuncs builds (and caches) the module-wide map of
+// //gee:noalloc-annotated functions, keyed by FuncKey. The noalloc
+// analyzer uses it for the transitive rule: an annotated function may
+// only call module functions that are themselves annotated.
+func (m *Module) noallocFuncs() map[string]bool {
+	if m.noallocCache != nil {
+		return m.noallocCache
+	}
+	out := make(map[string]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !FuncNoalloc(fd) {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[FuncKey(obj)] = true
+				}
+			}
+		}
+	}
+	m.noallocCache = out
+	return out
+}
+
+// ---- AST helpers ----------------------------------------------------
+
+// inspectStack walks root like ast.Inspect but also hands fn the stack
+// of ancestor nodes (outermost first, not including n itself).
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // children skipped: ast.Inspect sends no nil pop
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit in the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// identRoot peels selectors and index expressions off an expression
+// and returns the base identifier: a.b[i].c → a. Returns nil for
+// non-lvalue shapes (calls, literals).
+func identRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves a call expression to the called *types.Func
+// (static calls and method calls; nil for builtins, conversions, and
+// calls through function-typed values).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil
+}
+
+// isPkgCall reports whether call is a call of pkgpath.name (a
+// package-level function of the given package path).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}

@@ -1,0 +1,437 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundedMake flags make calls (and loop-driven appends) whose size
+// derives from an attacker-controlled number — a wire-header count or a
+// request-body field — unless that number is checked against a named
+// cap constant first. This generalizes the PR 6 hostile-header fixes:
+// the recurring bug class is `make([]T, h.NRows)` where h came off the
+// network.
+//
+// Taint sources are numeric field reads of the configured source types
+// and the results of configured decoder calls (encoding/binary).
+// Lengths of already-materialized data (len(x)) are NOT tainted:
+// decoded slices were bounded when they were built; the dangerous
+// values are the raw numbers an attacker sends.
+//
+// Sanitization evidence is a comparison (<, <=, >, >=) between the
+// tainted source and a declared named constant, either
+//
+//   - in the same function, before the allocation (dominance is
+//     approximated by source order), or
+//   - anywhere in the same package for the same (type, field) source —
+//     the repo's wire.Header.BodySize pattern, where one validation
+//     helper caps every count field and every decode path calls it
+//     first.
+type BoundedMake struct {
+	// SourceTypes are fully-qualified named struct types whose numeric
+	// fields are tainted ("repro/internal/wire.Header").
+	SourceTypes []string
+	// SourceCalls are FuncKey-form functions whose (first) result is
+	// tainted ("encoding/binary.Uvarint").
+	SourceCalls []string
+}
+
+func (*BoundedMake) Name() string { return "boundedmake" }
+func (*BoundedMake) Doc() string {
+	return "make/append sized by wire- or request-supplied numbers must be capped by a named constant"
+}
+
+// fieldSource identifies one (struct type, field) taint source.
+type fieldSource struct {
+	typ   string // qualified type name
+	field string
+}
+
+func (a *BoundedMake) Run(pass *Pass) {
+	pkg := pass.Pkg
+
+	srcTypes := make(map[string]bool, len(a.SourceTypes))
+	for _, t := range a.SourceTypes {
+		srcTypes[t] = true
+	}
+	srcCalls := make(map[string]bool, len(a.SourceCalls))
+	for _, c := range a.SourceCalls {
+		srcCalls[c] = true
+	}
+
+	// taintedFieldRead resolves sel to a (type, field) source if it
+	// reads a numeric field of a configured source type.
+	taintedFieldRead := func(sel *ast.SelectorExpr) (fieldSource, bool) {
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return fieldSource{}, false
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !isNumeric(v.Type()) {
+			return fieldSource{}, false
+		}
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return fieldSource{}, false
+		}
+		name := typeKey(named)
+		if !srcTypes[name] {
+			return fieldSource{}, false
+		}
+		return fieldSource{typ: name, field: v.Name()}, true
+	}
+
+	// Package-level evidence: every (type, field) source compared
+	// against a named constant anywhere in the package.
+	pkgEvidence := make(map[fieldSource]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) {
+				return true
+			}
+			for lr, side := range [2]ast.Expr{be.X, be.Y} {
+				other := [2]ast.Expr{be.Y, be.X}[lr]
+				if !isNamedConst(pkg.Info, other) {
+					continue
+				}
+				for _, sel := range taintedSelectorsIn(pkg.Info, side, taintedFieldRead) {
+					pkgEvidence[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFunc(pass, fd, taintedFieldRead, srcCalls, pkgEvidence)
+		}
+	}
+}
+
+// taintState tracks, within one function, which local objects carry
+// taint and from which field source (if any) it originated.
+type taintState struct {
+	vars map[*types.Var]fieldSource // tainted locals → originating source ({} if call-derived)
+}
+
+func (a *BoundedMake) checkFunc(pass *Pass, fd *ast.FuncDecl,
+	fieldRead func(*ast.SelectorExpr) (fieldSource, bool),
+	srcCalls map[string]bool,
+	pkgEvidence map[fieldSource]bool,
+) {
+	pkg := pass.Pkg
+	st := &taintState{vars: make(map[*types.Var]fieldSource)}
+
+	// taintOf reports whether e is tainted and the field source it
+	// traces back to (zero fieldSource for call-derived taint).
+	var taintOf func(e ast.Expr) (fieldSource, bool)
+	taintOf = func(e ast.Expr) (fieldSource, bool) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+				if src, tainted := st.vars[v]; tainted {
+					return src, true
+				}
+			}
+		case *ast.SelectorExpr:
+			if src, ok := fieldRead(x); ok {
+				return src, true
+			}
+			// x.y.F where the base expression itself is tainted? Field
+			// reads of non-source types stay clean.
+		case *ast.CallExpr:
+			if f := calleeFunc(pkg.Info, x); f != nil && srcCalls[FuncKey(f)] {
+				return fieldSource{}, true
+			}
+			// Conversions propagate: int(h.NRows).
+			if len(x.Args) == 1 {
+				if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() {
+					return taintOf(x.Args[0])
+				}
+			}
+		case *ast.BinaryExpr:
+			if src, ok := taintOf(x.X); ok {
+				return src, true
+			}
+			return taintOf(x.Y)
+		case *ast.UnaryExpr:
+			return taintOf(x.X)
+		}
+		return fieldSource{}, false
+	}
+
+	// Walk statements in source order: record guards and taints as they
+	// appear, flag unguarded tainted allocations.
+	guarded := make(map[fieldSource]bool) // in-function evidence so far
+	guardedVars := make(map[*types.Var]bool)
+
+	recordGuards := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			be, ok := m.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) {
+				return true
+			}
+			for lr, side := range [2]ast.Expr{be.X, be.Y} {
+				other := [2]ast.Expr{be.Y, be.X}[lr]
+				if !isNamedConst(pkg.Info, other) {
+					continue
+				}
+				if src, ok := taintOf(side); ok {
+					if src != (fieldSource{}) {
+						guarded[src] = true
+					}
+					if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+						if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+							guardedVars[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	checkAllocArg := func(pos token.Pos, what string, arg ast.Expr) {
+		src, tainted := taintOf(arg)
+		if !tainted {
+			return
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok && guardedVars[v] {
+				return
+			}
+		}
+		if src != (fieldSource{}) && (guarded[src] || pkgEvidence[src]) {
+			return
+		}
+		srcDesc := "a decoded value"
+		if src != (fieldSource{}) {
+			srcDesc = src.typ + "." + src.field
+		}
+		pass.Reportf(pos,
+			"%s sized by %s with no comparison against a named cap constant (hostile input can pick the size)",
+			what, srcDesc)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Cond != nil {
+				recordGuards(n.Cond)
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				recordGuards(n.Cond)
+			}
+		case *ast.SwitchStmt:
+			recordGuards(n)
+		case *ast.AssignStmt:
+			// Multi-value form first: n, _ := binary.Uvarint(b) taints
+			// the first variable (SourceCalls taint their first result).
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				if src, tainted := taintOf(n.Rhs[0]); tainted {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						var v *types.Var
+						if n.Tok == token.DEFINE {
+							v, _ = pkg.Info.Defs[id].(*types.Var)
+						} else {
+							v, _ = pkg.Info.Uses[id].(*types.Var)
+						}
+						if v != nil {
+							st.vars[v] = src
+						}
+					}
+				}
+			}
+			// Taint propagation through assignment: x := h.NRows.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					var v *types.Var
+					if n.Tok == token.DEFINE {
+						v, _ = pkg.Info.Defs[id].(*types.Var)
+					} else {
+						v, _ = pkg.Info.Uses[id].(*types.Var)
+					}
+					if v == nil {
+						continue
+					}
+					if src, tainted := taintOf(n.Rhs[i]); tainted {
+						st.vars[v] = src
+					} else {
+						delete(st.vars, v)
+						delete(guardedVars, v)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fn, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fn.Name == "make" && isBuiltin(pkg.Info, fn) && len(n.Args) > 1 {
+				for _, sizeArg := range n.Args[1:] {
+					checkAllocArg(n.Pos(), "make", sizeArg)
+				}
+			}
+		}
+		return true
+	})
+
+	// Loop-driven appends: for i := 0; i < tainted; i++ { s = append(s, ...) }
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond == nil {
+			return true
+		}
+		cond, ok := loop.Cond.(*ast.BinaryExpr)
+		if !ok || !isComparison(cond.Op) {
+			return true
+		}
+		var bound ast.Expr
+		if _, tainted := taintOf(cond.Y); tainted {
+			bound = cond.Y
+		} else if _, tainted := taintOf(cond.X); tainted {
+			bound = cond.X
+		}
+		if bound == nil {
+			return true
+		}
+		src, _ := taintOf(bound)
+		if id, ok := ast.Unparen(bound).(*ast.Ident); ok {
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok && guardedVarsContains(fd, pkg, v, loop.Pos()) {
+				return true
+			}
+		}
+		if src != (fieldSource{}) && (guarded[src] || pkgEvidence[src]) {
+			return true
+		}
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "append" && isBuiltin(pkg.Info, fn) {
+				srcDesc := "a decoded value"
+				if src != (fieldSource{}) {
+					srcDesc = src.typ + "." + src.field
+				}
+				pass.Reportf(call.Pos(),
+					"append inside a loop bounded by %s with no comparison against a named cap constant (hostile input can pick the iteration count)",
+					srcDesc)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// guardedVarsContains re-scans the function for a named-const
+// comparison of v textually before pos. (The main walk's guardedVars
+// covers the common case; this handles the loop pass, which runs as a
+// second traversal.)
+func guardedVarsContains(fd *ast.FuncDecl, pkg *Package, v *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return !found
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be.Op) {
+			return true
+		}
+		for lr, side := range [2]ast.Expr{be.X, be.Y} {
+			other := [2]ast.Expr{be.Y, be.X}[lr]
+			if !isNamedConst(pkg.Info, other) {
+				continue
+			}
+			if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+				if u, ok := pkg.Info.Uses[id].(*types.Var); ok && u == v {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// taintedSelectorsIn collects the field sources read anywhere in e.
+func taintedSelectorsIn(info *types.Info, e ast.Expr, fieldRead func(*ast.SelectorExpr) (fieldSource, bool)) []fieldSource {
+	var out []fieldSource
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if src, ok := fieldRead(sel); ok {
+				out = append(out, src)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// isNamedConst reports whether e denotes a declared named constant (not
+// a literal): the "named cap constant" the analyzer demands, so the cap
+// has one authoritative definition.
+func isNamedConst(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, ok := info.Uses[x].(*types.Const)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := info.Uses[x.Sel].(*types.Const)
+		return ok
+	case *ast.CallExpr: // int64(maxBody) style conversion of a named const
+		if len(x.Args) == 1 {
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				return isNamedConst(info, x.Args[0])
+			}
+		}
+	case *ast.BinaryExpr: // maxCount*rowBytes style constant arithmetic
+		if tv, ok := info.Types[x]; ok && tv.Value != nil {
+			return isNamedConst(info, x.X) || isNamedConst(info, x.Y)
+		}
+	}
+	return false
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// typeKey names a defined type as "pkgpath.Name".
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests load one fixture package per analyzer from
+// testdata/src and check the findings against `// want "substring"`
+// markers in the fixture source: every marked line must produce a
+// finding containing the substring, and no unmarked line may produce
+// one. Package-level diagnostics (which land on the package clause or
+// an annotation comment) are listed as line-agnostic extras instead.
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+func TestGolden(t *testing.T) {
+	tests := []struct {
+		name     string
+		analyzer Analyzer
+		extra    []string // line-agnostic expected message substrings
+	}{
+		{
+			name:     "atomiccell",
+			analyzer: &AtomicCell{AtomicPkgs: []string{"sync/atomic"}},
+		},
+		{
+			name: "racybad",
+			analyzer: &AtomicCell{
+				AtomicPkgs:  []string{"sync/atomic"},
+				RacyAllowed: []string{"fixture/somewhere-else"},
+			},
+			extra: []string{"carries //gee:racy but only"},
+		},
+		{
+			name: "racymissing",
+			analyzer: &AtomicCell{
+				AtomicPkgs:   []string{"sync/atomic"},
+				RacyRequired: []string{"fixture/racymissing"},
+			},
+			extra: []string{"must be annotated //gee:racy"},
+		},
+		{
+			name: "boundedmake",
+			analyzer: &BoundedMake{
+				SourceTypes: []string{"fixture/boundedmake.Header"},
+				SourceCalls: []string{"encoding/binary.Uvarint"},
+			},
+		},
+		{
+			name: "noalloc",
+			analyzer: &NoAlloc{
+				Required:      []string{"fixture/noalloc.mustAnnotate"},
+				StdlibAllowed: []string{"strconv.Append"},
+			},
+		},
+		{
+			name: "guardedfield",
+			analyzer: &GuardedField{
+				Required: []string{
+					"fixture/guardedfield.box.n",
+					"fixture/guardedfield.cfg.v",
+				},
+			},
+			extra: []string{`must carry a "// guarded by`},
+		},
+		{
+			name:     "stickywrite",
+			analyzer: &StickyWrite{Blessed: []string{"strings.Builder", "bytes.Buffer"}},
+		},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.name)
+			m, err := LoadDir(dir, "fixture/"+tc.name)
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			findings := Run(m, []Analyzer{tc.analyzer})
+
+			type want struct {
+				file   string
+				line   int
+				substr string
+				met    bool
+			}
+			var wants []*want
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, line := range strings.Split(string(data), "\n") {
+					for _, mm := range wantRe.FindAllStringSubmatch(line, -1) {
+						wants = append(wants, &want{file: e.Name(), line: i + 1, substr: mm[1]})
+					}
+				}
+			}
+			extras := make([]*want, 0, len(tc.extra))
+			for _, s := range tc.extra {
+				extras = append(extras, &want{substr: s})
+			}
+
+			for _, f := range findings {
+				matched := false
+				for _, w := range wants {
+					if !w.met && filepath.Base(f.Pos.Filename) == w.file &&
+						f.Pos.Line == w.line && strings.Contains(f.Message, w.substr) {
+						w.met = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					for _, w := range extras {
+						if !w.met && strings.Contains(f.Message, w.substr) {
+							w.met = true
+							matched = true
+							break
+						}
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.met {
+					t.Errorf("%s:%d: expected finding containing %q, got none", w.file, w.line, w.substr)
+				}
+			}
+			for _, w := range extras {
+				if !w.met {
+					t.Errorf("expected a finding containing %q, got none", w.substr)
+				}
+			}
+		})
+	}
+}

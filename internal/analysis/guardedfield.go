@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedField checks "// guarded by mu" field comments against
+// syntactic Lock/Unlock regions: every access of an annotated field
+// must happen while the named sibling mutex is held.
+//
+// The lock-region model is deliberately syntactic and per-function:
+// statements are scanned in source order, <recv>.mu.Lock()/RLock()
+// opens a region, <recv>.mu.Unlock()/RUnlock() closes it, and a
+// deferred Unlock holds to the end of the function. An Unlock inside a
+// block that terminates (ends in return/break/continue/panic) closes
+// nothing for the code after the block — that is the early-exit
+// pattern:
+//
+//	mu.Lock()
+//	if closed { mu.Unlock(); return }   // exit path
+//	...still held here...
+//
+// Functions whose name ends in "Locked" are assumed to be called with
+// the lock held. Composite-literal initialization and accesses in the
+// declaring function of a locally created value are exempt.
+//
+// Required lists make the annotations load-bearing: those fields must
+// carry the comment, so deleting it fails geevet.
+type GuardedField struct {
+	// Required lists fields that must carry a guarded-by annotation, as
+	// "pkgpath.Type.Field".
+	Required []string
+}
+
+func (*GuardedField) Name() string { return "guardedfield" }
+func (*GuardedField) Doc() string {
+	return `fields annotated "guarded by mu" must only be accessed with mu held`
+}
+
+// guardInfo is one annotated field and its guarding mutex name.
+type guardInfo struct {
+	mu string
+}
+
+func (a *GuardedField) Run(pass *Pass) {
+	pkg := pass.Pkg
+
+	// Collect annotated fields and verify the named mutex is a sibling.
+	guards := make(map[*types.Var]guardInfo)
+	annotatedNames := make(map[string]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var fieldNames []string
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames = append(fieldNames, name.Name)
+				}
+			}
+			hasField := func(name string) bool {
+				for _, fn := range fieldNames {
+					if fn == name {
+						return true
+					}
+				}
+				return false
+			}
+			for _, f := range st.Fields.List {
+				mu, ok := FieldGuardedBy(f)
+				if !ok {
+					continue
+				}
+				if !hasField(mu) {
+					pass.Reportf(f.Pos(),
+						"field is annotated guarded by %s, but %s.%s has no field %s",
+						mu, pkg.Path, ts.Name.Name, mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[v] = guardInfo{mu: mu}
+						annotatedNames[pkg.Path+"."+ts.Name.Name+"."+name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Required annotations present?
+	for _, req := range a.Required {
+		if !strings.HasPrefix(req, pkg.Path+".") {
+			continue
+		}
+		if !annotatedNames[req] {
+			pass.Reportf(pkg.Files[0].Package,
+				`%s is concurrently accessed state and must carry a "// guarded by <mu>" comment (see internal/analysis config)`, req)
+		}
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // contract: caller holds the lock
+			}
+			a.checkFunc(pass, fd, guards)
+		}
+	}
+}
+
+func (a *GuardedField) checkFunc(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var]guardInfo) {
+	pkg := pass.Pkg
+
+	// lockEvent is a Lock/Unlock call in source order.
+	type lockEvent struct {
+		pos      token.Pos
+		mu       string
+		delta    int  // +1 lock, -1 unlock
+		deferred bool // deferred unlock: holds to function end
+		exitPath bool // unlock on a terminating path: ignored for later code
+	}
+	var events []lockEvent
+
+	// access is one read/write of a guarded field.
+	type access struct {
+		pos token.Pos
+		v   *types.Var
+		mu  string
+	}
+	var accesses []access
+
+	lockCall := func(call *ast.CallExpr) (mu string, delta int, ok bool) {
+		sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !selOK {
+			return "", 0, false
+		}
+		var name string
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			delta = +1
+		case "Unlock", "RUnlock":
+			delta = -1
+		default:
+			return "", 0, false
+		}
+		// The mutex expression: x.mu or plain mu.
+		switch m := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			name = m.Sel.Name
+		case *ast.Ident:
+			name = m.Name
+		default:
+			return "", 0, false
+		}
+		return name, delta, true
+	}
+
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures run later (often on other goroutines): analyze
+			// their bodies independently with no inherited lock state.
+			// Events and accesses inside still collect — keeping this
+			// simple costs a little precision (a closure invoked inline
+			// under the lock is treated as unlocked); annotate such
+			// helpers *Locked if the pattern ever appears.
+			return true
+		case *ast.DeferStmt:
+			if call := n.Call; call != nil {
+				if mu, delta, ok := lockCall(call); ok && delta < 0 {
+					events = append(events, lockEvent{pos: n.Pos(), mu: mu, delta: delta, deferred: true})
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if mu, delta, ok := lockCall(n); ok {
+				events = append(events, lockEvent{
+					pos: n.Pos(), mu: mu, delta: delta,
+					exitPath: delta < 0 && onTerminatingPath(stack, n),
+				})
+			}
+		case *ast.SelectorExpr:
+			if s, ok := pkg.Info.Selections[n]; ok {
+				if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+					if g, guarded := guards[v]; guarded {
+						if !inCompositeLit(stack) && !localValueAccess(pkg.Info, n, fd) {
+							accesses = append(accesses, access{pos: n.Pos(), v: v, mu: g.mu})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Replay events in source order, asking for each access whether its
+	// mutex is held at that point.
+	for _, acc := range accesses {
+		held := 0
+		deferredHold := false
+		for _, ev := range events {
+			if ev.pos >= acc.pos {
+				break
+			}
+			if ev.mu != acc.mu {
+				continue
+			}
+			switch {
+			case ev.deferred:
+				deferredHold = true
+			case ev.exitPath:
+				// Unlock on a path that leaves the function: the
+				// fallthrough code still holds the lock.
+			default:
+				held += ev.delta
+			}
+		}
+		if held <= 0 && !deferredHold {
+			pass.Reportf(acc.pos,
+				"access of %s (guarded by %s) without holding %s; lock it, or rename the enclosing function *Locked if the caller holds it",
+				acc.v.Name(), acc.mu, acc.mu)
+		}
+	}
+}
+
+// onTerminatingPath reports whether the statement containing n sits in
+// a block whose control flow leaves the enclosing function (or loop)
+// right after: the innermost enclosing block's statement list ends in
+// return, break, continue, goto, or a panic call.
+// localValueAccess reports whether the selector's base is a non-pointer
+// struct value declared inside fd's body: a purely local copy (or a
+// fresh zero value) that no other goroutine can see, so its fields need
+// no lock. Pointers are not exempt — a local *T may alias shared state.
+func localValueAccess(info *types.Info, sel *ast.SelectorExpr, fd *ast.FuncDecl) bool {
+	base := identRoot(sel.X)
+	if base == nil {
+		return false
+	}
+	v, ok := info.Uses[base].(*types.Var)
+	if !ok {
+		v, ok = info.Defs[base].(*types.Var)
+	}
+	if !ok || v == nil {
+		return false
+	}
+	if fd.Body == nil || v.Pos() < fd.Body.Pos() || v.Pos() >= fd.Body.End() {
+		return false // parameter, receiver, or package-level: shared
+	}
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return true
+}
+
+func onTerminatingPath(stack []ast.Node, n ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			if i > 0 {
+				switch stack[i-1].(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					return false // the function's own body: the main path
+				}
+			}
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // reached function scope: this is the main path
+		default:
+			continue
+		}
+		if len(list) == 0 {
+			return false
+		}
+		switch last := list[len(list)-1].(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		case *ast.ExprStmt:
+			if call, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

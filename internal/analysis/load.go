@@ -1,0 +1,400 @@
+// Package analysis is the repo's zero-dependency static-analysis
+// toolkit: a module-aware package loader built on go/parser + go/types
+// + the source importer, a small analyzer framework, and the five
+// repo-specific analyzers cmd/geevet drives (atomiccell, boundedmake,
+// noalloc, guardedfield, stickywrite). Everything here is stdlib-only
+// so go.mod stays dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path ("repro/internal/wire")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a fully loaded module: every buildable package, parsed with
+// comments and type-checked against a shared FileSet, in dependency
+// order.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // module root directory
+	Fset *token.FileSet
+	Pkgs []*Package // topologically sorted, dependencies first
+
+	byPath       map[string]*Package
+	noallocCache map[string]bool
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// buildContext returns the build.Context used for file selection and
+// stdlib source import. Cgo is off: the analyzers only reason about Go
+// source, and disabling cgo selects the pure-Go fallbacks in net and
+// friends so the source importer never needs a C preprocessor.
+func buildContext() *build.Context {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &ctxt
+}
+
+// LoadModule loads and type-checks every buildable package under the
+// module rooted at (or above) dir. Test files are excluded: the
+// invariants the analyzers enforce are production-code properties, and
+// tests deliberately poke at racy/unchecked paths.
+func LoadModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := buildContext()
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{
+		Path:   modPath,
+		Root:   root,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+
+	all := make(map[string]*parsedPkg)
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		files, err := parseDir(m.Fset, ctxt, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		p := &parsedPkg{
+			pkg:     &Package{Path: importPath, Dir: d, Files: files},
+			imports: make(map[string]bool),
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == modPath || strings.HasPrefix(path, modPath+"/") {
+					p.imports[path] = true
+				}
+			}
+		}
+		all[importPath] = p
+	}
+
+	order, err := topoOrder(all)
+	if err != nil {
+		return nil, err
+	}
+
+	// One source importer instance shared across the module: stdlib
+	// packages type-check once and are reused by every importer of
+	// encoding/json, net/http, etc.
+	stdImp := importer.ForCompiler(m.Fset, "source", nil)
+	imp := &moduleImporter{modPath: modPath, mod: m, std: stdImp}
+
+	for _, path := range order {
+		p := all[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, err := conf.Check(path, m.Fset, p.pkg.Files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+		}
+		p.pkg.Types = tpkg
+		p.pkg.Info = info
+		m.byPath[path] = p.pkg
+		m.Pkgs = append(m.Pkgs, p.pkg)
+	}
+	return m, nil
+}
+
+// LoadDir loads a single directory as a standalone package with the
+// given import path — the golden-test harness entry point. Imports may
+// only reference the standard library.
+func LoadDir(dir, importPath string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := buildContext()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, ctxt, abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	m := &Module{
+		Path:   importPath,
+		Root:   abs,
+		Fset:   fset,
+		byPath: make(map[string]*Package),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	p := &Package{Path: importPath, Dir: abs, Files: files, Types: tpkg, Info: info}
+	m.byPath[importPath] = p
+	m.Pkgs = []*Package{p}
+	return m, nil
+}
+
+// packageDirs walks the module tree collecting candidate package
+// directories, skipping hidden dirs, testdata, and vendor.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "node_modules") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the buildable non-test Go files of one directory
+// (comments retained — the analyzers read annotations from them).
+// Returns nil when the directory holds no buildable files.
+func parseDir(fset *token.FileSet, ctxt *build.Context, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: matching %s: %v", filepath.Join(dir, name), err)
+		}
+		if !match {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if ignoreBuildTag(f) {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("analysis: %s: multiple packages in %s (%s and %s)",
+				name, dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ignoreBuildTag reports whether the file carries a "//go:build ignore"
+// style constraint that MatchFile does not see (MatchFile handles real
+// constraints; this catches the gen-script convention).
+func ignoreBuildTag(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build ignore") || strings.HasPrefix(c.Text, "// +build ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parsedPkg is a package parsed but not yet type-checked, with its
+// module-internal import edges.
+type parsedPkg struct {
+	pkg     *Package
+	imports map[string]bool
+}
+
+// topoOrder sorts the parsed packages dependencies-first, detecting
+// import cycles. Iteration is deterministic (sorted paths).
+func topoOrder(all map[string]*parsedPkg) ([]string, error) {
+	paths := make([]string, 0, len(all))
+	for p := range all {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on stack
+		black = 2 // done
+	)
+	state := make(map[string]int, len(all))
+	var order []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		state[path] = gray
+		deps := make([]string, 0, len(all[path].imports))
+		for dep := range all[path].imports {
+			deps = append(deps, dep)
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := all[dep]; !ok {
+				continue // import of a non-loaded (e.g. empty) dir: let the type checker complain
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from the already
+// type-checked package set and delegates everything else to the stdlib
+// source importer.
+type moduleImporter struct {
+	modPath string
+	mod     *Module
+	std     types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == mi.modPath || strings.HasPrefix(path, mi.modPath+"/") {
+		if p := mi.mod.byPath[path]; p != nil {
+			return p.Types, nil
+		}
+		return nil, fmt.Errorf("analysis: internal import %s not yet loaded (import cycle?)", path)
+	}
+	return mi.std.Import(path)
+}

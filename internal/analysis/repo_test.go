@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// TestRepoClean runs the full production configuration over the module
+// itself — the same check CI's geevet step performs, reachable from a
+// plain `go test`. Any finding here means either a real invariant
+// violation slipped in or a load-bearing //gee: annotation was deleted.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	m, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	findings := Run(m, DefaultAnalyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("geevet is expected to run clean over this repository; "+
+			"fix the findings or (for intended exceptions) extend the policy in config.go (%d findings)",
+			len(findings))
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StickyWrite flags bare Write/WriteString/WriteByte/WriteRune calls
+// whose error result is discarded by an expression statement. Dropping
+// a write error on the floor is only legal on the repo's sticky-error
+// types (internal/sticky.Writer and the stdlib's never-failing
+// strings.Builder / bytes.Buffer), where the first failure is retained
+// and checked once at the end of the stream. Anywhere else — most
+// notably a naked http.ResponseWriter — the call silently loses the
+// failure.
+//
+// An explicit blank assignment (`_, _ = w.Write(p)`) is not flagged:
+// that is a visible, greppable decision, not an accident.
+type StickyWrite struct {
+	// Blessed lists named types (as "pkgpath.Type") whose write errors
+	// are sticky or impossible.
+	Blessed []string
+}
+
+func (*StickyWrite) Name() string { return "stickywrite" }
+func (*StickyWrite) Doc() string {
+	return "bare Write calls discarding errors are only legal on sticky-error writer types"
+}
+
+var stickyWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func (a *StickyWrite) Run(pass *Pass) {
+	pkg := pass.Pkg
+	blessed := make(map[string]bool, len(a.Blessed))
+	for _, b := range a.Blessed {
+		blessed[b] = true
+	}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !stickyWriteMethods[sel.Sel.Name] {
+				return true
+			}
+			f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := f.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || sig.Results().Len() == 0 {
+				return true // not a method, or no results to discard
+			}
+			recv := sig.Recv().Type()
+			if name, ok := namedRecv(recv); ok && blessed[name] {
+				return true
+			}
+			recvDesc := types.TypeString(recv, nil)
+			pass.Reportf(call.Pos(),
+				"%s on %s discards the write error; check it, assign it to _ explicitly, or stream through internal/sticky.Writer",
+				sel.Sel.Name, recvDesc)
+			return true
+		})
+	}
+}
+
+// namedRecv resolves a receiver type to its "pkgpath.Type" key, peeling
+// one pointer.
+func namedRecv(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return typeKey(n), true
+	}
+	return "", false
+}

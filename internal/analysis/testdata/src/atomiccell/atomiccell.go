@@ -1,0 +1,49 @@
+// Package atomiccell seeds mixed atomic/plain cell accesses for the
+// golden test. Tagged lines must produce a finding whose message
+// contains the quoted substring; untagged lines must not.
+package atomiccell
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read mixes a plain load into a cell the package also touches
+// atomically: the canonical finding.
+func (c *counter) read() int64 {
+	return c.hits // want "plain access of field"
+}
+
+// readTotal touches a cell with no atomic evidence anywhere: clean.
+func (c *counter) readTotal() int64 {
+	return c.total
+}
+
+// fresh writes the tracked field on a locally created value before it
+// is shared: the intended setup pattern, exempt.
+func fresh() *counter {
+	c := &counter{total: 1}
+	c.hits = 0
+	return c
+}
+
+// race reads a slice element plainly inside a parallel closure while
+// the declaring function updates the same elements atomically.
+func race(xs []int64) int64 {
+	before := xs[0] // plain element access in the declaring function: exempt
+	_ = before
+	done := make(chan struct{})
+	go func() {
+		xs[0]++ // want "parallel closure"
+		close(done)
+	}()
+	atomic.AddInt64(&xs[0], 1)
+	<-done
+	return atomic.LoadInt64(&xs[0])
+}

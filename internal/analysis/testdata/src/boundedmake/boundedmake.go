@@ -1,0 +1,77 @@
+// Package boundedmake seeds allocations sized from wire-style tainted
+// numbers. Header stands in for a decoded frame prefix; the golden
+// config lists it as a taint source.
+package boundedmake
+
+import "encoding/binary"
+
+const maxCount = 1 << 20
+
+// Header mimics a wire-decoded prefix: every numeric field is
+// attacker-chosen until compared against a cap.
+type Header struct {
+	NRows uint32
+	NCols uint32
+	NIDs  uint32
+}
+
+// decodeRows sizes an allocation from an uncapped count.
+func decodeRows(h Header) []uint32 {
+	return make([]uint32, h.NRows) // want "Header.NRows"
+}
+
+// decodeCols caps the count in-function before allocating: clean.
+func decodeCols(h Header) []uint32 {
+	if h.NCols > maxCount {
+		return nil
+	}
+	return make([]uint32, h.NCols)
+}
+
+// validate caps NIDs for the whole package (the wire.Header.BodySize
+// pattern): package-level evidence.
+func validate(h Header) bool { return h.NIDs <= maxCount }
+
+// decodeIDs relies on the package-level cap in validate: clean.
+func decodeIDs(h Header) []uint32 {
+	if !validate(h) {
+		return nil
+	}
+	return make([]uint32, h.NIDs)
+}
+
+// readLen sizes an allocation straight from a varint.
+func readLen(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, n) // want "a decoded value"
+}
+
+// readLenChecked compares the varint against the cap first: clean.
+func readLenChecked(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	if n > maxCount {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// gather appends inside a loop whose bound is attacker-chosen.
+func gather(h Header) []uint32 {
+	var out []uint32
+	for i := uint32(0); i < h.NRows; i++ {
+		out = append(out, i) // want "append inside a loop bounded by"
+	}
+	return out
+}
+
+// gatherChecked caps the bound first: clean.
+func gatherChecked(h Header) []uint32 {
+	if h.NCols > maxCount {
+		return nil
+	}
+	var out []uint32
+	for i := uint32(0); i < h.NCols; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Package racybad carries the racy annotation without being on the
+// analyzer's allowed list: geevet must reject the annotation itself.
+//
+//gee:racy
+package racybad
+
+// Placeholder so the package has a declaration.
+var _ = 0

@@ -1,0 +1,6 @@
+// Package racymissing is configured as required-to-be-racy but does
+// not carry the annotation: the required check must fire.
+package racymissing
+
+// Placeholder so the package has a declaration.
+var _ = 0

@@ -1,0 +1,38 @@
+// Package stickywrite seeds bare Write calls on blessed and unblessed
+// writer types.
+package stickywrite
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+)
+
+// bad drops a bufio error on the floor.
+func bad(bw *bufio.Writer) {
+	bw.WriteString("x") // want "discards the write error"
+}
+
+func badByte(bw *bufio.Writer) {
+	bw.WriteByte('x') // want "discards the write error"
+}
+
+// okBuilder writes to a blessed type whose writes cannot fail.
+func okBuilder(sb *strings.Builder) {
+	sb.WriteString("x")
+}
+
+func okBuffer(b *bytes.Buffer) {
+	b.WriteByte('x')
+}
+
+// okExplicit discards visibly: a greppable decision, not an accident.
+func okExplicit(bw *bufio.Writer) {
+	_, _ = bw.WriteString("x")
+}
+
+// okChecked handles the error.
+func okChecked(bw *bufio.Writer) error {
+	_, err := bw.WriteString("x")
+	return err
+}

@@ -19,6 +19,8 @@ import (
 
 // AddFloat64 atomically performs *p += v and returns the new value.
 // It is lock-free: a CAS retry loop over the bit pattern of *p.
+//
+//gee:noalloc
 func AddFloat64(p *float64, v float64) float64 {
 	u := (*uint64)(unsafe.Pointer(p))
 	for {
@@ -31,6 +33,8 @@ func AddFloat64(p *float64, v float64) float64 {
 }
 
 // AddFloat32 atomically performs *p += v and returns the new value.
+//
+//gee:noalloc
 func AddFloat32(p *float32, v float32) float32 {
 	u := (*uint32)(unsafe.Pointer(p))
 	for {
@@ -45,6 +49,8 @@ func AddFloat32(p *float32, v float32) float32 {
 // MinFloat64 atomically performs *p = min(*p, v). It returns true when v
 // replaced the previous value (Ligra's writeMin contract, used by e.g.
 // Bellman-Ford style algorithms on the same engine).
+//
+//gee:noalloc
 func MinFloat64(p *float64, v float64) bool {
 	u := (*uint64)(unsafe.Pointer(p))
 	for {
@@ -61,6 +67,8 @@ func MinFloat64(p *float64, v float64) bool {
 
 // MaxFloat64 atomically performs *p = max(*p, v), returning true when v
 // replaced the previous value.
+//
+//gee:noalloc
 func MaxFloat64(p *float64, v float64) bool {
 	u := (*uint64)(unsafe.Pointer(p))
 	for {
@@ -76,17 +84,23 @@ func MaxFloat64(p *float64, v float64) bool {
 }
 
 // LoadFloat64 atomically loads *p.
+//
+//gee:noalloc
 func LoadFloat64(p *float64) float64 {
 	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(p))))
 }
 
 // StoreFloat64 atomically stores v into *p.
+//
+//gee:noalloc
 func StoreFloat64(p *float64, v float64) {
 	atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(v))
 }
 
 // CASUint32 is Ligra's CAS primitive on uint32 cells, exposed for frontier
 // flag updates (claim a vertex exactly once during a sparse edge map).
+//
+//gee:noalloc
 func CASUint32(p *uint32, old, new uint32) bool {
 	return atomic.CompareAndSwapUint32(p, old, new)
 }

@@ -1,3 +1,11 @@
+// The Racy strategy in this package performs deliberately
+// unsynchronized adds — the paper's §IV ablation. The //gee:racy
+// directive tells the atomiccell analyzer (internal/analysis) that
+// mixing atomic and plain access here is intentional; exec is the only
+// package allowed to carry the annotation, and it is required to (so
+// this comment is load-bearing — geevet fails without it).
+//
+//gee:racy
 package exec
 
 import (

@@ -109,6 +109,8 @@ func (k *Kernel[T]) validate(n int, zlen int) error {
 }
 
 // scale returns the per-arc multiplicative factor s for (u, v, w).
+//
+//gee:noalloc
 func (k *Kernel[T]) scale(u, v graph.NodeID, w float32) T {
 	s := T(w)
 	if k.Scale != nil {
@@ -120,6 +122,8 @@ func (k *Kernel[T]) scale(u, v graph.NodeID, w float32) T {
 // Apply performs both half-updates of arc (u, v, w) into z with plain
 // adds and returns the number of adds performed. Used by the serial
 // executors and by callers that own disjoint slices of z.
+//
+//gee:noalloc
 func (k *Kernel[T]) Apply(z []T, u, v graph.NodeID, w float32) int64 {
 	s := k.scale(u, v, w)
 	adds := int64(0)
@@ -138,6 +142,8 @@ func (k *Kernel[T]) Apply(z []T, u, v graph.NodeID, w float32) int64 {
 // u), returning the number of adds (0 or 1). The sharded executor uses
 // the split halves to keep every write inside the worker's owned row
 // range.
+//
+//gee:noalloc
 func (k *Kernel[T]) ApplySrc(z []T, u, v graph.NodeID, w float32) int64 {
 	if c := k.SrcCol[v]; c >= 0 {
 		z[int(u)*k.Width+int(c)] += k.Coeff[v] * k.scale(u, v, w)
@@ -148,6 +154,8 @@ func (k *Kernel[T]) ApplySrc(z []T, u, v graph.NodeID, w float32) int64 {
 
 // ApplyDst performs only the destination-side half-update (the write
 // into row v), returning the number of adds (0 or 1).
+//
+//gee:noalloc
 func (k *Kernel[T]) ApplyDst(z []T, u, v graph.NodeID, w float32) int64 {
 	if c := k.DstCol[u]; c >= 0 {
 		z[int(v)*k.Width+int(c)] += k.Coeff[u] * k.scale(u, v, w)

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"strconv"
+
+	"repro/internal/sticky"
 )
 
 // The Ligra AdjacencyGraph text format (Problem Based Benchmark Suite):
@@ -23,29 +25,31 @@ const (
 	weightedAdjHeader = "WeightedAdjacencyGraph"
 )
 
-// WriteAdjacency writes g in (Weighted)AdjacencyGraph format.
+// WriteAdjacency writes g in (Weighted)AdjacencyGraph format. Writes go
+// through a sticky.Writer: the first error is retained and returned by
+// Flush, so the per-line writes stay unchecked by design.
 func WriteAdjacency(w io.Writer, g *CSR) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	sw := sticky.NewWriter(w, 1<<20)
 	header := adjHeader
 	if g.Weights != nil {
 		header = weightedAdjHeader
 	}
-	fmt.Fprintf(bw, "%s\n%d\n%d\n", header, g.N, g.NumEdges())
+	fmt.Fprintf(sw, "%s\n%d\n%d\n", header, g.N, g.NumEdges())
 	for u := 0; u < g.N; u++ {
-		bw.WriteString(strconv.FormatInt(g.Offsets[u], 10))
-		bw.WriteByte('\n')
+		sw.WriteString(strconv.FormatInt(g.Offsets[u], 10))
+		sw.WriteByte('\n')
 	}
 	for _, v := range g.Targets {
-		bw.WriteString(strconv.FormatUint(uint64(v), 10))
-		bw.WriteByte('\n')
+		sw.WriteString(strconv.FormatUint(uint64(v), 10))
+		sw.WriteByte('\n')
 	}
 	if g.Weights != nil {
 		for _, wt := range g.Weights {
-			bw.WriteString(strconv.FormatFloat(float64(wt), 'g', -1, 32))
-			bw.WriteByte('\n')
+			sw.WriteString(strconv.FormatFloat(float64(wt), 'g', -1, 32))
+			sw.WriteByte('\n')
 		}
 	}
-	return bw.Flush()
+	return sw.Flush()
 }
 
 // ReadAdjacency parses a (Weighted)AdjacencyGraph stream into a CSR.

@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/sticky"
 )
 
 // SNAP-style edge list text format: one "u v" or "u v w" per line,
@@ -14,21 +16,22 @@ import (
 // larger N is forced by the caller.
 
 // WriteEdgeList writes el as text, one edge per line (weight column only
-// when el.Weighted).
+// when el.Weighted). The sticky.Writer retains the first error for
+// Flush, so per-field writes stay unchecked by design.
 func WriteEdgeList(w io.Writer, el *EdgeList) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	fmt.Fprintf(bw, "# nodes %d edges %d\n", el.N, len(el.Edges))
+	sw := sticky.NewWriter(w, 1<<20)
+	fmt.Fprintf(sw, "# nodes %d edges %d\n", el.N, len(el.Edges))
 	for _, e := range el.Edges {
-		bw.WriteString(strconv.FormatUint(uint64(e.U), 10))
-		bw.WriteByte('\t')
-		bw.WriteString(strconv.FormatUint(uint64(e.V), 10))
+		sw.WriteString(strconv.FormatUint(uint64(e.U), 10))
+		sw.WriteByte('\t')
+		sw.WriteString(strconv.FormatUint(uint64(e.V), 10))
 		if el.Weighted {
-			bw.WriteByte('\t')
-			bw.WriteString(strconv.FormatFloat(float64(e.W), 'g', -1, 32))
+			sw.WriteByte('\t')
+			sw.WriteString(strconv.FormatFloat(float64(e.W), 'g', -1, 32))
 		}
-		bw.WriteByte('\n')
+		sw.WriteByte('\n')
 	}
-	return bw.Flush()
+	return sw.Flush()
 }
 
 // ReadEdgeList parses a SNAP-style edge list. minN forces a minimum vertex

@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/sticky"
 )
 
 // METIS graph format (the standard HPC partitioner input): header line
@@ -22,27 +24,27 @@ func WriteMETIS(w io.Writer, g *CSR) error {
 	if g.NumEdges()%2 != 0 {
 		return fmt.Errorf("graph: METIS requires symmetrized graphs (odd arc count %d)", g.NumEdges())
 	}
-	bw := bufio.NewWriterSize(w, 1<<20)
+	sw := sticky.NewWriter(w, 1<<20)
 	format := ""
 	if g.Weights != nil {
 		format = " 1"
 	}
-	fmt.Fprintf(bw, "%d %d%s\n", g.N, g.NumEdges()/2, format)
+	fmt.Fprintf(sw, "%d %d%s\n", g.N, g.NumEdges()/2, format)
 	for u := 0; u < g.N; u++ {
 		lo, hi := g.Offsets[u], g.Offsets[u+1]
 		for i := lo; i < hi; i++ {
 			if i > lo {
-				bw.WriteByte(' ')
+				sw.WriteByte(' ')
 			}
-			bw.WriteString(strconv.FormatUint(uint64(g.Targets[i])+1, 10))
+			sw.WriteString(strconv.FormatUint(uint64(g.Targets[i])+1, 10))
 			if g.Weights != nil {
-				bw.WriteByte(' ')
-				bw.WriteString(strconv.FormatFloat(float64(g.Weights[i]), 'g', -1, 32))
+				sw.WriteByte(' ')
+				sw.WriteString(strconv.FormatFloat(float64(g.Weights[i]), 'g', -1, 32))
 			}
 		}
-		bw.WriteByte('\n')
+		sw.WriteByte('\n')
 	}
-	return bw.Flush()
+	return sw.Flush()
 }
 
 // ReadMETIS parses a METIS graph into a CSR.

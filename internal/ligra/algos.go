@@ -109,7 +109,9 @@ func PageRank(workers int, g *graph.CSR, damping float64, eps float64, maxIter i
 			return s
 		}, func(a, b float64) float64 { return a + b })
 		base := (1-damping)*inv + damping*dangling*inv
-		parallel.For(workers, n, func(v int) { next[v] = base })
+		// next is written with atomicx.AddFloat64 during the edge map, so
+		// every other access of its cells stays atomic as well.
+		parallel.For(workers, n, func(v int) { atomicx.StoreFloat64(&next[v], base) })
 		contrib := make([]float64, n)
 		parallel.For(workers, n, func(v int) {
 			if deg[v] > 0 {
@@ -123,7 +125,7 @@ func PageRank(workers int, g *graph.CSR, damping float64, eps float64, maxIter i
 		delta := parallel.Reduce(workers, n, 0.0, func(lo, hi int) float64 {
 			var s float64
 			for v := lo; v < hi; v++ {
-				s += math.Abs(next[v] - p[v])
+				s += math.Abs(atomicx.LoadFloat64(&next[v]) - p[v])
 			}
 			return s
 		}, func(a, b float64) float64 { return a + b })

@@ -142,13 +142,16 @@ func BFSDirOpt(workers int, g, gT *graph.CSR, source graph.NodeID) []int32 {
 			next := make([]bool, n)
 			var count atomic.Int64
 			parallel.For(workers, n, func(v int) {
-				if parent[v] != -1 {
+				// parent/dist are CASed by the sparse push rounds, so the
+				// dense rounds keep the same atomic discipline even though
+				// each v is owned by exactly one worker here.
+				if atomic.LoadInt32(&parent[v]) != -1 {
 					return
 				}
 				for _, u := range gT.Neighbors(graph.NodeID(v)) {
 					if mem[u] {
-						parent[v] = int32(u)
-						dist[v] = level
+						atomic.StoreInt32(&parent[v], int32(u))
+						atomic.StoreInt32(&dist[v], level)
 						next[v] = true
 						count.Add(1)
 						return

@@ -32,11 +32,11 @@ func BetweennessCentrality(workers int, g *graph.CSR, source graph.NodeID) []flo
 		frontier = EdgeMap(g, frontier, func(u, v graph.NodeID, w float32) bool {
 			// claim v for this level (first writer sets dist)
 			if atomic.CompareAndSwapInt32(&dist[v], -1, lvl) {
-				atomicx.AddFloat64(&sigma[v], sigma[u])
+				atomicx.AddFloat64(&sigma[v], atomicx.LoadFloat64(&sigma[u]))
 				return true
 			}
 			if atomic.LoadInt32(&dist[v]) == lvl {
-				atomicx.AddFloat64(&sigma[v], sigma[u])
+				atomicx.AddFloat64(&sigma[v], atomicx.LoadFloat64(&sigma[u]))
 			}
 			return false
 		}, Options{Workers: workers, Cond: func(v graph.NodeID) bool {
@@ -53,11 +53,16 @@ func BetweennessCentrality(workers int, g *graph.CSR, source graph.NodeID) []flo
 	for l := len(levels) - 1; l >= 1; l-- {
 		VertexMap(workers, levels[l], func(v graph.NodeID) {
 			// pull from predecessors: for each neighbor u at dist-1,
-			// δ(u) += σ(u)/σ(v) · (1 + δ(v)); push form with atomics:
-			dv := (1 + delta[v]) / sigma[v]
+			// δ(u) += σ(u)/σ(v) · (1 + δ(v)); push form with atomics.
+			// sigma/dist/delta cells of other levels are stable here
+			// (level barrier), but they are written atomically during
+			// the racy phases, so they are read atomically too — one
+			// discipline per cell, checked by the atomiccell analyzer.
+			dv := (1 + atomicx.LoadFloat64(&delta[v])) / atomicx.LoadFloat64(&sigma[v])
+			dlv := atomic.LoadInt32(&dist[v])
 			for _, u := range g.Neighbors(v) {
-				if dist[u] == dist[v]-1 {
-					atomicx.AddFloat64(&delta[u], sigma[u]*dv)
+				if atomic.LoadInt32(&dist[u]) == dlv-1 {
+					atomicx.AddFloat64(&delta[u], atomicx.LoadFloat64(&sigma[u])*dv)
 				}
 			}
 		})

@@ -159,7 +159,7 @@ func edgeMapDense(g *graph.CSR, frontier *VertexSubset, f EdgeFunc, opt Options)
 		outCount.Add(local)
 	})
 	out := make([]bool, g.N)
-	parallel.For(opt.Workers, g.N, func(v int) { out[v] = claimed[v] != 0 })
+	parallel.For(opt.Workers, g.N, func(v int) { out[v] = atomic.LoadUint32(&claimed[v]) != 0 })
 	return &VertexSubset{n: g.N, size: int(outCount.Load()), dense: out}
 }
 

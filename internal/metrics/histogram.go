@@ -36,6 +36,7 @@ type atomicFloat struct {
 	bits atomic.Uint64
 }
 
+//gee:noalloc
 func (f *atomicFloat) add(v float64) {
 	for {
 		old := f.bits.Load()
@@ -69,6 +70,8 @@ func NewHistogram(bounds []float64) *Histogram {
 
 // Observe records one sample. NaN is dropped (a poisoned sample must
 // not un-order the cumulative buckets).
+//
+//gee:noalloc
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
@@ -81,6 +84,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveSince records the seconds elapsed since t0.
+//
+//gee:noalloc
 func (h *Histogram) ObserveSince(t0 time.Time) {
 	h.Observe(time.Since(t0).Seconds())
 }

@@ -112,8 +112,8 @@ type Coalescer struct {
 	d    *dyn.DynamicEmbedder
 	opts CoalescerOptions
 
-	mu     sync.Mutex // guards closed + the send into queue
-	closed bool
+	mu     sync.Mutex
+	closed bool // guarded by mu (as is the send into queue)
 	queue  chan *request
 
 	requests  atomic.Int64

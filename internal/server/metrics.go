@@ -84,7 +84,7 @@ type routeMetrics struct {
 	aborted *metrics.Counter
 
 	mu     sync.RWMutex
-	status map[int]*metrics.Counter // lazily populated per status code
+	status map[int]*metrics.Counter // guarded by mu; lazily populated per status code
 }
 
 func (sm *serverMetrics) route(pattern string) *routeMetrics {

@@ -30,9 +30,9 @@ func TestRetryAfterSeconds(t *testing.T) {
 	}{
 		{"empty queue", 0, 100, 1},
 		{"empty queue, no rate yet", 0, 0, 1},
-		{"half queue", cap / 2, 100, 6},     // ceil(512/100)
+		{"half queue", cap / 2, 100, 6}, // ceil(512/100)
 		{"half queue, fast drain", cap / 2, 10_000, 1},
-		{"full queue", cap, 100, 11},        // ceil(1024/100)
+		{"full queue", cap, 100, 11}, // ceil(1024/100)
 		{"full queue, slow drain", cap, 10, 30},
 		{"full queue, no rate yet", cap, 0, 30},
 		{"full queue, stalled", cap, -1, 30},

@@ -585,7 +585,7 @@ func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
 		s.wire.embeddings.record(binary, st.bytesSent())
 	} else {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(st.bw, `{"epoch":%d,"rows":`, snap.Epoch)
+		fmt.Fprintf(st.w, `{"epoch":%d,"rows":`, snap.Epoch)
 		rows = st.floatRows(len(req.Vs), func(i int) []float64 {
 			return snap.Z.Row(int(req.Vs[i]))
 		})

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"context"
 	"fmt"
 	"io"
@@ -9,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/dyn"
+	"repro/internal/sticky"
 )
 
 // Large read responses (snapshots, deltas, batched rows) are streamed
@@ -27,68 +27,48 @@ import (
 // invisible next to the float formatting itself.
 const abortCheckEvery = 256
 
-// errTracker records the first error of the underlying writer so the
-// streamer can observe it (bufio.Writer keeps its sticky error
-// private), and counts the bytes that actually reached the client —
-// the per-endpoint bytes-sent figure /statsz reports.
-type errTracker struct {
-	w   io.Writer
-	err error
-	n   int64
-}
-
-func (t *errTracker) Write(p []byte) (int, error) {
-	if t.err != nil {
-		return 0, t.err
-	}
-	n, err := t.w.Write(p)
-	t.n += int64(n)
-	if err != nil {
-		t.err = err
-	}
-	return n, err
-}
-
 // streamer incrementally writes one large response — JSON through the
 // numeric writers below, binary frames through the stream_binary.go
-// side. Streamers are pooled: the 64 KiB write buffer and the scratch
-// formatting buffer survive across requests, so concurrent
-// snapshot/delta streams stop paying a fresh allocation per request.
+// side. Chunks go through a sticky.Writer: the first client error is
+// retained there, every later write is a cheap no-op, and the streamer
+// checks the verdict once per abort window instead of once per chunk
+// (which is why the bare w.Write calls below are legal — see the
+// stickywrite analyzer). Streamers are pooled: the 64 KiB write buffer
+// and the scratch formatting buffer survive across requests, so
+// concurrent snapshot/delta streams stop paying a fresh allocation per
+// request.
 type streamer struct {
-	t       errTracker
-	bw      *bufio.Writer
+	w       *sticky.Writer
 	ctx     context.Context
 	scratch []byte
 	// blob assembles a sparse delta body, which must be sized before
 	// the header that precedes it can be written (so it cannot go
-	// through bw incrementally like scratch does).
+	// through w incrementally like scratch does).
 	blob []byte
 }
 
 var streamerPool = sync.Pool{New: func() any {
-	s := &streamer{}
-	s.bw = bufio.NewWriterSize(&s.t, 1<<16)
-	return s
+	return &streamer{w: sticky.NewWriter(nil, 1<<16)}
 }}
 
 func newStreamer(w io.Writer, ctx context.Context) *streamer {
 	s := streamerPool.Get().(*streamer)
-	s.t.w, s.t.err, s.t.n = w, nil, 0
+	s.w.Reset(w)
 	s.ctx = ctx
-	s.bw.Reset(&s.t)
 	return s
 }
 
 // bytesSent reports how many bytes reached the underlying writer so
-// far (flush before reading it for a final figure).
-func (s *streamer) bytesSent() int64 { return s.t.n }
+// far (flush before reading it for a final figure) — the per-endpoint
+// bytes-sent figure /statsz reports.
+func (s *streamer) bytesSent() int64 { return s.w.BytesSent() }
 
 // release returns the streamer (and its buffers) to the pool. The
 // caller must not touch it afterwards. An unusually large delta blob
 // (a sync spanning most of the matrix) is dropped rather than parked
 // in the pool forever.
 func (s *streamer) release() {
-	s.t.w = nil
+	s.w.Detach()
 	s.ctx = nil
 	if cap(s.blob) > 1<<20 {
 		s.blob = nil
@@ -100,35 +80,39 @@ func (s *streamer) release() {
 // failed (client disconnected mid-flush) or the request context was
 // cancelled (client disconnected while we were still formatting).
 func (s *streamer) aborted() bool {
-	return s.t.err != nil || s.ctx.Err() != nil
+	return s.w.Err() != nil || s.ctx.Err() != nil
 }
 
 // failed reports whether the underlying writer itself errored. Unlike
 // aborted it ignores the request context, so a fully delivered body
 // whose client cancels just after the last flush is not misread as
 // cut short.
-func (s *streamer) failed() bool { return s.t.err != nil }
+func (s *streamer) failed() bool { return s.w.Err() != nil }
 
-func (s *streamer) raw(v string)   { s.bw.WriteString(v) }
-func (s *streamer) rawByte(c byte) { s.bw.WriteByte(c) }
-func (s *streamer) flush() error   { return s.bw.Flush() }
+func (s *streamer) raw(v string)   { s.w.WriteString(v) }
+func (s *streamer) rawByte(c byte) { s.w.WriteByte(c) }
+func (s *streamer) flush() error   { return s.w.Flush() }
 
 // The numeric writers format into one buffer reused across the whole
 // stream (the write-back keeps the grown capacity), so a snapshot's
 // n×K floats cost zero allocations, not one each.
+//
+//gee:noalloc
 func (s *streamer) uintv(v uint64) {
 	s.scratch = strconv.AppendUint(s.scratch[:0], v, 10)
-	s.bw.Write(s.scratch)
+	s.w.Write(s.scratch)
 }
 
+//gee:noalloc
 func (s *streamer) intv(v int64) {
 	s.scratch = strconv.AppendInt(s.scratch[:0], v, 10)
-	s.bw.Write(s.scratch)
+	s.w.Write(s.scratch)
 }
 
+//gee:noalloc
 func (s *streamer) floatv(x float64) {
 	s.scratch = strconv.AppendFloat(s.scratch[:0], x, 'g', -1, 64)
-	s.bw.Write(s.scratch)
+	s.w.Write(s.scratch)
 }
 
 // intArray emits a JSON array of int32s with periodic abort checks.
@@ -179,7 +163,7 @@ func (s *streamer) floatRows(n int, row func(i int) []float64) int {
 // client went away and the stream was cut. Split from the handler so
 // tests can drive it with a failing writer or cancelled context.
 func streamSnapshot(s *streamer, snap *dyn.Snapshot) int {
-	fmt.Fprintf(s.bw, `{"epoch":%d,"instance":%d,"n":%d,"k":%d,"edges":%d,"y":`,
+	fmt.Fprintf(s.w, `{"epoch":%d,"instance":%d,"n":%d,"k":%d,"edges":%d,"y":`,
 		snap.Epoch, snap.Instance, snap.Z.R, snap.Z.C, snap.Edges)
 	rows := 0
 	if s.intArray(snap.Y) {
@@ -197,18 +181,18 @@ func streamSnapshot(s *streamer, snap *dyn.Snapshot) int {
 // embedding width. Returns the number of changed rows emitted.
 func streamDelta(s *streamer, dl *dyn.Delta, k int) int {
 	if dl.Resync {
-		fmt.Fprintf(s.bw, `{"from":%d,"epoch":%d,"instance":%d,"resync":true}`,
+		fmt.Fprintf(s.w, `{"from":%d,"epoch":%d,"instance":%d,"resync":true}`,
 			dl.FromEpoch, dl.Epoch, dl.Instance)
 		s.flush()
 		return 0
 	}
-	fmt.Fprintf(s.bw, `{"from":%d,"epoch":%d,"instance":%d,"resync":false,"edges":%d,"labels":[`,
+	fmt.Fprintf(s.w, `{"from":%d,"epoch":%d,"instance":%d,"resync":false,"edges":%d,"labels":[`,
 		dl.FromEpoch, dl.Epoch, dl.Instance, dl.Edges)
 	for i, lu := range dl.Labels {
 		if i > 0 {
 			s.rawByte(',')
 		}
-		fmt.Fprintf(s.bw, `{"v":%d,"class":%d}`, lu.V, lu.Class)
+		fmt.Fprintf(s.w, `{"v":%d,"class":%d}`, lu.V, lu.Class)
 	}
 	s.raw(`],"rows":[`)
 	for i, v := range dl.Rows {

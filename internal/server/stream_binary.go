@@ -22,7 +22,7 @@ const binRowsPerChunk = 64
 // binHeader writes the frame prefix.
 func (s *streamer) binHeader(h wire.Header) {
 	s.scratch = h.AppendTo(s.scratch[:0])
-	s.bw.Write(s.scratch)
+	s.w.Write(s.scratch)
 }
 
 // binI32s writes an int32 section with periodic abort checks; reports
@@ -34,7 +34,7 @@ func (s *streamer) binI32s(vals []int32) bool {
 		}
 		hi := min(lo+8*abortCheckEvery, len(vals))
 		s.scratch = wire.AppendI32s(s.scratch[:0], vals[lo:hi])
-		s.bw.Write(s.scratch)
+		s.w.Write(s.scratch)
 	}
 	return true
 }
@@ -47,7 +47,7 @@ func (s *streamer) binU32s(vals []uint32) bool {
 		}
 		hi := min(lo+8*abortCheckEvery, len(vals))
 		s.scratch = wire.AppendU32s(s.scratch[:0], vals[lo:hi])
-		s.bw.Write(s.scratch)
+		s.w.Write(s.scratch)
 	}
 	return true
 }
@@ -66,7 +66,7 @@ func (s *streamer) binRows(n int, row func(i int) []float64) int {
 		for ; i < hi; i++ {
 			s.scratch = wire.AppendRow(s.scratch, row(i))
 		}
-		s.bw.Write(s.scratch)
+		s.w.Write(s.scratch)
 	}
 	return n
 }
@@ -138,13 +138,13 @@ func streamDeltaBinary(s *streamer, dl *dyn.Delta, k, n int) int {
 		for _, lu := range dl.Labels[lo:hi] {
 			s.scratch = wire.AppendLabel(s.scratch, wire.Label{V: lu.V, Class: lu.Class})
 		}
-		s.bw.Write(s.scratch)
+		s.w.Write(s.scratch)
 	}
 	if s.aborted() {
 		s.flush()
 		return 0
 	}
-	s.bw.Write(s.blob)
+	s.w.Write(s.blob)
 	s.flush()
 	if s.aborted() {
 		return 0

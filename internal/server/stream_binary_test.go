@@ -10,6 +10,7 @@ import (
 	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/labels"
+	"repro/internal/race"
 	"repro/internal/wire"
 	"repro/internal/xrand"
 )
@@ -114,10 +115,17 @@ func TestStreamSnapshotBinaryAbortsOnCancel(t *testing.T) {
 
 // TestBinaryStreamScratchDoesNotScale is the pooling acceptance check:
 // steady-state binary streaming must not allocate per row — the
-// streamer, its bufio buffer, and the scratch chunk all come from the
-// pool. Measured by comparing allocations per stream at two sizes an
-// order of magnitude apart: per-row allocations would scale ~10×.
+// streamer, its buffered writer, and the scratch chunk all come from
+// the pool. Measured by comparing allocations per stream at two sizes
+// an order of magnitude apart: per-row allocations would scale ~10×.
 func TestBinaryStreamScratchDoesNotScale(t *testing.T) {
+	if race.Enabled {
+		// Under the race detector sync.Pool deliberately drops a
+		// random ~25% of Puts, so pool misses (and their streamer +
+		// buffer reallocations) show up stochastically in
+		// AllocsPerRun no matter how the streaming code behaves.
+		t.Skip("sync.Pool randomly drops Puts under -race; alloc counts are noise")
+	}
 	small := bigSnapshot(t, 200, 8)
 	large := bigSnapshot(t, 2000, 8)
 	run := func(snap *dyn.Snapshot) float64 {

@@ -1,0 +1,107 @@
+// Package sticky provides the repo's buffered writer with sticky-error
+// semantics: the first error of the underlying writer is retained, every
+// later write short-circuits, and the byte count that actually reached
+// the destination stays observable. Streaming code writes whole
+// responses without checking each chunk and consults Err exactly once
+// at the end — the discipline the stickywrite analyzer
+// (internal/analysis) enforces: bare Write calls that discard errors
+// are only legal on this type.
+package sticky
+
+import (
+	"bufio"
+	"io"
+)
+
+// tracker sits under the bufio buffer: it records the first error of
+// the destination writer (bufio.Writer keeps its own sticky error
+// private) and counts the bytes that actually reached it.
+type tracker struct {
+	w    io.Writer
+	err  error
+	sent int64
+}
+
+func (t *tracker) Write(p []byte) (int, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	n, err := t.w.Write(p)
+	t.sent += int64(n)
+	if err != nil {
+		t.err = err
+	}
+	return n, err
+}
+
+// Writer is a buffered writer whose first destination error sticks:
+// subsequent writes are cheap no-ops and Err reports the original
+// failure. It implements io.Writer (so fmt.Fprintf works), io.StringWriter
+// and io.ByteWriter.
+type Writer struct {
+	t  tracker
+	bw *bufio.Writer
+}
+
+// NewWriter returns a Writer buffering up to size bytes before w.
+func NewWriter(w io.Writer, size int) *Writer {
+	sw := &Writer{}
+	sw.t.w = w
+	sw.bw = bufio.NewWriterSize(&sw.t, size)
+	return sw
+}
+
+// Reset discards unflushed state and retargets the Writer at w,
+// clearing the sticky error and the byte count. The buffer is kept, so
+// a pooled Writer pays no per-use allocation.
+func (w *Writer) Reset(dst io.Writer) {
+	w.t.w, w.t.err, w.t.sent = dst, nil, 0
+	w.bw.Reset(&w.t)
+}
+
+// Detach drops the destination reference (so a pooled Writer does not
+// pin a request's ResponseWriter) without discarding the buffer.
+func (w *Writer) Detach() {
+	w.t.w = nil
+}
+
+// Write appends p to the buffer. After the destination has failed it
+// reports that sticky error and writes nothing.
+//
+//gee:noalloc
+func (w *Writer) Write(p []byte) (int, error) {
+	return w.bw.Write(p)
+}
+
+// WriteString appends s to the buffer; errors stick for Err.
+//
+//gee:noalloc
+func (w *Writer) WriteString(s string) {
+	_, _ = w.bw.WriteString(s) // error observed via the tracker, not per call
+}
+
+// WriteByte appends c to the buffer. It returns the sticky error (the
+// canonical io.ByteWriter signature); callers may discard it and
+// consult Err or Flush once at the end.
+//
+//gee:noalloc
+func (w *Writer) WriteByte(c byte) error {
+	_ = w.bw.WriteByte(c) // error observed via the tracker, not per call
+	return w.t.err
+}
+
+// Flush writes buffered data to the destination and returns the sticky
+// error, if any.
+func (w *Writer) Flush() error {
+	_ = w.bw.Flush() // the tracker saw any error first
+	return w.t.err
+}
+
+// Err returns the first error the destination writer reported, or nil.
+// Buffered-but-unflushed data never surfaces an error here; call Flush
+// first for a final verdict.
+func (w *Writer) Err() error { return w.t.err }
+
+// BytesSent reports how many bytes reached the destination so far
+// (flush before reading it for a final figure).
+func (w *Writer) BytesSent() int64 { return w.t.sent }

@@ -1,0 +1,106 @@
+package sticky
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// failAfter fails with errBoom once more than limit bytes have been
+// written, accepting a prefix of the failing write like a real socket.
+type failAfter struct {
+	buf   bytes.Buffer
+	limit int
+}
+
+var errBoom = errors.New("boom")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	room := f.limit - f.buf.Len()
+	if room <= 0 {
+		return 0, errBoom
+	}
+	if len(p) <= room {
+		return f.buf.Write(p)
+	}
+	n, _ := f.buf.Write(p[:room])
+	return n, errBoom
+}
+
+func TestWriterHappyPath(t *testing.T) {
+	var dst bytes.Buffer
+	w := NewWriter(&dst, 8)
+	w.WriteString("hello")
+	w.WriteByte(' ')
+	fmt.Fprintf(w, "world %d", 42)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got, want := dst.String(), "hello world 42"; got != want {
+		t.Fatalf("wrote %q, want %q", got, want)
+	}
+	if got := w.BytesSent(); got != int64(len("hello world 42")) {
+		t.Fatalf("BytesSent = %d, want %d", got, len("hello world 42"))
+	}
+	if w.Err() != nil {
+		t.Fatalf("Err = %v, want nil", w.Err())
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	f := &failAfter{limit: 4}
+	w := NewWriter(f, 2) // tiny buffer so the failure surfaces mid-stream
+	for i := 0; i < 100; i++ {
+		w.WriteString("abcdef")
+	}
+	if err := w.Flush(); !errors.Is(err, errBoom) {
+		t.Fatalf("Flush = %v, want errBoom", err)
+	}
+	if !errors.Is(w.Err(), errBoom) {
+		t.Fatalf("Err = %v, want errBoom", w.Err())
+	}
+	if got := w.BytesSent(); got != 4 {
+		t.Fatalf("BytesSent = %d, want 4 (bytes accepted before failure)", got)
+	}
+	// The destination must not have been written again after the error.
+	if f.buf.Len() != 4 {
+		t.Fatalf("destination got %d bytes, want 4", f.buf.Len())
+	}
+}
+
+func TestWriterWriteReportsStickyError(t *testing.T) {
+	f := &failAfter{limit: 0}
+	w := NewWriter(f, 1)
+	if _, err := w.Write([]byte("xy")); !errors.Is(err, errBoom) {
+		// A write larger than the buffer goes straight through, so the
+		// destination error surfaces on the Write itself.
+		t.Fatalf("Write = %v, want errBoom", err)
+	}
+	if _, err := io.WriteString(w, "more"); !errors.Is(err, errBoom) {
+		t.Fatalf("later writes should keep reporting the sticky error, got %v", err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	f := &failAfter{limit: 0}
+	w := NewWriter(f, 4)
+	w.WriteString("doomed")
+	if err := w.Flush(); err == nil {
+		t.Fatal("expected sticky error before Reset")
+	}
+	var dst strings.Builder
+	w.Reset(&dst)
+	if w.Err() != nil || w.BytesSent() != 0 {
+		t.Fatalf("Reset left err=%v sent=%d", w.Err(), w.BytesSent())
+	}
+	w.WriteString("fresh")
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush after Reset: %v", err)
+	}
+	if dst.String() != "fresh" {
+		t.Fatalf("after Reset wrote %q, want %q", dst.String(), "fresh")
+	}
+}

@@ -19,6 +19,9 @@ func newRing(capacity int) *ring {
 	return &ring{slots: make([]atomic.Pointer[Trace], capacity)}
 }
 
+// record publishes t into the next slot.
+//
+//gee:noalloc
 func (r *ring) record(t *Trace) {
 	i := r.next.Add(1) - 1
 	r.slots[i%uint64(len(r.slots))].Store(t)
@@ -86,6 +89,8 @@ func NewRecorder(recentCap int) *Recorder {
 
 // Record publishes a finished trace. Nil traces are ignored, so a
 // tracing-disabled pipeline can call it unconditionally.
+//
+//gee:noalloc
 func (r *Recorder) Record(t *Trace) {
 	if r == nil || t == nil {
 		return

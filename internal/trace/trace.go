@@ -202,6 +202,8 @@ func (t *Trace) Begin() time.Time {
 }
 
 // Duration returns the end-to-end duration (0 until Finish).
+//
+//gee:noalloc
 func (t *Trace) Duration() time.Duration {
 	if t == nil {
 		return 0
