@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"maps"
 	"net/http"
 	"os"
 	"strings"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/rate"
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/shard"
 	"repro/internal/xrand"
 )
 
@@ -520,6 +522,10 @@ func reportTraces(ctx context.Context, url string, out io.Writer) error {
 // legitimate tie-breaking).
 func measureRecall(ctx context.Context, c *client.Client, n int, cfg config, out io.Writer) error {
 	r := xrand.New(cfg.seed + uint64(9000))
+	sharded := false
+	if meta, err := c.Partition(ctx); err == nil && meta.Shards > 1 {
+		sharded = true
+	}
 	approxReq := func(v graph.NodeID) server.NeighborsRequest {
 		return server.NeighborsRequest{
 			V: v, K: cfg.nbrK, Metric: cfg.nbrMetric,
@@ -539,10 +545,36 @@ func measureRecall(ctx context.Context, c *client.Client, n int, cfg config, out
 			if err != nil {
 				return false, err
 			}
-			if resp.Mode == "approx" && resp.IndexEpoch == resp.Epoch {
+			switch {
+			case sharded:
+				// Per-shard epochs are independent counters, so the scalar
+				// IndexEpoch == Epoch quiesce test can never hold here
+				// (IndexEpoch is the min over shard indexes, Epoch the max
+				// over shard publishes). Ask /statsz whether every
+				// indexing shard's index has caught up to that shard's own
+				// published epoch instead; the scatter query above kicked
+				// any stale shard's rebuild. Shards below the exact
+				// threshold never index and are exact by construction.
+				st, err := c.Stats(ctx)
+				if err != nil {
+					return false, err
+				}
+				caughtUp, indexing := true, false
+				for _, ss := range st.Shards {
+					if !ss.Index.Indexing {
+						continue
+					}
+					indexing = true
+					if ss.Index.Epoch != ss.Dyn.Epoch {
+						caughtUp = false
+					}
+				}
+				if caughtUp {
+					return indexing, nil
+				}
+			case resp.Mode == "approx" && resp.IndexEpoch == resp.Epoch:
 				return true, nil
-			}
-			if resp.Mode == "exact" {
+			case resp.Mode == "exact":
 				st, err := c.Stats(ctx)
 				if err != nil {
 					return false, err
@@ -582,7 +614,16 @@ func measureRecall(ctx context.Context, c *client.Client, n int, cfg config, out
 		if err != nil {
 			return err
 		}
-		if ap.IndexEpoch != ex.Epoch {
+		stale := ap.IndexEpoch != ex.Epoch
+		if sharded {
+			// The scalar comparison is meaningless across shards; what
+			// matters is that no publish landed between the two scatter
+			// reads — their per-shard epoch vectors must agree exactly.
+			// (A shard whose index lags its snapshot serves that partial
+			// from the exact scan, which can only raise recall.)
+			stale = !maps.Equal(ap.Epochs, ex.Epochs)
+		}
+		if stale {
 			// A straggler publish landed mid-phase (a write whose client
 			// departed at the load deadline is still applied and
 			// published). Stragglers are bounded by the writers'
@@ -633,6 +674,12 @@ func measureRecall(ctx context.Context, c *client.Client, n int, cfg config, out
 // the delta path reconstructs the snapshot stream's exact bytes, not
 // an approximation of them.
 func verifyReplicas(ctx context.Context, c *client.Client, reps []*client.Replica, out io.Writer) error {
+	// A sharded server refuses the bare snapshot read; verify section by
+	// section against the partition instead. A probe error falls through
+	// to the legacy path (a server predating /v1/partition serves it).
+	if meta, err := c.Partition(ctx); err == nil && meta.Shards > 1 {
+		return verifyReplicasSharded(ctx, c, meta, reps, out)
+	}
 	snap, err := c.Snapshot(ctx)
 	if err != nil {
 		return fmt.Errorf("replica verify: %w", err)
@@ -686,5 +733,94 @@ func verifyReplicas(ctx context.Context, c *client.Client, reps []*client.Replic
 	}
 	fmt.Fprintf(out, "replica verify OK: %d replica(s), %d rows bit-identical to the primary snapshot at epoch %d\n",
 		len(reps), snap.N, snap.Epoch)
+	return nil
+}
+
+// verifyReplicasSharded is the sharded verify: the primary's state is
+// the union of per-shard sections, each at its own epoch, so each
+// replica must converge onto the fetched sections' epoch vector and
+// then match them row by row. The writers are done, so every shard is
+// quiescent; a straggling publish just re-anchors that one section.
+func verifyReplicasSharded(ctx context.Context, c *client.Client, meta shard.Meta, reps []*client.Replica, out io.Writer) error {
+	secs := make([]server.SnapshotResponse, meta.Shards)
+	fetch := func(i int) error {
+		s, err := c.SnapshotShard(ctx, i)
+		if err != nil {
+			return fmt.Errorf("replica verify: shard %d: %w", i, err)
+		}
+		secs[i] = s
+		return nil
+	}
+	for i := range secs {
+		if err := fetch(i); err != nil {
+			return err
+		}
+	}
+	for i, rep := range reps {
+		// Sync while the replica is behind on any shard; refetch a
+		// section the replica has already passed. Bit-comparison needs
+		// exact per-shard epoch equality, not just coverage.
+		for tries := 0; ; tries++ {
+			s := rep.Snapshot()
+			behind, ahead := s == nil || s.Epochs == nil, false
+			if !behind {
+				for sh := 0; sh < meta.Shards; sh++ {
+					switch {
+					case s.Epochs[sh] < secs[sh].Epoch:
+						behind = true
+					case s.Epochs[sh] > secs[sh].Epoch:
+						if err := fetch(sh); err != nil {
+							return err
+						}
+						ahead = true
+					}
+				}
+			}
+			if !behind && !ahead {
+				break
+			}
+			if tries > 100 {
+				return fmt.Errorf("replica %d never converged onto the primary's epoch vector", i)
+			}
+			if behind {
+				if _, err := rep.Sync(ctx); err != nil {
+					return fmt.Errorf("replica %d verify sync: %w", i, err)
+				}
+			}
+		}
+		s := rep.Snapshot()
+		rn, rk := s.Dims()
+		if rn != meta.N || rk != meta.K {
+			return fmt.Errorf("replica %d shape mismatch: %dx%d vs %dx%d", i, rn, rk, meta.N, meta.K)
+		}
+		row := make([]float64, meta.K)
+		for sh := 0; sh < meta.Shards; sh++ {
+			lo := int(meta.Bounds[sh])
+			sec := &secs[sh]
+			for u := 0; u < sec.N; u++ {
+				v := lo + u
+				if s.Y[v] != sec.Y[u] {
+					return fmt.Errorf("replica %d: label of %d is %d, shard %d has %d",
+						i, v, s.Y[v], sh, sec.Y[u])
+				}
+				// Same wire format on both sides, so equality is bitwise
+				// even over the float32 binary frames.
+				for col, x := range s.CopyRow(v, row) {
+					if x != sec.Z[u][col] {
+						return fmt.Errorf("replica %d: Z[%d][%d] = %v, shard %d has %v (not bit-identical)",
+							i, v, col, x, sh, sec.Z[u][col])
+					}
+				}
+			}
+		}
+	}
+	rows := 0
+	ev := make(shard.EpochVector, meta.Shards)
+	for i := range secs {
+		rows += secs[i].N
+		ev[i] = secs[i].Epoch
+	}
+	fmt.Fprintf(out, "replica verify OK: %d replica(s), %d rows bit-identical to %d shard sections at epoch vector %v\n",
+		len(reps), rows, meta.Shards, ev)
 	return nil
 }

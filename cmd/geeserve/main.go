@@ -56,6 +56,7 @@ import (
 	"repro/internal/labels"
 	"repro/internal/rate"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/xrand"
 )
 
@@ -63,6 +64,7 @@ import (
 type config struct {
 	stdin     bool
 	serveAddr string
+	shards    int
 	n, k      int
 	pIn, pOut float64
 	labelFrac float64
@@ -85,6 +87,7 @@ func main() {
 	var cfg config
 	flag.BoolVar(&cfg.stdin, "stdin", false, "read ops from stdin instead of generating churn")
 	flag.StringVar(&cfg.serveAddr, "serve", "", "expose the HTTP serving API on this address (e.g. :8080) until SIGINT/SIGTERM")
+	flag.IntVar(&cfg.shards, "shards", 1, "vertex-partitioned embedder shards behind the serving API (>1 requires -serve and disables the local workload)")
 	flag.IntVar(&cfg.n, "n", 100_000, "vertex count")
 	flag.IntVar(&cfg.k, "k", 10, "classes (= SBM blocks in generated mode)")
 	flag.Float64Var(&cfg.pIn, "p-in", 8e-4, "SBM within-block edge probability")
@@ -111,6 +114,20 @@ func main() {
 }
 
 func run(cfg config) error {
+	if cfg.shards > 1 {
+		// The shard set only exists behind the HTTP API: the local
+		// workloads drive one embedder directly, bypassing the router
+		// that scatters writes across owners.
+		if cfg.serveAddr == "" {
+			return fmt.Errorf("-shards %d needs -serve", cfg.shards)
+		}
+		if cfg.stdin {
+			return fmt.Errorf("-shards %d is incompatible with -stdin (drive writes through the API with geeload)", cfg.shards)
+		}
+		if cfg.rounds > 0 {
+			fmt.Fprintf(os.Stderr, "# -shards %d: skipping the local churn workload (drive with geeload)\n", cfg.shards)
+		}
+	}
 	opts := dyn.Options{
 		K: cfg.k, Workers: cfg.workers,
 		ShardedThreshold: cfg.threshold,
@@ -123,7 +140,7 @@ func run(cfg config) error {
 	}
 	var yTrue []int32
 	var el *graph.EdgeList
-	if !cfg.stdin && cfg.rounds > 0 {
+	if !cfg.stdin && cfg.rounds > 0 && cfg.shards <= 1 {
 		fmt.Fprintf(os.Stderr, "# generating SBM: n=%d k=%d p_in=%g p_out=%g\n", cfg.n, cfg.k, cfg.pIn, cfg.pOut)
 		el, yTrue = gen.SBM(cfg.workers, cfg.n, cfg.k, cfg.pIn, cfg.pOut, cfg.seed)
 		if len(el.Edges) == 0 {
@@ -137,9 +154,16 @@ func run(cfg config) error {
 			y[v] = yTrue[v]
 		}
 	}
-	d, err := dyn.New(cfg.n, y, opts)
-	if err != nil {
-		return err
+	// One embedder unsharded; a partitioned set behind the router when
+	// -shards asks for it (d stays nil then — every access below is
+	// gated on the local workload, which sharded mode disables).
+	var d *dyn.DynamicEmbedder
+	if cfg.shards <= 1 {
+		var err error
+		d, err = dyn.New(cfg.n, y, opts)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Network front-end: serve the embedder while (and after) any local
@@ -156,11 +180,25 @@ func run(cfg config) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "# serving HTTP on %s\n", ln.Addr())
-		srv = server.New(d, server.Options{
+		serverOpts := server.Options{
 			EnablePprof:          cfg.pprof,
 			SlowRequestThreshold: cfg.slowReq,
 			DisableTracing:       cfg.noTrace,
-		})
+		}
+		if cfg.shards > 1 {
+			p, err := shard.NewPartition(cfg.n, cfg.shards)
+			if err != nil {
+				return err
+			}
+			shards, err := shard.NewShards(p, y, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# sharded serving: %d shards over [0,%d)\n", p.Shards(), p.N)
+			srv = server.NewSharded(p, shards, serverOpts)
+		} else {
+			srv = server.New(d, serverOpts)
+		}
 		go func() { srvErr <- srv.Serve(ln) }()
 		var stopSignals context.CancelFunc
 		ctx, stopSignals = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -169,8 +207,10 @@ func run(cfg config) error {
 
 	// Local workload (if any), with its query readers.
 	var workloadErr error
-	ranWorkload := cfg.stdin || cfg.rounds > 0
+	ranWorkload := (cfg.stdin || cfg.rounds > 0) && cfg.shards <= 1
 	switch {
+	case !ranWorkload:
+		// HTTP service only (sharded mode, or -rounds 0).
 	case cfg.stdin:
 		stop := startReaders(d, cfg.readers)
 		if srv == nil {
@@ -196,7 +236,7 @@ func run(cfg config) error {
 			}
 		}
 		stop()
-	case cfg.rounds > 0:
+	default: // generated churn (cfg.rounds > 0)
 		stop := startReaders(d, cfg.readers)
 		workloadErr = serveChurn(ctx, d, el, yTrue, cfg)
 		stop()
@@ -228,7 +268,8 @@ func run(cfg config) error {
 	}
 	// The workload modes print their own summaries; repeating one here
 	// would give scripts two near-identical epoch lines to mis-grep.
-	if !ranWorkload {
+	// The sharded tier's aggregate lives in /statsz while it runs.
+	if !ranWorkload && d != nil {
 		st := d.Stats()
 		fmt.Printf("epoch %d: %d live edges, %d inserts, %d deletes, %d label moves\n",
 			st.Epoch, st.LiveEdges, st.Inserts, st.Deletes, st.LabelMoves)

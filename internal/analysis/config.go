@@ -91,6 +91,11 @@ func DefaultAnalyzers() []Analyzer {
 				// on either side re-opens the send-on-closed-channel
 				// crash PR 5 fixed.
 				"repro/internal/server.Coalescer.closed",
+				// The scatter-gather router's close latch: submit checks
+				// it before locking target coalescers, close sets it.
+				// Unguarded, a submit racing close could enqueue into a
+				// coalescer whose queue is being torn down.
+				"repro/internal/server.router.closed",
 				// Per-route status counters: map mutated on first
 				// sighting of a status code, read on every response.
 				"repro/internal/server.routeMetrics.status",

@@ -72,6 +72,27 @@ func TopK(workers int, X *mat.Dense, query []float64, k int, m Metric, exclude i
 	return finalizeNeighbors(all, k, m)
 }
 
+// MergeNeighbors merges already-finalized per-partition result lists
+// (as returned by TopK or IVF.Search over disjoint row sets) into one
+// k-bounded list under the same order: ascending distance, ties by
+// ascending id. The lists carry final distances — no metric parameter
+// and no deferred sqrt — so this is the scatter-gather reduce of the
+// sharded /v1/neighbors path: each shard ranks its owned rows, the
+// router merges the partials with the same k-bounded heap.
+func MergeNeighbors(k int, lists ...[]Neighbor) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	var h []Neighbor
+	for _, l := range lists {
+		for _, nb := range l {
+			h = pushNeighbor(h, k, nb)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return worse(h[j], h[i]) })
+	return h
+}
+
 // queryNorm precomputes the query's norm for Cosine (a zero query is
 // indifferent to everything — all distances 1 — which rowDist handles
 // by construction); L2 needs nothing.

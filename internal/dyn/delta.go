@@ -57,16 +57,17 @@ type epochDelta struct {
 }
 
 // markDirty records that row v's embedding changed since the last
-// publish. Once more than half the rows are dirty the epoch is
-// promoted to full: the row list would cost more than the snapshot it
-// is meant to avoid.
+// publish. Rows outside the owned window are never published, so they
+// never enter the delta. Once more than half the owned rows are dirty
+// the epoch is promoted to full: the row list would cost more than the
+// snapshot it is meant to avoid.
 func (d *DynamicEmbedder) markDirty(v graph.NodeID) {
-	if d.dirtyFull || d.dirtyMark[v] == d.dirtyGen {
+	if d.dirtyFull || !d.owned(v) || d.dirtyMark[v] == d.dirtyGen {
 		return
 	}
 	d.dirtyMark[v] = d.dirtyGen
 	d.dirtyRows = append(d.dirtyRows, v)
-	if len(d.dirtyRows) > d.n/2 {
+	if len(d.dirtyRows) > (d.ownHi-d.ownLo)/2 {
 		d.dirtyFull = true
 		d.dirtyRows = nil
 	}

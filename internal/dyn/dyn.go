@@ -74,6 +74,15 @@ type Options struct {
 	// full snapshot. Zero selects 64; negative disables the ring
 	// entirely (Delta always answers "resync").
 	DeltaHistory int
+	// OwnedLo/OwnedHi restrict the published window to the vertex range
+	// [OwnedLo, OwnedHi): folds still span the full vertex range (an
+	// edge's contribution lands in both endpoint rows regardless of
+	// ownership), but publish-time normalization, dirty-row tracking,
+	// and the delta ring cover only the owned rows — rows outside the
+	// window stay zero in every snapshot. Both zero means the full
+	// range. This is the sharded serving tier's partition hook
+	// (internal/shard); a standalone embedder leaves it unset.
+	OwnedLo, OwnedHi int
 }
 
 // defaultShardedThreshold balances the O(batch) bucketing pass against
@@ -154,6 +163,9 @@ type DynamicEmbedder struct {
 	manual   bool
 	pubEvery int
 	instance uint64
+	// Owned row window [ownLo, ownHi): publish/delta restriction (see
+	// Options.OwnedLo). Full range for a standalone embedder.
+	ownLo, ownHi int
 
 	mu       sync.Mutex // serializes writers over the mutable state below
 	y        []int32
@@ -199,26 +211,31 @@ type DynamicEmbedder struct {
 
 // Instrument registers the embedder's publish-path instruments on reg:
 // publish latency, dirty rows per epoch, full-epoch promotions, and
-// delta-ring occupancy. Call at most once per registry (the serving
-// layer does this when it adopts the embedder); publishes before
-// Instrument simply go unmeasured.
-func (d *DynamicEmbedder) Instrument(reg *metrics.Registry) {
+// delta-ring occupancy. Call at most once per registry and label set
+// (the serving layer does this when it adopts the embedder; a sharded
+// server passes a distinct shard label per embedder so N shards'
+// series coexist on one registry); publishes before Instrument simply
+// go unmeasured.
+func (d *DynamicEmbedder) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.mPublish = reg.Histogram("gee_dyn_publish_seconds",
 		"Latency of publishing one epoch (normalize U and version the snapshot).",
-		metrics.DefLatencyBuckets)
+		metrics.DefLatencyBuckets, labels...)
 	d.mDirtyRows = reg.Histogram("gee_dyn_publish_dirty_rows",
 		"Rows whose embedding changed in one published epoch.",
-		metrics.DefCountBuckets)
+		metrics.DefCountBuckets, labels...)
 	d.mFullEpochs = reg.Counter("gee_dyn_full_epochs_total",
-		"Published epochs promoted to full (not row-reconstructible; followers must resync across them).")
+		"Published epochs promoted to full (not row-reconstructible; followers must resync across them).",
+		labels...)
 	d.mRing = reg.Gauge("gee_dyn_delta_ring_epochs",
-		"Per-epoch deltas currently retained for GET /v1/delta.")
+		"Per-epoch deltas currently retained for GET /v1/delta.",
+		labels...)
 	d.mRing.Set(int64(len(d.ring)))
 	reg.GaugeFunc("gee_dyn_epoch",
 		"Currently published epoch.",
-		func() float64 { return float64(d.Epoch()) })
+		func() float64 { return float64(d.Epoch()) },
+		labels...)
 }
 
 // New prepares an embedder for n vertices with the given initial labels
@@ -257,6 +274,13 @@ func New(n int, y []int32, opts Options) (*DynamicEmbedder, error) {
 	case hist < 0:
 		hist = 0
 	}
+	ownLo, ownHi := opts.OwnedLo, opts.OwnedHi
+	if ownLo == 0 && ownHi == 0 {
+		ownHi = n
+	}
+	if ownLo < 0 || ownLo >= ownHi || ownHi > n {
+		return nil, fmt.Errorf("dyn: owned range [%d,%d) outside [0,%d)", ownLo, ownHi, n)
+	}
 	yc := append([]int32(nil), y...)
 	d := &DynamicEmbedder{
 		n: n, k: k, workers: workers,
@@ -265,6 +289,8 @@ func New(n int, y []int32, opts Options) (*DynamicEmbedder, error) {
 		manual:    opts.ManualPublish,
 		pubEvery:  opts.PublishEvery,
 		deltaHist: hist,
+		ownLo:     ownLo,
+		ownHi:     ownHi,
 		y:         yc,
 		counts:    parallel.Histogram(workers, n, k, func(i int) int { return int(yc[i]) }),
 		adj:       make([][]halfEdge, n),
@@ -308,6 +334,15 @@ func newInstanceID() uint64 {
 // Instance returns the embedder's lifetime identity (see
 // Snapshot.Instance).
 func (d *DynamicEmbedder) Instance() uint64 { return d.instance }
+
+// Owned returns the published row window [lo, hi) (see Options.OwnedLo);
+// the full range for a standalone embedder.
+func (d *DynamicEmbedder) Owned() (lo, hi int) { return d.ownLo, d.ownHi }
+
+// owned reports whether vertex v's row is published by this embedder.
+func (d *DynamicEmbedder) owned(v graph.NodeID) bool {
+	return int(v) >= d.ownLo && int(v) < d.ownHi
+}
 
 // N returns the vertex count.
 func (d *DynamicEmbedder) N() int { return d.n }
@@ -578,7 +613,12 @@ func (d *DynamicEmbedder) relabel(v graph.NodeID, class int32) {
 		for _, he := range d.adj[v] {
 			d.markDirty(he.v)
 		}
-		d.relabeled = append(d.relabeled, v)
+		// Label authority follows row ownership: a sharded embedder only
+		// reports relabels of vertices it owns (every shard sees the
+		// broadcast, exactly one claims it in its delta).
+		if d.owned(v) {
+			d.relabeled = append(d.relabeled, v)
+		}
 	}
 	if old >= 0 {
 		d.counts[old]--
@@ -602,8 +642,12 @@ func (d *DynamicEmbedder) publishLocked() *Snapshot {
 		}
 	}
 	z := mat.NewDense(d.n, d.k)
-	parallel.ForChunk(d.workers, d.n, 0, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
+	// Only the owned window is normalized into the snapshot; non-owned
+	// rows of U hold consistent partial sums (cut-edge mass folded here
+	// whose authoritative copy lives on another shard) that are never
+	// published. For a standalone embedder the window is the full range.
+	parallel.ForChunk(d.workers, d.ownHi-d.ownLo, 0, func(lo, hi int) {
+		for u := lo + d.ownLo; u < hi+d.ownLo; u++ {
 			src := d.u.Row(u)
 			dst := z.Row(u)
 			for c := range src {

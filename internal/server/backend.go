@@ -1,0 +1,304 @@
+package server
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+// The serving tier fronts either one embedder or a set of
+// vertex-partitioned shards; every HTTP handler resolves through the
+// backend interface so the route table, request decoding, tracing, and
+// wire formats are written once. The single-embedder implementation
+// below is the N=1 fast path: it is the pre-sharding code moved behind
+// the interface verbatim, so an unsharded server's wire output is
+// unchanged. The sharded implementation (router.go) scatters writes by
+// edge endpoint and gathers reads across shards.
+
+// writeAck is a backend's answer to one accepted write batch.
+type writeAck struct {
+	// epoch is the scalar summary clients key read-your-writes on: the
+	// single backend's published epoch, or the max of the vector below.
+	epoch uint64
+	// epochs is the per-shard ack vector (nil on the single backend):
+	// epochs[i] is the epoch at which shard i published this batch's
+	// operations (only shards the batch touched appear).
+	epochs shard.EpochVector
+	// err is an apply-time rejection (HTTP 400); the batch was accepted
+	// into the queue but the embedder refused it.
+	err error
+	// sent is the latest instant an ingest goroutine released an ack,
+	// the start of the trace's ack span.
+	sent time.Time
+}
+
+// searchOut is a backend's answer to one /v1/neighbors query.
+type searchOut struct {
+	nbrs []cluster.Neighbor
+	// mode is what actually answered: "exact" or "approx" (an approx
+	// request degrades to exact while indexes are cold; on a sharded
+	// backend "approx" means at least one shard answered from its index).
+	mode       string
+	epoch      uint64
+	indexEpoch uint64
+	// epochs is the per-shard snapshot vector the scan covered (nil on
+	// the single backend).
+	epochs shard.EpochVector
+}
+
+// readView pins one published snapshot per shard so a multi-row read
+// answers every row from one consistent per-shard version. The single
+// backend's view is one snapshot; the router's is one per shard, each
+// row served by its owner.
+type readView struct {
+	snaps []*dyn.Snapshot
+	part  *shard.Partition // nil on the single backend
+}
+
+// row returns vertex v's embedding row from its owning shard's
+// snapshot. Only the owner's copy of a row is ever published (non-owned
+// rows are zero by the dyn owned-window contract), so ownership is the
+// only correct routing.
+func (rv readView) row(v uint32) []float64 {
+	return rv.snaps[rv.owner(v)].Z.Row(int(v))
+}
+
+func (rv readView) owner(v uint32) int {
+	if rv.part == nil {
+		return 0
+	}
+	return rv.part.Owner(graph.NodeID(v))
+}
+
+// epoch is the scalar version summary for the response header path:
+// the single snapshot's epoch, or the max across shards.
+func (rv readView) epoch() uint64 {
+	var max uint64
+	for _, s := range rv.snaps {
+		if s.Epoch > max {
+			max = s.Epoch
+		}
+	}
+	return max
+}
+
+// epochs is the per-shard version vector (nil on the single backend,
+// keeping unsharded response bodies byte-identical via omitempty).
+func (rv readView) epochs() shard.EpochVector {
+	if rv.part == nil {
+		return nil
+	}
+	ev := make(shard.EpochVector, len(rv.snaps))
+	for i, s := range rv.snaps {
+		ev[i] = s.Epoch
+	}
+	return ev
+}
+
+// backend is the serving surface every handler resolves through: one
+// embedder (singleBackend) or a vertex-partitioned shard set (router).
+type backend interface {
+	// vertices and width are the global embedding dimensions n and K.
+	vertices() int
+	width() int
+
+	// submit runs one write batch to publication: validate, enqueue
+	// (scattered across owner shards when sharded), await every ack.
+	// The returned error is the admission verdict (ErrBacklog,
+	// ErrClosed); an apply-time rejection rides writeAck.err.
+	submit(b dyn.Batch, tr *trace.Trace) (writeAck, error)
+	// retryAfter is the backoff hint for a rejected write, in seconds.
+	retryAfter() int
+
+	// snapshotFor returns the published snapshot that is the authority
+	// for vertex v's row.
+	snapshotFor(v uint32) *dyn.Snapshot
+	// view pins one snapshot per shard for a consistent batch read.
+	view() readView
+	// search answers one top-k neighbors query (scatter-gather when
+	// sharded). k is already clamped to [1, n]; v is in range.
+	search(v uint32, k int, metric cluster.Metric, name string, approx bool, nprobe int, tr *trace.Trace) searchOut
+
+	// sectioned reports whether snapshot/delta reads are served as
+	// per-shard sections (?shard= required on a sharded server).
+	sectioned() bool
+	shardCount() int
+	// section returns shard i's published snapshot and its owned global
+	// row window [lo, hi). The single backend's only section is the
+	// whole matrix.
+	section(i int) (snap *dyn.Snapshot, lo, hi int)
+	// sectionDelta returns shard i's delta from epoch `from` (rows are
+	// global ids, restricted to the shard's owned window).
+	sectionDelta(i int, from uint64) *dyn.Delta
+	// meta describes the partition for GET /v1/partition.
+	meta() shard.Meta
+
+	// ready reports load-balancer readiness: a non-empty reason means
+	// 503; otherwise epoch is the published epoch reads answer from.
+	ready() (epoch uint64, reason string)
+	health() HealthResponse
+	// stats fills everything except Wire (the server owns those
+	// counters across backends).
+	stats() StatsResponse
+
+	instrument(reg *metrics.Registry)
+	start()
+	close()
+}
+
+// singleBackend is the unsharded serving path: one embedder, one
+// coalescer, one index cache. Behavior (and wire bytes) match the
+// pre-sharding server exactly.
+type singleBackend struct {
+	d       *dyn.DynamicEmbedder
+	co      *Coalescer
+	index   *indexCache
+	workers int // search/scan parallelism
+}
+
+func newSingleBackend(d *dyn.DynamicEmbedder, opts Options) *singleBackend {
+	return &singleBackend{
+		d:       d,
+		co:      NewCoalescer(d, opts.Coalescer),
+		index:   newIndexCache(d, opts.SearchWorkers, opts.Index),
+		workers: opts.SearchWorkers,
+	}
+}
+
+func (sb *singleBackend) vertices() int { return sb.d.N() }
+func (sb *singleBackend) width() int    { return sb.d.K() }
+
+func (sb *singleBackend) submit(b dyn.Batch, tr *trace.Trace) (writeAck, error) {
+	ack, err := sb.co.SubmitTraced(b, tr)
+	if err != nil {
+		return writeAck{}, err
+	}
+	// The ack always arrives (Close drains the queue), so waiting on it
+	// alone is safe; a departed client just discards the response.
+	a := <-ack
+	return writeAck{epoch: a.Epoch, err: a.Err, sent: a.sent}, nil
+}
+
+func (sb *singleBackend) retryAfter() int { return sb.co.RetryAfter() }
+
+func (sb *singleBackend) snapshotFor(v uint32) *dyn.Snapshot { return sb.d.Snapshot() }
+
+func (sb *singleBackend) view() readView {
+	return readView{snaps: []*dyn.Snapshot{sb.d.Snapshot()}}
+}
+
+func (sb *singleBackend) search(v uint32, k int, metric cluster.Metric, name string, approx bool, nprobe int, tr *trace.Trace) searchOut {
+	loadRef := tr.StartSpan("snapshot-load")
+	snap := sb.d.Snapshot()
+	tr.EndSpan(loadRef)
+	out := searchOut{mode: "exact", epoch: snap.Epoch, indexEpoch: snap.Epoch}
+	served := false
+	searchRef := tr.StartSpan("search")
+	if approx {
+		if idx := sb.index.current(snap); idx != nil {
+			// The query row must come from the index's own snapshot:
+			// distances against mixed epochs would be meaningless.
+			out.nbrs = idx.ivf.Search(sb.workers, idx.snap.Z.Row(int(v)), k, metric, int(v), nprobe)
+			out.indexEpoch = idx.snap.Epoch
+			out.mode = "approx"
+			served = true
+		}
+		// Cold index or matrix below the index threshold: answer exactly
+		// from the live snapshot and say so.
+	}
+	if !served {
+		out.nbrs = cluster.TopK(sb.workers, snap.Z, snap.Z.Row(int(v)), k, metric, int(v))
+	}
+	tr.EndSpan(searchRef)
+	tr.SpanTag(searchRef, "mode", out.mode)
+	tr.SpanTag(searchRef, "metric", name)
+	tr.SpanTag(searchRef, "index_epoch", strconv.FormatUint(out.indexEpoch, 10))
+	if nprobe > 0 {
+		tr.SpanTag(searchRef, "nprobe", strconv.Itoa(nprobe))
+	}
+	return out
+}
+
+func (sb *singleBackend) sectioned() bool { return false }
+func (sb *singleBackend) shardCount() int { return 1 }
+
+func (sb *singleBackend) section(i int) (*dyn.Snapshot, int, int) {
+	return sb.d.Snapshot(), 0, sb.d.N()
+}
+
+func (sb *singleBackend) sectionDelta(i int, from uint64) *dyn.Delta {
+	return sb.d.Delta(from)
+}
+
+func (sb *singleBackend) meta() shard.Meta {
+	snap := sb.d.Snapshot()
+	return shard.Meta{
+		Shards:    1,
+		N:         sb.d.N(),
+		K:         sb.d.K(),
+		Bounds:    []uint32{0, uint32(sb.d.N())},
+		Instances: []uint64{sb.d.Instance()},
+		Epochs:    shard.EpochVector{0: snap.Epoch},
+	}
+}
+
+func (sb *singleBackend) ready() (uint64, string) {
+	if !sb.co.Accepting() {
+		return 0, "ingest coalescer not accepting writes"
+	}
+	snap := sb.d.Snapshot()
+	if snap == nil {
+		return 0, "no snapshot published"
+	}
+	return snap.Epoch, ""
+}
+
+func (sb *singleBackend) health() HealthResponse {
+	return HealthResponse{Status: "ok", Epoch: sb.d.Epoch(), N: sb.d.N(), K: sb.d.K()}
+}
+
+func (sb *singleBackend) stats() StatsResponse {
+	return StatsResponse{
+		N: sb.d.N(), K: sb.d.K(), Dyn: sb.d.Stats(), Coalescer: sb.co.Stats(),
+		Index: sb.index.stats(),
+	}
+}
+
+func (sb *singleBackend) instrument(reg *metrics.Registry) {
+	sb.d.Instrument(reg)
+	sb.co.instrument(reg)
+	sb.index.instrument(reg)
+}
+
+func (sb *singleBackend) start() { sb.co.Start() }
+
+func (sb *singleBackend) close() {
+	sb.co.Close()
+	// Refuse further index rebuilds and wait out any in-flight one
+	// (an expired ctx returns from http.Shutdown with handlers still
+	// running, so late kicks must be gated, not assumed impossible).
+	sb.index.close()
+}
+
+// sectionSnapshot slices a shard's published snapshot down to its owned
+// window [lo, hi): a section is encoded exactly like a snapshot of a
+// smaller embedder (n = hi−lo, implicit ids starting at the section's
+// global offset), so the existing binary frame layout and client
+// validation apply unchanged. Borrows the immutable snapshot — no copy.
+func sectionSnapshot(snap *dyn.Snapshot, lo, hi int) *dyn.Snapshot {
+	k := snap.Z.C
+	return &dyn.Snapshot{
+		Epoch:    snap.Epoch,
+		Instance: snap.Instance,
+		Edges:    snap.Edges,
+		Y:        snap.Y[lo:hi],
+		Z:        &mat.Dense{R: hi - lo, C: k, Data: snap.Z.Data[lo*k : hi*k]},
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -104,6 +105,22 @@ func isFrame(contentType string) bool {
 	return strings.EqualFold(strings.TrimSpace(mt), wire.ContentType)
 }
 
+// statusError is a non-200, non-429 response, carrying the status code
+// so callers can branch on it (the replica's partition probe treats a
+// 404 as "server predates sharding", not as a failure).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// isNotFound reports whether err is an HTTP 404 from this client.
+func isNotFound(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.code == http.StatusNotFound
+}
+
 // checkStatus translates a non-200 response into an error (consuming
 // the body). A nil return means the caller owns a 200 body.
 func checkStatus(resp *http.Response, method, path string) error {
@@ -116,9 +133,11 @@ func checkStatus(resp *http.Response, method, path string) error {
 	}
 	var e server.ErrorResponse
 	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-		return fmt.Errorf("client: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+		return &statusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("client: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)}
 	}
-	return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+	return &statusError{code: resp.StatusCode,
+		msg: fmt.Sprintf("client: %s %s: status %d", method, path, resp.StatusCode)}
 }
 
 // do runs one request and decodes the response into out, translating
@@ -298,6 +317,36 @@ func (c *Client) Delta(ctx context.Context, from uint64) (server.DeltaResponse, 
 func (c *Client) Snapshot(ctx context.Context) (server.SnapshotResponse, error) {
 	var out server.SnapshotResponse
 	_, err := c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &out)
+	return out, err
+}
+
+// Partition fetches the serving tier's shard layout. An unsharded
+// server answers a trivial single-shard partition, so a client probes
+// this once and then knows whether /v1/snapshot and /v1/delta speak
+// the whole-matrix protocol or require per-shard sections (?shard=).
+func (c *Client) Partition(ctx context.Context) (shard.Meta, error) {
+	var out shard.Meta
+	_, err := c.do(ctx, http.MethodGet, "/v1/partition", nil, &out)
+	return out, err
+}
+
+// SnapshotShard fetches shard s's section of a sharded server's
+// snapshot: the shard's owned row window only, with Lo carrying the
+// window's global row offset (implicit on the binary wire — use
+// Partition's bounds). Against an unsharded server only s == 0 is
+// valid and the response is the whole snapshot.
+func (c *Client) SnapshotShard(ctx context.Context, s int) (server.SnapshotResponse, error) {
+	var out server.SnapshotResponse
+	_, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/snapshot?shard=%d", s), nil, &out)
+	return out, err
+}
+
+// DeltaShard fetches shard s's epoch delta from `from` to that shard's
+// currently published epoch. Row ids are global, restricted to the
+// shard's owned window.
+func (c *Client) DeltaShard(ctx context.Context, s int, from uint64) (server.DeltaResponse, error) {
+	var out server.DeltaResponse
+	_, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/delta?from=%d&shard=%d", from, s), nil, &out)
 	return out, err
 }
 

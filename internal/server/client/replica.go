@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -75,8 +77,15 @@ type ReplicaSnapshot struct {
 	// Instance is the server-side embedder lifetime the epoch belongs
 	// to; Sync discards local state and bootstraps afresh when the
 	// server's instance changes (a restart resets the epoch counter,
-	// so cross-instance deltas would silently corrupt the copy).
+	// so cross-instance deltas would silently corrupt the copy). Zero
+	// when following a sharded server — each shard has its own
+	// instance, tracked internally per section (see Epochs).
 	Instance uint64
+	// Epochs is the per-shard epoch vector when following a sharded
+	// server (nil otherwise): Epochs[i] is the section epoch shard i's
+	// rows are current at, and Epoch is the max. Sections sync
+	// independently, so the vector's entries generally differ.
+	Epochs shard.EpochVector
 	// Z is the heap float64 copy of the embedding when the snapshot
 	// came over the JSON wire; nil when it came over the binary wire
 	// (float32 rows, possibly aliasing a read-only mmap of the
@@ -90,6 +99,21 @@ type ReplicaSnapshot struct {
 
 	z32  []float32 // row-major n×k; set exactly when Z is nil
 	n, k int
+	// secs is the per-shard section state when following a sharded
+	// server (nil otherwise): secs[i] mirrors shard i's owned window.
+	// It rides the immutable snapshot chain — Sync builds the next
+	// version's secs copy-on-write, like the matrix itself.
+	secs []section
+}
+
+// section is one shard's locally-mirrored owned row window [lo, hi):
+// which global rows the shard is the authority for, and the epoch and
+// embedder instance those rows are current at.
+type section struct {
+	lo, hi   int
+	epoch    uint64
+	instance uint64
+	edges    int64
 }
 
 // Dims returns the local matrix shape (rows, columns).
@@ -245,6 +269,20 @@ func (r *Replica) Bootstrap(ctx context.Context) error {
 }
 
 func (r *Replica) bootstrapLocked(ctx context.Context) error {
+	// Probe the partition first: a sharded server refuses bare
+	// /v1/snapshot reads, so the shard layout decides the protocol. An
+	// unsharded server answers a trivial single-shard partition (and a
+	// server predating the endpoint answers 404) — both select the
+	// legacy whole-matrix path, whose wire traffic is unchanged.
+	meta, err := r.c.Partition(ctx)
+	switch {
+	case isNotFound(err):
+		// fall through to the legacy path
+	case err != nil:
+		return err
+	case meta.Shards > 1:
+		return r.bootstrapShardedLocked(ctx, meta)
+	}
 	if r.c.wire == Binary {
 		return r.bootstrapBinaryLocked(ctx)
 	}
@@ -354,6 +392,117 @@ func (r *Replica) bootstrapBinaryLocked(ctx context.Context) error {
 	return nil
 }
 
+// sectionShapeError reports a section response whose shape disagrees
+// with the partition metadata in hand — the layout changed under us
+// (a restart with a different shard count or vertex range), so the
+// right recovery is a full re-bootstrap, not a hard failure.
+type sectionShapeError struct{ msg string }
+
+func (e *sectionShapeError) Error() string { return e.msg }
+
+// fetchSection fetches shard i's snapshot section and validates it
+// against the expected window [lo, hi) and width k. Both wire formats
+// land here: a binary section frame is a snapshot frame of the small
+// owned window, so do's transparent frame decoding applies unchanged
+// (the frame has no lo field — the window comes from the partition).
+func (r *Replica) fetchSection(ctx context.Context, i, lo, hi, k int) (*server.SnapshotResponse, error) {
+	var snap server.SnapshotResponse
+	n, err := r.c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/snapshot?shard=%d", i), nil, &snap)
+	r.addSnapshotBytes(n)
+	if err != nil {
+		return nil, err
+	}
+	if snap.N != hi-lo || snap.K != k || len(snap.Z) != snap.N || len(snap.Y) != snap.N ||
+		(snap.Lo != 0 && int(snap.Lo) != lo) {
+		return nil, &sectionShapeError{msg: fmt.Sprintf(
+			"client: shard %d section shape n=%d k=%d lo=%d (%d rows, %d labels), want window [%d,%d) k=%d",
+			i, snap.N, snap.K, snap.Lo, len(snap.Z), len(snap.Y), lo, hi, k)}
+	}
+	for u, row := range snap.Z {
+		if len(row) != k {
+			return nil, fmt.Errorf("client: shard %d section row %d has width %d, want %d", i, u, len(row), k)
+		}
+	}
+	return &snap, nil
+}
+
+// storeSectionRows copies a fetched section's rows and labels into the
+// assembly arrays at the section's global offset. Exactly one of z and
+// z32 is non-nil; float64 → float32 narrowing on the binary path is
+// exact (the wire carried float32, widened on decode).
+func storeSectionRows(z *mat.Dense, z32 []float32, y []int32, snap *server.SnapshotResponse, lo, k int) {
+	for u, row := range snap.Z {
+		if z != nil {
+			copy(z.Row(lo+u), row)
+			continue
+		}
+		dst := z32[(lo+u)*k : (lo+u+1)*k]
+		for j, x := range row {
+			dst[j] = float32(x)
+		}
+	}
+	copy(y[lo:lo+len(snap.Y)], snap.Y)
+}
+
+// assembleSharded builds the immutable version from the assembly
+// arrays and per-section state: Epoch is the vector max, and Edges
+// sums the per-shard live-edge counts (a cut edge lives in both owning
+// shards, so the sum counts it twice — the same convention as the
+// sharded server's own /statsz aggregate).
+func assembleSharded(z *mat.Dense, z32 []float32, y []int32, secs []section, n, k int) *ReplicaSnapshot {
+	ev := make(shard.EpochVector, len(secs))
+	var edges int64
+	for i, sec := range secs {
+		ev[i] = sec.epoch
+		edges += sec.edges
+	}
+	return &ReplicaSnapshot{
+		Epoch: ev.Max(), Epochs: ev, Z: z, z32: z32, Y: y,
+		Edges: edges, n: n, k: k, secs: secs,
+	}
+}
+
+// bootstrapShardedLocked (re)initializes the local copy from one
+// snapshot section per shard. Sections are fetched sequentially, so
+// they may straddle concurrent publishes — each section is internally
+// consistent at its own epoch, and subsequent Syncs advance each shard
+// independently; there is no cross-shard "one instant" any more than
+// there is on the serving side. Binary-wire sections are decoded in
+// memory rather than mmap-spilled: each is a fraction of the matrix,
+// and assembling them into one full n×k array needs a writable copy
+// anyway.
+func (r *Replica) bootstrapShardedLocked(ctx context.Context, meta shard.Meta) error {
+	if meta.N < 0 || meta.K < 0 || len(meta.Bounds) != meta.Shards+1 ||
+		meta.Bounds[0] != 0 || int(meta.Bounds[meta.Shards]) != meta.N {
+		return fmt.Errorf("client: partition shape shards=%d n=%d bounds=%v",
+			meta.Shards, meta.N, meta.Bounds)
+	}
+	n, k := meta.N, meta.K
+	var z *mat.Dense
+	var z32 []float32
+	elemSize := int64(8)
+	if r.c.wire == Binary {
+		z32 = make([]float32, n*k)
+		elemSize = 4
+	} else {
+		z = mat.NewDense(n, k)
+	}
+	y := make([]int32, n)
+	secs := make([]section, meta.Shards)
+	for i := range secs {
+		lo, hi := int(meta.Bounds[i]), int(meta.Bounds[i+1])
+		snap, err := r.fetchSection(ctx, i, lo, hi, k)
+		if err != nil {
+			return err
+		}
+		storeSectionRows(z, z32, y, snap, lo, k)
+		secs[i] = section{lo: lo, hi: hi, epoch: snap.Epoch, instance: snap.Instance, edges: snap.Edges}
+		r.snapshotPayload.Add(int64(snap.N)*int64(k)*elemSize + int64(snap.N)*4)
+	}
+	r.cur.Store(assembleSharded(z, z32, y, secs, n, k))
+	return nil
+}
+
 // Sync advances the local copy to the server's published epoch: one
 // /v1/delta round trip, or a full bootstrap when the replica has no
 // state yet or the server demands a resync. Returns whether a full
@@ -408,6 +557,18 @@ func (r *Replica) syncLocked(ctx context.Context, tr *trace.Trace) (resynced boo
 		r.resyncs.Add(1)
 		observe(true)
 		return true, nil
+	}
+	if cur.secs != nil {
+		resynced, err := r.syncShardedLocked(ctx, tr, cur)
+		if err != nil {
+			return false, err
+		}
+		r.syncs.Add(1)
+		if resynced {
+			r.resyncs.Add(1)
+		}
+		observe(resynced)
+		return resynced, nil
 	}
 	var dl server.DeltaResponse
 	n, err := r.c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/delta?from=%d", cur.Epoch), nil, &dl)
@@ -484,4 +645,126 @@ func (r *Replica) syncLocked(ctx context.Context, tr *trace.Trace) (resynced boo
 		int64(len(dl.Rows))*4 + int64(len(dl.Labels))*8)
 	observe(false)
 	return false, nil
+}
+
+// syncShardedLocked advances every section: one /v1/delta round trip
+// per shard. Shards resync independently — only a section whose server
+// answered "resync" (or whose embedder instance changed: that shard
+// restarted) pays a full section transfer, the others keep patching
+// rows. A section whose shape no longer matches the stored window
+// means the partition itself changed, so the whole copy re-bootstraps
+// through a fresh /v1/partition probe. Returns whether any full
+// section (or bootstrap) transfer happened.
+func (r *Replica) syncShardedLocked(ctx context.Context, tr *trace.Trace, cur *ReplicaSnapshot) (resynced bool, err error) {
+	deltas := make([]server.DeltaResponse, len(cur.secs))
+	apply := make([]bool, len(cur.secs))
+	needSection := make([]bool, len(cur.secs))
+	changed := false
+	for i, sec := range cur.secs {
+		var dl server.DeltaResponse
+		n, err := r.c.do(ctx, http.MethodGet,
+			fmt.Sprintf("/v1/delta?from=%d&shard=%d", sec.epoch, i), nil, &dl)
+		r.addDeltaBytes(n)
+		if err != nil {
+			return false, err
+		}
+		if dl.Resync || dl.Instance != sec.instance {
+			needSection[i] = true
+			resynced, changed = true, true
+			continue
+		}
+		if dl.Epoch == sec.epoch {
+			continue
+		}
+		if len(dl.Z) != len(dl.Rows) {
+			return false, fmt.Errorf("client: shard %d delta carries %d rows but %d value rows",
+				i, len(dl.Rows), len(dl.Z))
+		}
+		deltas[i], apply[i] = dl, true
+		changed = true
+	}
+	if !changed {
+		return false, nil // every section already current
+	}
+	applyRef := tr.StartSpan("apply")
+	defer tr.EndSpan(applyRef)
+	// One copy-on-write clone covers all sections' patches: readers
+	// holding the previous version are unaffected, and the new version
+	// appears atomically with every section advanced.
+	var z *mat.Dense
+	var z32 []float32
+	elemSize := int64(8)
+	if cur.Z != nil {
+		z = cur.Z.Clone()
+	} else {
+		z32 = append([]float32(nil), cur.z32...)
+		elemSize = 4
+	}
+	y := append([]int32(nil), cur.Y...)
+	secs := append([]section(nil), cur.secs...)
+	rows := 0
+	for i := range secs {
+		sec := &secs[i]
+		switch {
+		case needSection[i]:
+			snap, err := r.fetchSection(ctx, i, sec.lo, sec.hi, cur.k)
+			var shape *sectionShapeError
+			if errors.As(err, &shape) {
+				// The partition changed under us; rebuild from the
+				// current layout.
+				if err := r.bootstrapLocked(ctx); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			storeSectionRows(z, z32, y, snap, sec.lo, cur.k)
+			sec.epoch, sec.instance, sec.edges = snap.Epoch, snap.Instance, snap.Edges
+			r.snapshotPayload.Add(int64(snap.N)*int64(cur.k)*elemSize + int64(snap.N)*4)
+		case apply[i]:
+			dl := &deltas[i]
+			if err := applySectionDelta(z, z32, y, dl, sec, cur.k); err != nil {
+				return false, err
+			}
+			rows += len(dl.Rows)
+			r.deltaPayload.Add(int64(len(dl.Rows))*int64(cur.k)*elemSize +
+				int64(len(dl.Rows))*4 + int64(len(dl.Labels))*8)
+		}
+	}
+	tr.SpanTag(applyRef, "rows", fmt.Sprint(rows))
+	r.rowsApplied.Add(int64(rows))
+	r.cur.Store(assembleSharded(z, z32, y, secs, cur.n, cur.k))
+	return resynced, nil
+}
+
+// applySectionDelta patches one shard's delta rows and labels into the
+// assembly arrays, enforcing the owned-window contract: a sharded
+// delta's row ids are global but must fall inside the shard's window.
+func applySectionDelta(z *mat.Dense, z32 []float32, y []int32, dl *server.DeltaResponse, sec *section, k int) error {
+	for i, v := range dl.Rows {
+		if int(v) < sec.lo || int(v) >= sec.hi || len(dl.Z[i]) != k {
+			return fmt.Errorf("client: delta row %d (vertex %d) outside shard window [%d,%d) or malformed",
+				i, v, sec.lo, sec.hi)
+		}
+		if z != nil {
+			copy(z.Row(int(v)), dl.Z[i])
+			continue
+		}
+		row := z32[int(v)*k : (int(v)+1)*k]
+		for j, x := range dl.Z[i] {
+			row[j] = float32(x)
+		}
+	}
+	for _, l := range dl.Labels {
+		if int(l.V) < sec.lo || int(l.V) >= sec.hi {
+			return fmt.Errorf("client: delta label vertex %d outside shard window [%d,%d)",
+				l.V, sec.lo, sec.hi)
+		}
+		y[l.V] = l.Class
+	}
+	sec.epoch = dl.Epoch
+	sec.edges = dl.Edges
+	return nil
 }

@@ -219,44 +219,47 @@ func (c *Coalescer) Stats() CoalescerStats {
 
 // instrument registers the coalescer's instruments. The counters reuse
 // the existing atomic cells via sampled callbacks, so /statsz and
-// /metrics can never disagree.
-func (c *Coalescer) instrument(reg *metrics.Registry) {
+// /metrics can never disagree. A sharded server passes a distinct
+// shard label per coalescer (gee_coalescer_queue_depth{shard="2"}), so
+// N coalescers' series coexist on one registry instead of silently
+// aliasing the first registration's cells.
+func (c *Coalescer) instrument(reg *metrics.Registry, labels ...metrics.Label) {
 	c.mBatchOps = reg.Histogram("gee_coalescer_batch_ops",
 		"Operations per merged micro-batch flushed to the embedder.",
-		metrics.DefCountBuckets)
+		metrics.DefCountBuckets, labels...)
 	c.mFold = reg.Histogram("gee_coalescer_fold_seconds",
 		"Latency of folding one micro-batch into the embedder (dyn.Apply).",
-		metrics.DefLatencyBuckets)
+		metrics.DefLatencyBuckets, labels...)
 	c.mAckWait = reg.Histogram("gee_coalescer_ack_wait_seconds",
 		"Submit-to-ack wall time per accepted write request (queue wait + fold + covering publish).",
-		metrics.DefLatencyBuckets)
+		metrics.DefLatencyBuckets, labels...)
 	reg.GaugeFunc("gee_coalescer_queue_depth",
 		"Write requests waiting in the bounded ingest queue.",
-		func() float64 { return float64(len(c.queue)) })
+		func() float64 { return float64(len(c.queue)) }, labels...)
 	reg.GaugeFunc("gee_coalescer_queue_cap",
 		"Capacity of the ingest queue (Submit rejects with 429 beyond it).",
-		func() float64 { return float64(c.opts.QueueCap) })
+		func() float64 { return float64(c.opts.QueueCap) }, labels...)
 	reg.GaugeFunc("gee_coalescer_drain_rate",
 		"EWMA of write requests drained from the queue per second.",
-		func() float64 { return math.Float64frombits(c.drainRate.Load()) })
+		func() float64 { return math.Float64frombits(c.drainRate.Load()) }, labels...)
 	reg.CounterFunc("gee_coalescer_requests_total",
 		"Write requests accepted into the ingest queue.",
-		func() float64 { return float64(c.requests.Load()) })
+		func() float64 { return float64(c.requests.Load()) }, labels...)
 	reg.CounterFunc("gee_coalescer_ops_total",
 		"Operations across accepted write requests.",
-		func() float64 { return float64(c.ops.Load()) })
+		func() float64 { return float64(c.ops.Load()) }, labels...)
 	reg.CounterFunc("gee_coalescer_flushes_total",
 		"Merged micro-batches applied to the embedder.",
-		func() float64 { return float64(c.flushes.Load()) })
+		func() float64 { return float64(c.flushes.Load()) }, labels...)
 	reg.CounterFunc("gee_coalescer_coalesced_total",
 		"Requests that shared a micro-batch with another request.",
-		func() float64 { return float64(c.coalesced.Load()) })
+		func() float64 { return float64(c.coalesced.Load()) }, labels...)
 	reg.CounterFunc("gee_coalescer_replays_total",
 		"Requests re-applied individually after a merged-batch error.",
-		func() float64 { return float64(c.replays.Load()) })
+		func() float64 { return float64(c.replays.Load()) }, labels...)
 	reg.CounterFunc("gee_coalescer_rejected_total",
 		"Requests refused with 429 because the queue was full.",
-		func() float64 { return float64(c.rejected.Load()) })
+		func() float64 { return float64(c.rejected.Load()) }, labels...)
 }
 
 // Submit enqueues one write request without blocking. The returned
@@ -301,6 +304,42 @@ func (c *Coalescer) SubmitTraced(b dyn.Batch, tr *trace.Trace) (<-chan Ack, erro
 		c.rejected.Add(1)
 		return nil, ErrBacklog
 	}
+}
+
+// lock/unlock expose the coalescer's mutex to the sharded router,
+// which must hold every target shard's lock at once to make a
+// scattered write all-or-nothing: with all locks held it checks room
+// on every shard, then enqueues on every shard, so no sub-batch can be
+// rejected (or reordered against another scattered write) after a
+// sibling was accepted. Single-embedder callers use Submit.
+func (c *Coalescer) lock()   { c.mu.Lock() }
+func (c *Coalescer) unlock() { c.mu.Unlock() }
+
+// canAcceptLocked reports whether one more request would be accepted:
+// ErrClosed after Close, ErrBacklog when the queue is full, nil
+// otherwise. Callers hold c.mu (see lock).
+func (c *Coalescer) canAcceptLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if len(c.queue) == cap(c.queue) {
+		return ErrBacklog
+	}
+	return nil
+}
+
+// enqueueLocked enqueues one request that canAcceptLocked already
+// admitted; the send cannot block because the room check and this send
+// happen under one continuous hold of c.mu. Callers hold c.mu.
+func (c *Coalescer) enqueueLocked(b dyn.Batch, ops int, tr *trace.Trace) <-chan Ack {
+	done := make(chan Ack, 1)
+	req := &request{batch: b, ops: ops, done: done, enq: time.Now(), tr: tr}
+	req.queueRef = tr.StartSpanAt("queue", req.enq)
+	c.queue <- req
+	// Ops before requests, as in Submit, so scrapes keep Ops ≥ Requests.
+	c.ops.Add(int64(ops))
+	c.requests.Add(1)
+	return done
 }
 
 // run is the ingest loop: collect a micro-batch (size- and

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dyn"
+	"repro/internal/mat"
 	"repro/internal/metrics"
 )
 
@@ -70,6 +71,11 @@ type indexCache struct {
 	d       *dyn.DynamicEmbedder
 	workers int
 	opts    IndexOptions
+	// lo, hi is the embedder's owned row window: the index is built
+	// over the owned view of the snapshot (rows [lo, hi)), so a sharded
+	// server indexes only rows it is the authority for. Search results
+	// are view-relative; callers add lo. Unsharded: [0, n).
+	lo, hi  int
 	cur     atomic.Pointer[builtIndex]
 	buildWG sync.WaitGroup
 	buildMu sync.Mutex // serializes kick-off/close checks, not builds-in-progress reads
@@ -85,7 +91,16 @@ func newIndexCache(d *dyn.DynamicEmbedder, workers int, opts IndexOptions) *inde
 	if opts.ExactRows == 0 {
 		opts.ExactRows = cluster.DefaultIVFExactRows
 	}
-	return &indexCache{d: d, workers: workers, opts: opts}
+	lo, hi := d.Owned()
+	return &indexCache{d: d, workers: workers, opts: opts, lo: lo, hi: hi}
+}
+
+// view returns the owned-row window of snap's matrix — the rows this
+// embedder publishes — as a borrowed slice of the immutable snapshot
+// (no copy). Row i of the view is global row i+lo.
+func (ic *indexCache) view(snap *dyn.Snapshot) *mat.Dense {
+	k := snap.Z.C
+	return &mat.Dense{R: ic.hi - ic.lo, C: k, Data: snap.Z.Data[ic.lo*k : ic.hi*k]}
 }
 
 // current returns the freshest built index — possibly behind snap's
@@ -98,7 +113,7 @@ func newIndexCache(d *dyn.DynamicEmbedder, workers int, opts IndexOptions) *inde
 // to exact on its own snapshot instead) nor kick a rebuild for its
 // older epoch.
 func (ic *indexCache) current(snap *dyn.Snapshot) *builtIndex {
-	if ic.opts.ExactRows > 0 && snap.Z.R < ic.opts.ExactRows {
+	if ic.opts.ExactRows > 0 && ic.hi-ic.lo < ic.opts.ExactRows {
 		return nil
 	}
 	idx := ic.cur.Load()
@@ -131,7 +146,7 @@ func (ic *indexCache) kick() {
 		defer ic.buildWG.Done()
 		t0 := time.Now()
 		snap := ic.d.Snapshot()
-		ivf := cluster.BuildIVF(ic.workers, snap.Z, cluster.IVFOptions{
+		ivf := cluster.BuildIVF(ic.workers, ic.view(snap), cluster.IVFOptions{
 			Lists:     ic.opts.Lists,
 			NProbe:    ic.opts.NProbe,
 			ExactRows: -1, // the threshold gate already ran in current()
@@ -171,13 +186,13 @@ func (ic *indexCache) close() {
 // instrument registers the index cache's instruments. Staleness is
 // exposed as the epoch gap (published minus indexed), not a boolean:
 // a dashboard wants to see the index fall behind, not just that it has.
-func (ic *indexCache) instrument(reg *metrics.Registry) {
+func (ic *indexCache) instrument(reg *metrics.Registry, labels ...metrics.Label) {
 	ic.mBuild = reg.Histogram("gee_index_build_seconds",
 		"Wall time of one completed IVF index build.",
-		metrics.DefLatencyBuckets)
+		metrics.DefLatencyBuckets, labels...)
 	reg.CounterFunc("gee_index_builds_total",
 		"Completed IVF index builds this server lifetime.",
-		func() float64 { return float64(ic.builds.Load()) })
+		func() float64 { return float64(ic.builds.Load()) }, labels...)
 	reg.GaugeFunc("gee_index_staleness_epochs",
 		"Published epochs the approximate index trails by (0 = fresh or cold).",
 		func() float64 {
@@ -190,7 +205,7 @@ func (ic *indexCache) instrument(reg *metrics.Registry) {
 				return 0
 			}
 			return float64(pub - idx.snap.Epoch)
-		})
+		}, labels...)
 	reg.GaugeFunc("gee_index_epoch",
 		"Snapshot epoch the current approximate index was built from (0 = cold).",
 		func() float64 {
@@ -198,12 +213,12 @@ func (ic *indexCache) instrument(reg *metrics.Registry) {
 				return float64(idx.snap.Epoch)
 			}
 			return 0
-		})
+		}, labels...)
 }
 
 func (ic *indexCache) stats() IndexStats {
 	st := IndexStats{
-		Indexing: ic.opts.ExactRows <= 0 || ic.d.N() >= ic.opts.ExactRows,
+		Indexing: ic.opts.ExactRows <= 0 || ic.hi-ic.lo >= ic.opts.ExactRows,
 		Builds:   ic.builds.Load(),
 	}
 	if idx := ic.cur.Load(); idx != nil {

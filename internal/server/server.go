@@ -16,6 +16,7 @@ import (
 	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -48,10 +49,15 @@ type MutationRequest struct {
 }
 
 // MutationResponse acknowledges an applied mutation: every snapshot at
-// or after Epoch reflects its operations.
+// or after Epoch reflects its operations. On a sharded server Epochs
+// carries the per-shard ack vector — Epochs[i] is the epoch at which
+// shard i published this batch's operations (only shards the batch
+// touched appear) — and Epoch is its max; read-your-writes per shard
+// keys on the vector, not the scalar.
 type MutationResponse struct {
-	Epoch   uint64 `json:"epoch"`
-	Applied int    `json:"applied"`
+	Epoch   uint64            `json:"epoch"`
+	Epochs  shard.EpochVector `json:"epochs,omitempty"`
+	Applied int               `json:"applied"`
 }
 
 // EmbeddingResponse is the body of GET /v1/embedding/{v}: one vertex's
@@ -63,13 +69,19 @@ type EmbeddingResponse struct {
 }
 
 // SnapshotResponse is the body of GET /v1/snapshot (streamed on the
-// way out; clients decode it whole).
+// way out; clients decode it whole). On a sharded server the endpoint
+// serves per-shard sections (?shard=i, required): Shard and Lo identify
+// the section, N is the section width (hi−lo), and Y/Z carry only the
+// owned window — vertex Lo+j is row j. An unsharded snapshot never sets
+// Shard/Lo.
 type SnapshotResponse struct {
 	Epoch uint64 `json:"epoch"`
 	// Instance identifies the embedder lifetime; epochs from different
 	// instances are not comparable (a follower must resync across a
-	// server restart).
+	// server restart). Sharded: per-shard lifetime.
 	Instance uint64      `json:"instance"`
+	Shard    int         `json:"shard,omitempty"`
+	Lo       uint32      `json:"lo,omitempty"`
 	N        int         `json:"n"`
 	K        int         `json:"k"`
 	Edges    int64       `json:"edges"`
@@ -85,10 +97,14 @@ type BatchEmbeddingRequest struct {
 
 // BatchEmbeddingResponse is the body of POST /v1/embeddings: Rows[i]
 // is vertex Vs[i]'s row of the snapshot published at Epoch — all rows
-// from the same version, which per-vertex GETs cannot promise.
+// from the same version, which per-vertex GETs cannot promise. On a
+// sharded server each row comes from its owner shard's snapshot,
+// Epochs is that per-shard version vector, and Epoch is its max (the
+// "same version" promise becomes per-shard).
 type BatchEmbeddingResponse struct {
-	Epoch uint64      `json:"epoch"`
-	Rows  [][]float64 `json:"rows"`
+	Epoch  uint64            `json:"epoch"`
+	Epochs shard.EpochVector `json:"epochs,omitempty"`
+	Rows   [][]float64       `json:"rows"`
 }
 
 // NeighborsRequest is the body of POST /v1/neighbors: the top K
@@ -119,13 +135,19 @@ type NeighborWire struct {
 // IndexEpoch is the epoch of the data the distances were computed
 // against: equal to Epoch (the published epoch at answer time) for
 // exact answers, possibly older for approx ones (index staleness).
+// On a sharded server the scan scatter-gathers: each shard ranks its
+// owned rows and the partials merge under the same order, Epochs is the
+// per-shard snapshot vector the scan covered, Mode is "approx" when at
+// least one shard answered from its index, and IndexEpoch is the oldest
+// data epoch any shard's distances were computed against.
 type NeighborsResponse struct {
-	Epoch      uint64         `json:"epoch"`
-	IndexEpoch uint64         `json:"index_epoch"`
-	Mode       string         `json:"mode"`
-	V          uint32         `json:"v"`
-	Metric     string         `json:"metric"`
-	Neighbors  []NeighborWire `json:"neighbors"`
+	Epoch      uint64            `json:"epoch"`
+	Epochs     shard.EpochVector `json:"epochs,omitempty"`
+	IndexEpoch uint64            `json:"index_epoch"`
+	Mode       string            `json:"mode"`
+	V          uint32            `json:"v"`
+	Metric     string            `json:"metric"`
+	Neighbors  []NeighborWire    `json:"neighbors"`
 }
 
 // DeltaResponse is the body of GET /v1/delta?from=E (streamed on the
@@ -166,7 +188,10 @@ type ReadyResponse struct {
 	Epoch  uint64 `json:"epoch"`
 }
 
-// StatsResponse is the body of GET /statsz.
+// StatsResponse is the body of GET /statsz. On a sharded server Dyn,
+// Coalescer, and Index are aggregates (epochs maxed, counters summed —
+// a cut edge counts once per owner in LiveEdges), Shards holds the
+// exact per-shard breakdown, and Epochs is the published epoch vector.
 type StatsResponse struct {
 	N         int            `json:"n"`
 	K         int            `json:"k"`
@@ -176,7 +201,20 @@ type StatsResponse struct {
 	// Wire counts responses and bytes sent by the row-carrying
 	// endpoints, split by negotiated format — the JSON-vs-binary byte
 	// win, visible in production rather than only in geeload output.
-	Wire WireStats `json:"wire"`
+	Wire   WireStats         `json:"wire"`
+	Shards []ShardStats      `json:"shards,omitempty"`
+	Epochs shard.EpochVector `json:"epochs,omitempty"`
+}
+
+// ShardStats is one shard's slice of /statsz on a sharded server.
+type ShardStats struct {
+	Shard     int            `json:"shard"`
+	Lo        uint32         `json:"lo"`
+	Hi        uint32         `json:"hi"`
+	Instance  uint64         `json:"instance"`
+	Dyn       dyn.Stats      `json:"dyn"`
+	Coalescer CoalescerStats `json:"coalescer"`
+	Index     IndexStats     `json:"index"`
 }
 
 // ErrorResponse carries any non-2xx outcome.
@@ -246,19 +284,24 @@ type Options struct {
 	TraceBuffer int
 }
 
-// Server serves a DynamicEmbedder over HTTP. Construct with New (which
-// starts the ingest coalescer), expose Handler somewhere (or use
-// ListenAndServe/Serve), and Shutdown to drain.
+// Server serves a DynamicEmbedder — or a vertex-partitioned set of
+// them — over HTTP. Construct with New (single embedder) or NewSharded
+// (scatter-gather router); both start the ingest coalescer(s). Expose
+// Handler somewhere (or use ListenAndServe/Serve), and Shutdown to
+// drain. Every handler resolves through the backend interface, so the
+// route table, decoding, tracing, and wire formats are shared across
+// both shapes.
 type Server struct {
-	d       *dyn.DynamicEmbedder
-	co      *Coalescer
+	be      backend
 	mux     *http.ServeMux
 	http    *http.Server
-	index   *indexCache
-	search  int
 	maxRead int
 	wire    wireCounters
 	sm      *serverMetrics
+
+	// co aliases the single backend's coalescer (nil when sharded) for
+	// Coalescer() and the white-box tests.
+	co *Coalescer
 }
 
 // orDefault maps the Options timeout/limit convention (0 = default,
@@ -281,18 +324,39 @@ func orDefault[T int | time.Duration](v, def T) T {
 // then stop matching the dyn counters exactly.
 func New(d *dyn.DynamicEmbedder, opts Options) *Server {
 	s := newServer(d, opts)
-	s.co.Start()
+	s.be.start()
+	return s
+}
+
+// NewSharded builds a scatter-gather server over a vertex-partitioned
+// shard set (see shard.NewShards) and starts every shard's coalescer.
+// Writes split by edge endpoint, reads route or scatter by owner, and
+// /v1/snapshot and /v1/delta serve per-shard sections (?shard=i).
+func NewSharded(p *shard.Partition, shards []*shard.Shard, opts Options) *Server {
+	s := newShardedServer(p, shards, opts)
+	s.be.start()
 	return s
 }
 
 // newServer wires the routes without starting the coalescer (white-box
 // tests exercise the backpressure path against an idle queue).
 func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
+	sb := newSingleBackend(d, opts)
+	s := wireServer(sb, opts)
+	s.co = sb.co
+	return s
+}
+
+// newShardedServer is NewSharded without starting the coalescers.
+func newShardedServer(p *shard.Partition, shards []*shard.Shard, opts Options) *Server {
+	return wireServer(newRouter(p, shards, opts), opts)
+}
+
+// wireServer builds the mux, metrics, and route table over a backend —
+// the single shared serving surface.
+func wireServer(be backend, opts Options) *Server {
 	s := &Server{
-		d:       d,
-		co:      NewCoalescer(d, opts.Coalescer),
-		index:   newIndexCache(d, opts.SearchWorkers, opts.Index),
-		search:  opts.SearchWorkers,
+		be:      be,
 		maxRead: orDefault(opts.MaxReadBatch, defaultMaxReadBatch),
 	}
 	s.mux = http.NewServeMux()
@@ -316,6 +380,7 @@ func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
 	handle("GET /v1/embedding/{v}", s.handleEmbedding)
 	handle("POST /v1/embeddings", s.handleEmbeddings)
 	handle("POST /v1/neighbors", s.handleNeighbors)
+	handle("GET /v1/partition", s.handlePartition)
 	handle("GET /v1/snapshot", s.handleSnapshot)
 	handle("GET /v1/delta", s.handleDelta)
 	handle("GET /healthz", s.handleHealth)
@@ -336,9 +401,7 @@ func newServer(d *dyn.DynamicEmbedder, opts Options) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	s.d.Instrument(s.sm.reg)
-	s.co.instrument(s.sm.reg)
-	s.index.instrument(s.sm.reg)
+	s.be.instrument(s.sm.reg)
 	metrics.RegisterRuntime(s.sm.reg)
 	return s
 }
@@ -350,7 +413,9 @@ func (s *Server) Metrics() *metrics.Registry { return s.sm.reg }
 // Handler returns the HTTP handler (for httptest or custom servers).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Coalescer exposes the ingest coalescer (stats, direct Submit).
+// Coalescer exposes the ingest coalescer (stats, direct Submit). Nil
+// on a sharded server, which runs one coalescer per shard (see
+// /statsz for the per-shard view).
 func (s *Server) Coalescer() *Coalescer { return s.co }
 
 // ListenAndServe serves on addr until Shutdown. It reports the bound
@@ -381,11 +446,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // to call whether or not Serve was used.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
-	s.co.Close()
-	// Refuse further index rebuilds and wait out any in-flight one
-	// (an expired ctx returns from http.Shutdown with handlers still
-	// running, so late kicks must be gated, not assumed impossible).
-	s.index.close()
+	s.be.close()
 	return err
 }
 
@@ -440,23 +501,24 @@ func toEdges(wire []EdgeWire) ([]graph.Edge, error) {
 	return edges, nil
 }
 
-// submit runs one write batch through the coalescer and replies with
-// the ack. The handler blocks until the batch is published — that is
-// the point: a 200 means read-your-write holds from Epoch on.
+// submit runs one write batch through the backend and replies with the
+// ack. The handler blocks until the batch is published (on every shard
+// it touched, when sharded) — that is the point: a 200 means
+// read-your-write holds from Epoch (or the Epochs vector) on.
 func (s *Server) submit(w http.ResponseWriter, b dyn.Batch, ops int) {
 	annotateOps(w, ops)
 	// The trace crosses into the coalescer here and comes back with the
 	// ack; both handoffs ride channels, so the unsynchronized span
 	// writes in between are ordered.
 	tr := traceOf(w)
-	ack, err := s.co.SubmitTraced(b, tr)
+	a, err := s.be.submit(b, tr)
 	switch err {
 	case nil:
 	case ErrBacklog:
 		// Retry-After derives from the observed drain rate, not a
 		// constant: a client backing off for exactly as long as the queue
 		// needs to drain avoids both thundering retries and dead air.
-		w.Header().Set("Retry-After", strconv.Itoa(s.co.RetryAfter()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.be.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, "ingest queue full")
 		return
 	case ErrClosed:
@@ -466,21 +528,18 @@ func (s *Server) submit(w http.ResponseWriter, b dyn.Batch, ops int) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	// The ack always arrives (Close drains the queue), so waiting on it
-	// alone is safe; a departed client just discards the response.
-	a := <-ack
 	// The ack span is the handoff back: channel wake-up plus handler
 	// resume, measured from the instant the ingest goroutine released
 	// the ack.
 	if tr != nil && !a.sent.IsZero() {
 		tr.AddSpan("ack", a.sent, time.Now())
 	}
-	if a.Err != nil {
-		writeError(w, http.StatusBadRequest, "%v", a.Err)
+	if a.err != nil {
+		writeError(w, http.StatusBadRequest, "%v", a.err)
 		return
 	}
-	annotate(w, ops, a.Epoch)
-	writeJSON(w, http.StatusOK, MutationResponse{Epoch: a.Epoch, Applied: ops})
+	annotate(w, ops, a.epoch)
+	writeJSON(w, http.StatusOK, MutationResponse{Epoch: a.epoch, Epochs: a.epochs, Applied: ops})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -541,11 +600,13 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad vertex %q", r.PathValue("v"))
 		return
 	}
-	snap := s.d.Snapshot()
-	if int(v) >= snap.Z.R {
-		writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", v, snap.Z.R)
+	if int(v) >= s.be.vertices() {
+		writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", v, s.be.vertices())
 		return
 	}
+	// The owner shard's snapshot is the authority for this row (the
+	// single backend's only snapshot, unsharded).
+	snap := s.be.snapshotFor(uint32(v))
 	row := make([]float64, snap.Z.C)
 	copy(row, snap.Z.Row(int(v)))
 	annotate(w, 1, snap.Epoch)
@@ -568,26 +629,37 @@ func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
 			len(req.Vs), s.maxRead)
 		return
 	}
-	snap := s.d.Snapshot()
+	rv := s.be.view()
+	n := s.be.vertices()
 	for _, v := range req.Vs {
-		if int(v) >= snap.Z.R {
-			writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", v, snap.Z.R)
+		if int(v) >= n {
+			writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", v, n)
 			return
 		}
 	}
-	annotate(w, len(req.Vs), snap.Epoch)
+	ev := rv.epochs() // nil unsharded
+	epoch := rv.epoch()
+	annotate(w, len(req.Vs), epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
 	var rows int
-	if binary := wantsBinary(r); binary {
+	// The binary embeddings frame carries one epoch/instance pair, which
+	// a sharded response does not have (each row is stamped by its owner
+	// shard); a sharded server answers JSON regardless of Accept.
+	if binary := wantsBinary(r); binary && ev == nil {
 		w.Header().Set("Content-Type", wire.ContentType)
-		rows = streamEmbeddingsBinary(st, snap, req.Vs)
+		rows = streamEmbeddingsBinary(st, rv.snaps[0], req.Vs)
 		s.wire.embeddings.record(binary, st.bytesSent())
 	} else {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(st.w, `{"epoch":%d,"rows":`, snap.Epoch)
+		if ev != nil {
+			evJSON, _ := json.Marshal(ev)
+			fmt.Fprintf(st.w, `{"epoch":%d,"epochs":%s,"rows":`, epoch, evJSON)
+		} else {
+			fmt.Fprintf(st.w, `{"epoch":%d,"rows":`, epoch)
+		}
 		rows = st.floatRows(len(req.Vs), func(i int) []float64 {
-			return snap.Z.Row(int(req.Vs[i]))
+			return rv.row(req.Vs[i])
 		})
 		if rows == len(req.Vs) {
 			st.rawByte('}')
@@ -644,54 +716,25 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
 		return
 	}
-	tr := traceOf(w)
-	loadRef := tr.StartSpan("snapshot-load")
-	snap := s.d.Snapshot()
-	tr.EndSpan(loadRef)
-	if int(req.V) >= snap.Z.R {
-		writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", req.V, snap.Z.R)
+	n := s.be.vertices()
+	if int(req.V) >= n {
+		writeError(w, http.StatusNotFound, "vertex %d outside [0,%d)", req.V, n)
 		return
 	}
 	// Clamp k to the row count before the search sizes its per-worker
 	// heaps by it — an attacker-sized k must not become an allocation.
 	k := req.K
-	if k > snap.Z.R {
-		k = snap.Z.R
+	if k > n {
+		k = n
 	}
-	var nbrs []cluster.Neighbor
-	indexEpoch := snap.Epoch
-	served := false
-	searchRef := tr.StartSpan("search")
-	if mode == "approx" {
-		if idx := s.index.current(snap); idx != nil {
-			// The query row must come from the index's own snapshot:
-			// distances against mixed epochs would be meaningless.
-			nbrs = idx.ivf.Search(s.search, idx.snap.Z.Row(int(req.V)), k, metric, int(req.V), req.NProbe)
-			indexEpoch = idx.snap.Epoch
-			served = true
-		} else {
-			// Cold index or matrix below the index threshold: answer
-			// exactly from the live snapshot and say so.
-			mode = "exact"
-		}
-	}
-	if !served {
-		nbrs = cluster.TopK(s.search, snap.Z, snap.Z.Row(int(req.V)), k, metric, int(req.V))
-	}
-	tr.EndSpan(searchRef)
-	tr.SpanTag(searchRef, "mode", mode)
-	tr.SpanTag(searchRef, "metric", name)
-	tr.SpanTag(searchRef, "index_epoch", strconv.FormatUint(indexEpoch, 10))
-	if req.NProbe > 0 {
-		tr.SpanTag(searchRef, "nprobe", strconv.Itoa(req.NProbe))
-	}
-	annotate(w, k, snap.Epoch)
-	wire := make([]NeighborWire, len(nbrs))
-	for i, nb := range nbrs {
+	out := s.be.search(req.V, k, metric, name, mode == "approx", req.NProbe, traceOf(w))
+	annotate(w, k, out.epoch)
+	wire := make([]NeighborWire, len(out.nbrs))
+	for i, nb := range out.nbrs {
 		wire[i] = NeighborWire{V: uint32(nb.V), Dist: nb.Dist}
 	}
 	writeJSON(w, http.StatusOK, NeighborsResponse{
-		Epoch: snap.Epoch, IndexEpoch: indexEpoch, Mode: mode,
+		Epoch: out.epoch, Epochs: out.epochs, IndexEpoch: out.indexEpoch, Mode: out.mode,
 		V: req.V, Metric: name, Neighbors: wire,
 	})
 }
@@ -708,32 +751,85 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 // cancellation), so a departed reader does not pay for the full O(nK)
 // serialization.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	si, ok := s.sectionOf(w, r)
+	if !ok {
+		return
+	}
 	tr := traceOf(w)
 	loadRef := tr.StartSpan("snapshot-load")
-	snap := s.d.Snapshot()
+	snap, lo, hi := s.be.section(si)
 	tr.EndSpan(loadRef)
+	sectioned := s.be.sectioned()
+	if sectioned {
+		// A section is a snapshot of a smaller embedder: n = hi−lo,
+		// implicit ids offset by lo. The binary frame layout and the
+		// client's frame validation apply unchanged.
+		snap = sectionSnapshot(snap, lo, hi)
+	}
 	annotate(w, snap.Z.R, snap.Epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
 	streamRef := tr.StartSpan("stream")
 	binary := wantsBinary(r)
 	var rows int
-	if binary {
+	switch {
+	case binary:
 		w.Header().Set("Content-Type", wire.ContentType)
 		rows = streamSnapshotBinary(st, snap)
-	} else {
+	case sectioned:
+		w.Header().Set("Content-Type", "application/json")
+		rows = streamSnapshotSection(st, snap, si, lo)
+	default:
 		w.Header().Set("Content-Type", "application/json")
 		rows = streamSnapshot(st, snap)
 	}
 	s.wire.snapshot.record(binary, st.bytesSent())
 	tr.EndSpan(streamRef)
 	tr.SpanTag(streamRef, "rows", strconv.Itoa(rows))
+	if sectioned {
+		tr.SpanTag(streamRef, "shard", strconv.Itoa(si))
+	}
 	// A short row count means the client departed mid-body after the
 	// 200 was already committed — the status line alone would record
 	// this as a fully served response.
 	if rows != snap.Z.R || st.failed() {
 		annotateAborted(w)
 	}
+}
+
+// sectionOf resolves the ?shard= query parameter: a sharded server
+// requires it (snapshots and deltas are served as per-shard sections;
+// /v1/partition lists them), an unsharded server accepts only the
+// trivial shard 0 (and, bare, stays byte-compatible with the
+// pre-sharding protocol).
+func (s *Server) sectionOf(w http.ResponseWriter, r *http.Request) (int, bool) {
+	q := r.URL.Query().Get("shard")
+	if !s.be.sectioned() {
+		if q != "" && q != "0" {
+			writeError(w, http.StatusBadRequest, "unsharded server has only shard 0, got shard=%s", q)
+			return 0, false
+		}
+		return 0, true
+	}
+	if q == "" {
+		writeError(w, http.StatusBadRequest,
+			"sharded server: pass ?shard= (0..%d; see /v1/partition)", s.be.shardCount()-1)
+		return 0, false
+	}
+	si, err := strconv.Atoi(q)
+	if err != nil || si < 0 || si >= s.be.shardCount() {
+		writeError(w, http.StatusBadRequest, "bad shard %q (have %d shards)", q, s.be.shardCount())
+		return 0, false
+	}
+	return si, true
+}
+
+// handlePartition serves the shard map: how many shards, which
+// contiguous vertex range each owns, and each shard's current instance
+// and epoch. An unsharded server reports the trivial one-shard
+// partition, so clients probe this endpoint once to pick a protocol.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.be.meta())
 }
 
 // handleDelta streams the epoch delta from ?from=E to the published
@@ -747,8 +843,15 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad from epoch %q", fromStr)
 		return
 	}
+	si, ok := s.sectionOf(w, r)
+	if !ok {
+		return
+	}
 	tr := traceOf(w)
-	dl := s.d.Delta(from)
+	// A shard's delta already lists only its owned rows and relabels
+	// (global ids), so the section protocol reuses the delta format
+	// as-is: per-shard sections never overlap.
+	dl := s.be.sectionDelta(si, from)
 	annotate(w, len(dl.Rows), dl.Epoch)
 	st := newStreamer(w, r.Context())
 	defer st.release()
@@ -757,14 +860,17 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	var rows int
 	if binary {
 		w.Header().Set("Content-Type", wire.ContentType)
-		rows = streamDeltaBinary(st, dl, s.d.K(), s.d.N())
+		rows = streamDeltaBinary(st, dl, s.be.width(), s.be.vertices())
 	} else {
 		w.Header().Set("Content-Type", "application/json")
-		rows = streamDelta(st, dl, s.d.K())
+		rows = streamDelta(st, dl, s.be.width())
 	}
 	s.wire.delta.record(binary, st.bytesSent())
 	tr.EndSpan(streamRef)
 	tr.SpanTag(streamRef, "rows", strconv.Itoa(rows))
+	if s.be.sectioned() {
+		tr.SpanTag(streamRef, "shard", strconv.Itoa(si))
+	}
 	if dl.Resync {
 		tr.SpanTag(streamRef, "resync", "true")
 	}
@@ -778,9 +884,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok", Epoch: s.d.Epoch(), N: s.d.N(), K: s.d.K(),
-	})
+	writeJSON(w, http.StatusOK, s.be.health())
 }
 
 // handleReady answers load-balancer readiness: 200 only when the
@@ -789,22 +893,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // published (the epoch-0 bootstrap publish counts — reads are
 // answerable from it).
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	snap := s.d.Snapshot()
-	switch {
-	case !s.co.Accepting():
-		writeJSON(w, http.StatusServiceUnavailable,
-			ReadyResponse{Ready: false, Reason: "ingest coalescer not accepting writes"})
-	case snap == nil:
-		writeJSON(w, http.StatusServiceUnavailable,
-			ReadyResponse{Ready: false, Reason: "no snapshot published"})
-	default:
-		writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Epoch: snap.Epoch})
+	epoch, reason := s.be.ready()
+	if reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Ready: false, Reason: reason})
+		return
 	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Epoch: epoch})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
-		N: s.d.N(), K: s.d.K(), Dyn: s.d.Stats(), Coalescer: s.co.Stats(),
-		Index: s.index.stats(), Wire: s.wire.stats(),
-	})
+	st := s.be.stats()
+	st.Wire = s.wire.stats()
+	writeJSON(w, http.StatusOK, st)
 }

@@ -1,0 +1,419 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/shard"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// startShardedServer builds a vertex-partitioned shard set behind a
+// scatter-gather server over httptest, labels seeded round-robin.
+func startShardedServer(t *testing.T, n, k, nShards int, dopts dyn.Options, sopts server.Options) (*server.Server, *client.Client, string) {
+	t.Helper()
+	p, err := shard.NewPartition(n, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dopts.K = k
+	shs, err := shard.NewShards(p, fullLabels(n, k), dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.NewSharded(p, shs, sopts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	return s, client.New(ts.URL, ts.Client()), ts.URL
+}
+
+// TestShardedReadYourWrites is the sharded tentpole acceptance check:
+// a write acked with epoch vector E must be visible to any subsequent
+// read whose per-shard vector covers E — exercised with concurrent
+// cut-edge writes whose endpoints deliberately span two shards.
+func TestShardedReadYourWrites(t *testing.T) {
+	const n, k, nShards, requests = 800, 4, 4, 64
+	const width = n / nShards
+	_, c, _ := startShardedServer(t, n, k, nShards, dyn.Options{}, server.Options{})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// u and v on different shards: every edge is cut, so the ack
+			// vector must name both owners.
+			su, sv := i%nShards, (i+1)%nShards
+			u := graph.NodeID(su*width + i%width)
+			v := graph.NodeID(sv*width + (i*7)%width)
+			ack, err := c.InsertEdges(ctx, []graph.Edge{{U: u, V: v, W: 1}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, ok := ack.Epochs[su]; !ok {
+				errs <- fmt.Errorf("ack vector %v missing owner %d of u=%d", ack.Epochs, su, u)
+				return
+			}
+			if _, ok := ack.Epochs[sv]; !ok {
+				errs <- fmt.Errorf("ack vector %v missing owner %d of v=%d", ack.Epochs, sv, v)
+				return
+			}
+			for s, e := range ack.Epochs {
+				if e == 0 {
+					errs <- fmt.Errorf("ack vector %v has epoch 0 for shard %d", ack.Epochs, s)
+					return
+				}
+			}
+			if ack.Epoch != ack.Epochs.Max() {
+				errs <- fmt.Errorf("scalar ack epoch %d != max of vector %v", ack.Epoch, ack.Epochs)
+				return
+			}
+			// Read-your-writes: a post-ack read's vector covers the ack's
+			// and the edge's contribution is present in u's row.
+			resp, err := c.Embeddings(ctx, []graph.NodeID{u, v})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !resp.Epochs.Covers(ack.Epochs) {
+				errs <- fmt.Errorf("read vector %v does not cover ack vector %v", resp.Epochs, ack.Epochs)
+				return
+			}
+			if class := int(v) % k; resp.Rows[0][class] <= 0 {
+				errs <- fmt.Errorf("edge (%d,%d) invisible after ack %v: row %v", u, v, ack.Epochs, resp.Rows[0])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != nShards || len(st.Epochs) != nShards {
+		t.Fatalf("statsz: %d shard entries, %d epoch-vector entries, want %d", len(st.Shards), len(st.Epochs), nShards)
+	}
+	var requestsSeen int64
+	for _, ss := range st.Shards {
+		requestsSeen += ss.Coalescer.Requests
+	}
+	// Every edge was cut, so each write fanned out to two shards.
+	if requestsSeen != 2*requests {
+		t.Fatalf("per-shard coalescer requests sum to %d, want %d (every write scattered to 2 owners)", requestsSeen, 2*requests)
+	}
+}
+
+// TestShardedSectionProtocol pins the ?shard= contract: /v1/partition
+// describes the layout, sections require an explicit shard id, and out
+// of range ids are a 400, not a panic or an empty body.
+func TestShardedSectionProtocol(t *testing.T) {
+	const n, k, nShards = 90, 3, 3
+	_, c, base := startShardedServer(t, n, k, nShards, dyn.Options{}, server.Options{})
+	ctx := context.Background()
+	meta, err := c.Partition(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Shards != nShards || meta.N != n || meta.K != k || len(meta.Bounds) != nShards+1 {
+		t.Fatalf("partition meta %+v, want %d shards over n=%d k=%d", meta, nShards, n, k)
+	}
+	if len(meta.Instances) != nShards || len(meta.Epochs) != nShards {
+		t.Fatalf("partition meta instances=%v epochs=%v, want %d entries each", meta.Instances, meta.Epochs, nShards)
+	}
+	for _, path := range []string{"/v1/snapshot", "/v1/delta?from=0", "/v1/snapshot?shard=9", "/v1/snapshot?shard=x"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// A well-formed section read round-trips and matches the partition.
+	for i := 0; i < nShards; i++ {
+		sec, err := c.SnapshotShard(ctx, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := int(meta.Bounds[i]), int(meta.Bounds[i+1])
+		if sec.N != hi-lo || sec.K != k {
+			t.Fatalf("shard %d section n=%d k=%d, want window [%d,%d) k=%d", i, sec.N, sec.K, lo, hi, k)
+		}
+		if i > 0 && int(sec.Lo) != lo {
+			t.Fatalf("shard %d section lo=%d, want %d", i, sec.Lo, lo)
+		}
+	}
+}
+
+// TestShardedNeighborsMatchUnsharded drives the same write sequence
+// into a 4-shard server and an unsharded one (serial folds, so the
+// published floats agree bit for bit), then compares exact /v1/neighbors
+// answers id-for-id. Ties are tolerated the way PR 5's recall rule
+// tolerates them: an id mismatch at a rank is legal only when the two
+// distances are equal within a relative epsilon (duplicate rows are
+// legitimately interchangeable).
+func TestShardedNeighborsMatchUnsharded(t *testing.T) {
+	const n, k, nShards = 400, 5, 4
+	dopts := dyn.Options{Workers: 1, ShardedThreshold: -1}
+	_, single, _ := startServer(t, n, fullLabels(n, k), dopts, server.Options{})
+	_, sharded, _ := startShardedServer(t, n, k, nShards, dopts, server.Options{})
+	ctx := context.Background()
+	r := xrand.New(7)
+	randBatch := func(m int) []graph.Edge {
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			u := r.Intn(n)
+			v := r.Intn(n)
+			if u == v {
+				v = (v + 1) % n
+			}
+			edges[i] = graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v), W: float32(r.Intn(3) + 1)}
+		}
+		return edges
+	}
+	var live [][]graph.Edge
+	for b := 0; b < 20; b++ {
+		edges := randBatch(60)
+		if _, err := single.InsertEdges(ctx, edges); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.InsertEdges(ctx, edges); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, edges)
+		if len(live) > 6 {
+			if _, err := single.DeleteEdges(ctx, live[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sharded.DeleteEdges(ctx, live[0]); err != nil {
+				t.Fatal(err)
+			}
+			live = live[1:]
+		}
+		if b%5 == 0 {
+			ups := []dyn.LabelUpdate{{V: graph.NodeID(r.Intn(n)), Class: int32(r.Intn(k))}}
+			if _, err := single.UpdateLabels(ctx, ups); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sharded.UpdateLabels(ctx, ups); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, metric := range []string{"l2", "cosine"} {
+		for q := 0; q < 25; q++ {
+			v := graph.NodeID(r.Intn(n))
+			req := server.NeighborsRequest{V: v, K: 12, Metric: metric}
+			want, err := single.Neighbors(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sharded.Neighbors(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Neighbors) != len(want.Neighbors) {
+				t.Fatalf("%s v=%d: %d sharded neighbors vs %d unsharded", metric, v, len(got.Neighbors), len(want.Neighbors))
+			}
+			if len(got.Epochs) != nShards {
+				t.Fatalf("%s v=%d: response epoch vector %v, want %d entries", metric, v, got.Epochs, nShards)
+			}
+			for j := range want.Neighbors {
+				g, w := got.Neighbors[j], want.Neighbors[j]
+				if g.V == w.V && g.Dist == w.Dist {
+					continue
+				}
+				eps := 1e-12 + 1e-12*math.Abs(w.Dist)
+				if math.Abs(g.Dist-w.Dist) > eps {
+					t.Fatalf("%s v=%d rank %d: sharded (%d, %.17g) vs unsharded (%d, %.17g)",
+						metric, v, j, g.V, g.Dist, w.V, w.Dist)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedReplica follows a sharded server with client.Replica over
+// both wire formats: bootstrap assembles the full matrix from per-shard
+// sections, deltas patch each section independently, and every local
+// row must be bit-identical to the owning shard's section.
+func TestShardedReplica(t *testing.T) {
+	for _, wf := range []client.Format{client.JSON, client.Binary} {
+		t.Run(wf.String(), func(t *testing.T) {
+			const n, k, nShards = 240, 4, 3
+			_, _, base := startShardedServer(t, n, k, nShards, dyn.Options{}, server.Options{})
+			c := client.New(base, nil, client.WithWire(wf))
+			ctx := context.Background()
+			r := xrand.New(11)
+			// churn drives insert batches; withLabels additionally mixes in
+			// relabels. A relabel dirties every row, so the epoch that
+			// carries it answers Delta with "resync" — the post-bootstrap
+			// churn stays edge-only so the second Sync is a pure row delta
+			// and the resync counter stays deterministic.
+			churn := func(rounds int, withLabels bool) server.MutationResponse {
+				var last server.MutationResponse
+				for b := 0; b < rounds; b++ {
+					edges := make([]graph.Edge, 40)
+					for i := range edges {
+						u := r.Intn(n)
+						v := r.Intn(n)
+						if u == v {
+							v = (v + 1) % n
+						}
+						edges[i] = graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v), W: float32(r.Intn(3) + 1)}
+					}
+					ack, err := c.InsertEdges(ctx, edges)
+					if err != nil {
+						t.Fatal(err)
+					}
+					last = ack
+					if withLabels && b%2 == 0 {
+						ups := []dyn.LabelUpdate{{V: graph.NodeID(r.Intn(n)), Class: int32(r.Intn(k))}}
+						if _, err := c.UpdateLabels(ctx, ups); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				return last
+			}
+			verify := func(rep *client.Replica) {
+				t.Helper()
+				// Converge on a stable epoch vector (the test is the only
+				// writer, so one or two rounds suffice), then compare every
+				// row against its owning shard's section bit for bit.
+				secs := make([]server.SnapshotResponse, nShards)
+				for tries := 0; ; tries++ {
+					stable := true
+					s := rep.Snapshot()
+					for i := range secs {
+						sec, err := c.SnapshotShard(ctx, i)
+						if err != nil {
+							t.Fatal(err)
+						}
+						secs[i] = sec
+						if s == nil || s.Epochs[i] != sec.Epoch {
+							stable = false
+						}
+					}
+					if stable {
+						break
+					}
+					if tries > 20 {
+						t.Fatalf("replica never converged on the section epochs")
+					}
+					if _, err := rep.Sync(ctx); err != nil {
+						t.Fatal(err)
+					}
+				}
+				s := rep.Snapshot()
+				rn, rk := s.Dims()
+				if rn != n || rk != k {
+					t.Fatalf("replica dims %dx%d, want %dx%d", rn, rk, n, k)
+				}
+				row := make([]float64, k)
+				at := 0
+				for i := range secs {
+					sec := &secs[i]
+					for u := 0; u < sec.N; u++ {
+						v := at + u
+						if s.Y[v] != sec.Y[u] {
+							t.Fatalf("label of %d: replica %d, shard %d has %d", v, s.Y[v], i, sec.Y[u])
+						}
+						for col, x := range s.CopyRow(v, row) {
+							if x != sec.Z[u][col] {
+								t.Fatalf("Z[%d][%d]: replica %v, shard %d has %v (not bit-identical)", v, col, x, i, sec.Z[u][col])
+							}
+						}
+					}
+					at += sec.N
+				}
+			}
+
+			ack := churn(6, true)
+			rep := client.NewReplica(c)
+			if resynced, err := rep.Sync(ctx); err != nil || !resynced {
+				t.Fatalf("first sync: resynced=%v err=%v, want bootstrap", resynced, err)
+			}
+			s := rep.Snapshot()
+			if len(s.Epochs) != nShards {
+				t.Fatalf("replica epoch vector %v, want %d entries", s.Epochs, nShards)
+			}
+			if !s.Epochs.Covers(ack.Epochs) {
+				t.Fatalf("replica vector %v does not cover last ack %v", s.Epochs, ack.Epochs)
+			}
+			verify(rep)
+
+			churn(6, false)
+			if _, err := rep.Sync(ctx); err != nil {
+				t.Fatal(err)
+			}
+			verify(rep)
+
+			rs := rep.Stats()
+			if rs.Resyncs != 1 {
+				t.Fatalf("replica resyncs = %d, want 1 (only the bootstrap)", rs.Resyncs)
+			}
+			if rs.RowsApplied == 0 {
+				t.Fatalf("replica applied no delta rows across churn")
+			}
+		})
+	}
+}
+
+// TestShardedEmbeddingsAnswersJSON pins the sharded batched-read
+// format: a binary frame carries one epoch/instance pair, which a
+// scatter read doesn't have, so the endpoint answers JSON (with the
+// epoch vector) even when the client negotiates frames.
+func TestShardedEmbeddingsAnswersJSON(t *testing.T) {
+	const n, k, nShards = 90, 3, 3
+	_, _, base := startShardedServer(t, n, k, nShards, dyn.Options{}, server.Options{})
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/embeddings",
+		bytes.NewReader([]byte(`{"vs":[1,40,80]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", wire.ContentType+", application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q, want application/json (sharded batch reads have no frame form)", ct)
+	}
+	var out server.BatchEmbeddingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 3 || len(out.Epochs) != nShards {
+		t.Fatalf("rows=%d epochs=%v, want 3 rows and a %d-entry vector", len(out.Rows), out.Epochs, nShards)
+	}
+}

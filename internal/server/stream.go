@@ -177,6 +177,26 @@ func streamSnapshot(s *streamer, snap *dyn.Snapshot) int {
 	return rows
 }
 
+// streamSnapshotSection writes one shard's section of the sharded
+// snapshot protocol: the streamSnapshot layout over the pre-sliced
+// owned window (n is the section width, y and z carry only owned rows)
+// plus the shard id and the window's global row offset, so a section is
+// self-describing without /v1/partition in hand.
+func streamSnapshotSection(s *streamer, snap *dyn.Snapshot, shardID, lo int) int {
+	fmt.Fprintf(s.w, `{"epoch":%d,"instance":%d,"shard":%d,"lo":%d,"n":%d,"k":%d,"edges":%d,"y":`,
+		snap.Epoch, snap.Instance, shardID, lo, snap.Z.R, snap.Z.C, snap.Edges)
+	rows := 0
+	if s.intArray(snap.Y) {
+		s.raw(`,"z":`)
+		rows = s.floatRows(snap.Z.R, snap.Z.Row)
+		if rows == snap.Z.R {
+			s.rawByte('}')
+		}
+	}
+	s.flush()
+	return rows
+}
+
 // streamDelta writes one dyn.Delta as DeltaResponse JSON; k is the
 // embedding width. Returns the number of changed rows emitted.
 func streamDelta(s *streamer, dl *dyn.Delta, k int) int {
